@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ *
+ * Every bench binary regenerates one figure of the paper: it prints
+ * the same series the figure plots (bandwidth or MFlop/s tables) and,
+ * where the paper states numbers in the text, a paper-vs-model
+ * comparison block.  Absolute numbers come from calibrated machine
+ * models; the claim being checked is the *shape* (plateaus, ratios,
+ * crossovers) — see EXPERIMENTS.md.
+ *
+ * Pass "full" as the first argument for the paper's full working-set
+ * axis (up to 128 MB); the default grids are trimmed to keep each
+ * bench around a minute.
+ */
+
+#ifndef GASNUB_BENCH_BENCH_UTIL_HH
+#define GASNUB_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "machine/machine.hh"
+#include "sim/units.hh"
+
+namespace gasnub::bench {
+
+/** True if the bench was invoked with the "full" argument. */
+inline bool
+fullRun(int argc, char **argv)
+{
+    return argc > 1 && std::strcmp(argv[1], "full") == 0;
+}
+
+/** Header line for a figure bench. */
+inline void
+banner(const std::string &figure, const std::string &caption)
+{
+    std::printf("==================================================="
+                "=========\n");
+    std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+    std::printf("==================================================="
+                "=========\n");
+}
+
+/** Grid for the local load/store surfaces (Figures 1, 3, 6). */
+inline core::CharacterizeConfig
+surfaceGrid(bool full, std::uint64_t max_full,
+            std::uint64_t cap_bytes)
+{
+    core::CharacterizeConfig cfg;
+    cfg.maxWorkingSet = full ? max_full : 16_MiB;
+    cfg.capBytes = cap_bytes;
+    return cfg;
+}
+
+/**
+ * Grid for the remote transfer surfaces (Figures 2, 4, 5, 7, 8):
+ * remote sweeps cost a produce + transfer per point, so the default
+ * working-set axis is 4x-spaced; "full" uses the paper's 2x axis.
+ */
+inline core::CharacterizeConfig
+remoteGrid(bool full, std::uint64_t max_full, std::uint64_t cap_bytes)
+{
+    core::CharacterizeConfig cfg;
+    cfg.capBytes = cap_bytes;
+    if (full) {
+        cfg.maxWorkingSet = max_full;
+        return cfg;
+    }
+    for (std::uint64_t ws = 512; ws <= max_full / 2; ws *= 4)
+        cfg.workingSets.push_back(ws);
+    if (cfg.workingSets.back() != max_full / 2)
+        cfg.workingSets.push_back(max_full / 2);
+    return cfg;
+}
+
+/** One-row grid for the 65 MB copy-transfer slices (Figures 9-14). */
+inline core::CharacterizeConfig
+copySliceGrid(std::uint64_t cap_bytes)
+{
+    core::CharacterizeConfig cfg;
+    cfg.workingSets = {65 * 1_MiB};
+    cfg.capBytes = cap_bytes;
+    return cfg;
+}
+
+/** A paper reference point for the comparison block. */
+struct PaperRef
+{
+    const char *what;
+    double paper;
+    double measured;
+};
+
+/** Print the paper-vs-model comparison block. */
+inline void
+compare(const std::vector<PaperRef> &refs)
+{
+    std::printf("\n%-44s %10s %10s %8s\n", "paper reference point",
+                "paper", "model", "ratio");
+    for (const PaperRef &r : refs) {
+        std::printf("%-44s %10.0f %10.1f %8.2f\n", r.what, r.paper,
+                    r.measured, r.measured / r.paper);
+    }
+    std::printf("\n");
+}
+
+} // namespace gasnub::bench
+
+#endif // GASNUB_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * AAPC schedule comparison (paper Section 6 / footnote 1): the same
+ * all-to-all volume under a congestion-free round schedule, a
+ * hypercube-style pairwise exchange, and a naive hotspot-prone
+ * ordering.
+ */
+
+#include "bench_util.hh"
+#include "remote/aapc.hh"
+
+int
+main(int, char **)
+{
+    using namespace gasnub;
+    bench::banner("Extra (Section 6)",
+                  "AAPC schedules on an 8-processor Cray T3E");
+    machine::Machine m(machine::SystemKind::CrayT3E, 8);
+
+    std::printf("%-16s %12s %12s %10s\n", "schedule",
+                "contig MB/s", "strided MB/s", "rounds");
+    for (auto sched : {remote::AapcSchedule::ShiftRing,
+                       remote::AapcSchedule::PairwiseXor,
+                       remote::AapcSchedule::NaiveOrdered}) {
+        remote::AapcConfig cfg;
+        cfg.schedule = sched;
+        cfg.method = remote::TransferMethod::Fetch;
+        cfg.wordsPerPair = 4096;
+        m.resetAll();
+        const auto contig =
+            runAapc(m.remote(), 8, cfg, remote::defaultAapcPlacement());
+        cfg.srcStride = 16;
+        m.resetAll();
+        const auto strided =
+            runAapc(m.remote(), 8, cfg, remote::defaultAapcPlacement());
+        std::printf("%-16s %12.0f %12.0f %10d\n",
+                    remote::aapcScheduleName(sched), contig.mbs,
+                    strided.mbs, contig.rounds);
+    }
+    std::printf("\nRound-structured schedules keep the pairwise "
+                "exchanges spread over\ndisjoint links and memory "
+                "systems; the naive order serializes on\nhotspot "
+                "destinations.\n");
+    return 0;
+}

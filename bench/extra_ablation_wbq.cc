@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: the Cray T3D without its coalescing write-back queue.
+ *
+ * The WBQ is the design feature behind two of the paper's findings:
+ * strided local stores at 70 MB/s (Figure 10, "well pipelined writes
+ * through a write back queue") and remote deposits at 120/55 MB/s
+ * (Figure 5, "remote stores are directly captured from the write
+ * back queues").  Removing it makes every store an individual
+ * word-granularity DRAM / network operation.
+ */
+
+#include "bench_util.hh"
+#include "kernels/remote_kernels.hh"
+
+int
+main(int, char **)
+{
+    using namespace gasnub;
+    bench::banner("Ablation",
+                  "Cray T3D with and without the coalescing "
+                  "write-back queue");
+
+    machine::Machine with(machine::SystemKind::CrayT3D, 4);
+    mem::HierarchyConfig cfg = machine::crayT3dNode("ablated");
+    cfg.wbq.reset(); // stores go to memory word by word
+    machine::Machine without(machine::SystemKind::CrayT3D, 4, cfg);
+
+    auto copy_mbs = [](machine::Machine &m, std::uint64_t stride) {
+        kernels::KernelParams p;
+        p.wsBytes = 8_MiB;
+        p.stride = stride;
+        p.capBytes = 4_MiB;
+        const std::uint64_t eff =
+            kernels::effectiveWorkingSet(m.node(0), p);
+        return kernels::copyOn(m, 0, p,
+                               kernels::CopyVariant::StridedStores,
+                               eff)
+            .mbs;
+    };
+    auto deposit_mbs = [](machine::Machine &m, std::uint64_t stride) {
+        kernels::RemoteParams p;
+        p.src = 0;
+        p.dst = 2;
+        p.wsBytes = 4_MiB;
+        p.stride = stride;
+        p.strideOnSource = false;
+        p.method = remote::TransferMethod::Deposit;
+        p.dstBase = 1ull << 33;
+        return kernels::remoteTransfer(m, p).mbs;
+    };
+
+    std::printf("%-34s %10s %10s %8s\n", "experiment", "with WBQ",
+                "without", "ratio");
+    struct Row
+    {
+        const char *what;
+        double a;
+        double b;
+    };
+    const Row rows[] = {
+        {"local copy, contiguous stores", copy_mbs(with, 1),
+         copy_mbs(without, 1)},
+        {"local copy, strided stores @16", copy_mbs(with, 16),
+         copy_mbs(without, 16)},
+        {"remote deposit, contiguous", deposit_mbs(with, 1),
+         deposit_mbs(without, 1)},
+        {"remote deposit, strided @16", deposit_mbs(with, 16),
+         deposit_mbs(without, 16)},
+    };
+    for (const Row &r : rows)
+        std::printf("%-34s %10.1f %10.1f %8.2f\n", r.what, r.a, r.b,
+                    r.a / r.b);
+    std::printf("\nWithout the WBQ, contiguous stores lose their "
+                "32-byte coalescing and\nremote deposits degrade to "
+                "blocking word-granular stores (5x). Local\nstrided "
+                "stores survive because the store buffer still "
+                "pipelines word\nwrites — the queue's value is "
+                "coalescing and network capture.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared driver for the 2D-FFT figure benches (Figures 15-17).
+ */
+
+#ifndef GASNUB_BENCH_FFT_COMMON_HH
+#define GASNUB_BENCH_FFT_COMMON_HH
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "fft/fft2d_dist.hh"
+
+namespace gasnub::bench {
+
+struct FftSeries
+{
+    machine::SystemKind kind;
+    std::vector<fft::Fft2dResult> results;
+};
+
+/** Problem sizes of Figures 15-17. */
+inline std::vector<std::uint64_t>
+fftSizes()
+{
+    return {32, 64, 128, 256, 512, 1024};
+}
+
+/** Run the 4-processor 2D-FFT sweep on all three machines. */
+inline std::vector<FftSeries>
+runFftSweep()
+{
+    std::vector<FftSeries> out;
+    for (auto kind :
+         {machine::SystemKind::CrayT3D, machine::SystemKind::Dec8400,
+          machine::SystemKind::CrayT3E}) {
+        machine::Machine m(kind, 4);
+        fft::DistributedFft2d app(m);
+        FftSeries series;
+        series.kind = kind;
+        for (std::uint64_t n : fftSizes()) {
+            fft::Fft2dConfig cfg;
+            cfg.n = n;
+            series.results.push_back(app.run(cfg));
+        }
+        out.push_back(std::move(series));
+    }
+    return out;
+}
+
+/** Print one metric of the sweep as a paper-style table. */
+template <typename Metric>
+void
+printFftTable(const std::vector<FftSeries> &sweep, const char *unit,
+              Metric &&metric)
+{
+    std::printf("%-10s", "n x n");
+    for (std::uint64_t n : fftSizes())
+        std::printf("%9llu", static_cast<unsigned long long>(n));
+    std::printf("   [%s]\n", unit);
+    for (const FftSeries &s : sweep) {
+        std::printf("%-10s", machine::systemName(s.kind).c_str());
+        for (const auto &r : s.results)
+            std::printf("%9.0f", metric(r));
+        std::printf("\n");
+    }
+}
+
+} // namespace gasnub::bench
+
+#endif // GASNUB_BENCH_FFT_COMMON_HH

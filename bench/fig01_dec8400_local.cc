@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates Figure 1: load bandwidth of the DEC 8400 for different
+ * access patterns (strides) and working sets; one processor active.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 1",
+                  "DEC 8400 local load bandwidth (stride x working "
+                  "set), one processor");
+    machine::Machine m(machine::SystemKind::Dec8400, 4);
+    core::Characterizer c(m);
+    core::Surface s = c.localLoads(
+        0, bench::surfaceGrid(bench::fullRun(argc, argv), 128_MiB,
+                              12_MiB));
+    s.print(std::cout);
+    bench::compare({
+        {"L1 plateau (MB/s)", 1100, s.at(4_KiB, 1)},
+        {"L2 plateau, strided", 700, s.at(64_KiB, 8)},
+        {"L3 contiguous", 600, s.at(1_MiB, 1)},
+        {"L3 strided", 120, s.at(1_MiB, 16)},
+        {"DRAM contiguous", 150, s.at(16_MiB, 1)},
+        {"DRAM strided", 28, s.at(16_MiB, 32)},
+    });
+    return 0;
+}

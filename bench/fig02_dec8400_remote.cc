@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Figure 2: DEC 8400 remote (coherent pull) bandwidth for
+ * different strides and working sets; transfers P1 -> P0.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 2",
+                  "DEC 8400 remote pull bandwidth (P0 <- pull <- P1)");
+    machine::Machine m(machine::SystemKind::Dec8400, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 32_MiB,
+                                 12_MiB);
+    core::Surface s = c.remoteTransfer(
+        remote::TransferMethod::CoherentPull, true, cfg, 1, 0);
+    s.print(std::cout);
+    bench::compare({
+        {"remote contiguous max (MB/s)", 140, s.at(16_MiB, 1)},
+        {"remote strided from DRAM", 22, s.at(16_MiB, 32)},
+        {"cached working set, strided", 75, s.at(2_MiB, 16)},
+    });
+    return 0;
+}

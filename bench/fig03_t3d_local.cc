@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Figure 3: load bandwidth of the Cray T3D for different
+ * access patterns and working sets; one processor active.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 3",
+                  "Cray T3D local load bandwidth (stride x working "
+                  "set), one processor");
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    core::Characterizer c(m);
+    core::Surface s = c.localLoads(
+        0, bench::surfaceGrid(bench::fullRun(argc, argv), 16_MiB,
+                              4_MiB));
+    s.print(std::cout);
+    bench::compare({
+        {"L1 plateau (MB/s)", 600, s.at(4_KiB, 1)},
+        {"DRAM contiguous (read-ahead)", 195, s.at(16_MiB, 1)},
+        {"DRAM strided", 43, s.at(16_MiB, 16)},
+    });
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Regenerates Figure 4: Cray T3D transfer bandwidth under the fetch
+ * model (remote loads / shmem_iget), p2,3 <- pull <- p0,1.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 4",
+                  "Cray T3D fetch (remote loads) transfer bandwidth");
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
+                                 512_KiB);
+    core::Surface s = c.remoteTransfer(remote::TransferMethod::Fetch,
+                                       true, cfg, 0, 2);
+    s.print(std::cout);
+    std::printf("The paper: naive remote loads run an order of "
+                "magnitude below the\nnetwork bandwidth; the "
+                "prefetch FIFO helps but fetch stays inferior\nto "
+                "deposit everywhere (compare Figure 5).\n");
+    bench::compare({
+        {"fetch contiguous (MB/s)", 65, s.at(8_MiB, 1)},
+        {"fetch stride 2", 20, s.at(8_MiB, 2)},
+        {"fetch large strides", 43, s.at(8_MiB, 32)},
+    });
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Figure 5: Cray T3D transfer bandwidth under the deposit
+ * model (remote stores captured from the write-back queue).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 5",
+                  "Cray T3D deposit (remote stores) transfer "
+                  "bandwidth, p0,1 -> push -> p2,3");
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
+                                 512_KiB);
+    core::Surface s = c.remoteTransfer(
+        remote::TransferMethod::Deposit, false, cfg, 0, 2);
+    s.print(std::cout);
+    bench::compare({
+        {"deposit contiguous (MB/s)", 120, s.at(8_MiB, 1)},
+        {"deposit strided stores", 55, s.at(8_MiB, 16)},
+    });
+    return 0;
+}

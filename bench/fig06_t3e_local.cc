@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Regenerates Figure 6: load bandwidth of the Cray T3E for different
+ * access patterns and working sets; one processor active.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 6",
+                  "Cray T3E local load bandwidth (stride x working "
+                  "set), one processor");
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    core::Characterizer c(m);
+    core::Surface s = c.localLoads(
+        0, bench::surfaceGrid(bench::fullRun(argc, argv), 8_MiB,
+                              4_MiB));
+    s.print(std::cout);
+    bench::compare({
+        {"L1 plateau (MB/s)", 1100, s.at(4_KiB, 1)},
+        {"L2 plateau, strided", 700, s.at(64_KiB, 8)},
+        {"DRAM contiguous (streams)", 430, s.at(8_MiB, 1)},
+        {"DRAM strided", 42, s.at(8_MiB, 32)},
+    });
+    return 0;
+}

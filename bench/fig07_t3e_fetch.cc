@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Regenerates Figure 7: Cray T3E transfer bandwidth under the fetch
+ * model (shmem_iget through the E-registers), p1 <- pull <- p0.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 7",
+                  "Cray T3E fetch (shmem_iget) transfer bandwidth");
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
+                                 1_MiB);
+    core::Surface s = c.remoteTransfer(remote::TransferMethod::Fetch,
+                                       true, cfg, 0, 1);
+    s.print(std::cout);
+    bench::compare({
+        {"iget contiguous (MB/s)", 350, s.at(8_MiB, 1)},
+        {"iget strided (flat)", 140, s.at(8_MiB, 16)},
+    });
+    return 0;
+}

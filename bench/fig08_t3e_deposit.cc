@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Regenerates Figure 8: Cray T3E transfer bandwidth under the deposit
+ * model (shmem_iput), p0 -> push -> p1, with the even/odd-stride
+ * ripples from destination bank conflicts.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gasnub;
+    bench::banner("Figure 8",
+                  "Cray T3E deposit (shmem_iput) transfer bandwidth");
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
+                                 1_MiB);
+    core::Surface s = c.remoteTransfer(
+        remote::TransferMethod::Deposit, false, cfg, 0, 1);
+    s.print(std::cout);
+    std::printf("Ripples: even strides hit the same destination bank "
+                "parity in\nconsecutive receives (paper Section "
+                "5.6).\n");
+    bench::compare({
+        {"iput contiguous (MB/s)", 350, s.at(8_MiB, 1)},
+        {"iput even stride", 70, s.at(8_MiB, 16)},
+        {"iput odd stride", 140, s.at(8_MiB, 15)},
+    });
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates Figure 9: DEC 8400 local memory copy bandwidth for
+ * large transfers, strided loads vs. strided stores.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int, char **)
+{
+    using namespace gasnub;
+    bench::banner("Figure 9",
+                  "DEC 8400 local copy, 65 MB working set: strided "
+                  "loads vs strided stores");
+    machine::Machine m(machine::SystemKind::Dec8400, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::copySliceGrid(12_MiB);
+    core::Surface sl =
+        c.localCopy(0, kernels::CopyVariant::StridedLoads, cfg);
+    core::Surface ss =
+        c.localCopy(0, kernels::CopyVariant::StridedStores, cfg);
+    sl.print(std::cout);
+    ss.print(std::cout);
+    bench::compare({
+        {"contiguous copy (MB/s)", 57, sl.at(65 * 1_MiB, 1)},
+        {"strided loads @16", 18, sl.at(65 * 1_MiB, 16)},
+        {"strided stores @16", 18, ss.at(65 * 1_MiB, 16)},
+    });
+    return 0;
+}

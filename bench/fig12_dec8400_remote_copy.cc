@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Regenerates Figure 12: DEC 8400 remote copy transfer (p0 <- p1) at
+ * a 65 MB working set, for different strides.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int, char **)
+{
+    using namespace gasnub;
+    bench::banner("Figure 12",
+                  "DEC 8400 remote copy transfer p1 -> p0, 65 MB");
+    machine::Machine m(machine::SystemKind::Dec8400, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::copySliceGrid(12_MiB);
+    core::Surface s = c.remoteTransfer(
+        remote::TransferMethod::CoherentPull, true, cfg, 1, 0);
+    s.print(std::cout);
+    bench::compare({
+        {"contiguous (MB/s)", 140, s.at(65 * 1_MiB, 1)},
+        {"strided @16", 22, s.at(65 * 1_MiB, 16)},
+        {"strided @64", 22, s.at(65 * 1_MiB, 64)},
+    });
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates Figure 13: Cray T3D remote copy transfer p0 -> p2 at a
+ * 65 MB working set: strided loads vs strided remote stores.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int, char **)
+{
+    using namespace gasnub;
+    bench::banner("Figure 13",
+                  "Cray T3D remote copy transfer p0 -> p2, 65 MB");
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    core::Characterizer c(m);
+    auto cfg = bench::copySliceGrid(4_MiB);
+    core::Surface sl = c.remoteTransfer(
+        remote::TransferMethod::Deposit, true, cfg, 0, 2);
+    core::Surface ss = c.remoteTransfer(
+        remote::TransferMethod::Deposit, false, cfg, 0, 2);
+    sl.print(std::cout);
+    ss.print(std::cout);
+    bench::compare({
+        {"contiguous (MB/s)", 120, ss.at(65 * 1_MiB, 1)},
+        {"strided loads @16 (load-limited)", 43,
+         sl.at(65 * 1_MiB, 16)},
+        {"strided remote stores @16", 55, ss.at(65 * 1_MiB, 16)},
+    });
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates Figure 16: local computation performance of the 2D-FFT
+ * benchmark on 4 processors (vendor-library 1D FFTs).
+ */
+
+#include "fft_common.hh"
+
+int
+main(int, char **)
+{
+    using namespace gasnub;
+    bench::banner("Figure 16",
+                  "2D-FFT local computation performance, 4 "
+                  "processors");
+    auto sweep = bench::runFftSweep();
+    bench::printFftTable(sweep, "MFlop/s total",
+                         [](const fft::Fft2dResult &r) {
+                             return r.computeMFlops;
+                         });
+    const auto &t3d = sweep[0].results;
+    const auto &dec = sweep[1].results;
+    const auto &t3e = sweep[2].results;
+    bench::compare({
+        {"8400 / T3D compute ratio @256 (paper >2.5)", 2.5,
+         dec[3].computeMFlops / t3d[3].computeMFlops},
+        {"T3E per-processor peak (MFlop/s)", 200,
+         t3e[5].computeMFlops / 4.0},
+        {"T3D falloff 1024 vs 256 (ratio)", 0.66,
+         t3d[5].computeMFlops / t3d[3].computeMFlops},
+        {"8400 level 1024 vs 256 (ratio)", 1.0,
+         dec[5].computeMFlops / dec[3].computeMFlops},
+    });
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Using gasnub as a design-exploration tool: define a hypothetical
+ * machine — a "T3E with a board-level L3 cache" — and compare its
+ * local memory characterization against the three paper machines.
+ *
+ * This is the paper's closing argument in action: "realistic models
+ * based on measurement provide the accurate understanding of memory
+ * system performance" — here the measurements come from a simulated
+ * design before anyone builds it.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "kernels/kernels.hh"
+#include "machine/configs.hh"
+#include "mem/hierarchy.hh"
+#include "sim/units.hh"
+
+using namespace gasnub;
+
+namespace {
+
+/** A T3E node augmented with a DEC-style 4 MB board cache. */
+mem::HierarchyConfig
+t3eWithL3()
+{
+    mem::HierarchyConfig h = machine::crayT3eNode("t3e+l3");
+
+    mem::LevelConfig l3;
+    l3.cache.name = "t3e+l3.l3";
+    l3.cache.sizeBytes = 4_MiB;
+    l3.cache.lineBytes = 64;
+    l3.cache.assoc = 1;
+    l3.cache.writePolicy = mem::WritePolicy::WriteBack;
+    l3.cache.allocPolicy = mem::AllocPolicy::ReadWriteAllocate;
+    l3.timing.hitNs = 45;
+    l3.timing.hitOccupancyNs = 55;
+    l3.timing.fillOccupancyNs = 55;
+    h.levels.push_back(l3);
+
+    // The board cache sits in front of DRAM; off-chip accesses now
+    // start at the new last level.
+    h.windowFromLevel = 2;
+    return h;
+}
+
+void
+row(const char *label, mem::MemoryHierarchy &m, std::uint64_t ws)
+{
+    std::printf("%-12s %8s", label, formatSize(ws).c_str());
+    for (std::uint64_t stride : {1ull, 8ull, 32ull}) {
+        kernels::KernelParams p;
+        p.wsBytes = ws;
+        p.stride = stride;
+        p.capBytes = 8_MiB;
+        std::printf("%9.0f", kernels::loadSum(m, p).mbs);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== custom_machine: would an L3 cache have helped "
+                "the T3E? ==\n\n");
+    std::printf("%-12s %8s %9s %9s %9s   (load MB/s)\n", "machine",
+                "ws", "stride1", "stride8", "stride32");
+
+    mem::MemoryHierarchy t3e(machine::crayT3eNode());
+    mem::MemoryHierarchy hybrid(t3eWithL3());
+    mem::MemoryHierarchy dec(machine::dec8400Node());
+
+    for (std::uint64_t ws : {64_KiB, 1_MiB, 16_MiB}) {
+        row("T3E", t3e, ws);
+        row("T3E+L3", hybrid, ws);
+        row("DEC 8400", dec, ws);
+        std::printf("\n");
+    }
+
+    std::printf("At 1 MB working sets the hypothetical board cache "
+                "multiplies strided\nbandwidth (the 8400's L3 "
+                "advantage), while at 16 MB the stream units\nstill "
+                "win for contiguous accesses — the design tension "
+                "the paper\nattributes to 'a cache focus on the DEC "
+                "machine and a streams focus\non the Cray "
+                "machines'.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The shared memory subsystem of the DEC 8400: interleaved DRAM behind
+ * a 256-bit, 75 MHz split-transaction snooping bus with a coherency
+ * protocol close to sequential consistency (paper Sections 2 and 3.1).
+ *
+ * A line-granular directory (functionally equivalent to bus snooping
+ * with free broadcast) tracks which processor holds a line dirty.
+ * Reads of a line dirty in another processor's caches are served by a
+ * cache-to-cache intervention; read-exclusive fills invalidate other
+ * copies; writebacks return ownership to memory.  "The DEC 8400 does
+ * not have support for pushing data into memory or caches of a remote
+ * processor" — all communication is pulling, through this path.
+ */
+
+#ifndef GASNUB_BUS_DEC8400_MEMORY_HH
+#define GASNUB_BUS_DEC8400_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/resource.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gasnub::bus {
+
+/** Static configuration of the 8400 system bus. */
+struct BusConfig
+{
+    std::string name = "bus";
+    double arbNs = 40;          ///< arbitration + address phase
+    double snoopNs = 45;        ///< snoop window before data phase
+    /**
+     * Extra cost of a cache-to-cache intervention: the owning board's
+     * L3 must be read and the data driven onto the bus.
+     */
+    double interventionNs = 180;
+    /**
+     * Extra latency when reading a line most recently written by a
+     * different processor (coherence bookkeeping on shared data even
+     * after the dirty copy was written back).
+     */
+    double sharedLineNs = 75;
+    std::uint32_t lineBytes = 64; ///< coherence granularity
+};
+
+/**
+ * Shared DRAM + snooping bus + coherence directory for one 8400 box.
+ *
+ * Attach the per-processor hierarchies with attach(); this installs a
+ * memory-side hook so every off-chip fill of every processor is routed
+ * through the bus and directory.
+ */
+class Dec8400Memory
+{
+  public:
+    /**
+     * @param bus_config  Bus timing.
+     * @param dram_config Shared-memory timing (split-transaction).
+     * @param parent      Stats group to register under (may be null).
+     */
+    Dec8400Memory(const BusConfig &bus_config,
+                  const mem::DramConfig &dram_config,
+                  stats::Group *parent = nullptr);
+
+    /**
+     * Attach processor @p id; installs the DRAM hook on @p h.
+     * @param id Node id (0-based, dense).
+     * @param h  The processor's memory hierarchy; must outlive this.
+     */
+    void attach(NodeId id, mem::MemoryHierarchy *h);
+
+    /** The shared DRAM (for tests and the loaded-machine bench). */
+    mem::Dram &dram() { return _dram; }
+
+    /** Reset bus/DRAM timing state (between experiments). */
+    void resetTiming();
+
+    /** Also forget all coherence state. */
+    void resetAll();
+
+    const BusConfig &config() const { return _config; }
+
+    stats::Group &statsGroup() { return _stats; }
+
+    std::uint64_t interventions() const
+    {
+        return static_cast<std::uint64_t>(_interventions.value());
+    }
+    std::uint64_t invalidations() const
+    {
+        return static_cast<std::uint64_t>(_invalidationsSent.value());
+    }
+
+  private:
+    /** One bus transaction on behalf of @p requester. */
+    mem::DramResult access(NodeId requester, Addr addr,
+                           mem::FetchIntent intent, Tick earliest,
+                           std::uint32_t bytes);
+
+    /** Per-line directory entry. */
+    struct LineState
+    {
+        std::uint32_t sharers = 0; ///< bitmask of nodes with a copy
+        NodeId dirtyOwner = invalidNode;
+        NodeId lastWriter = invalidNode;
+    };
+
+    Addr lineOf(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(_config.lineBytes - 1);
+    }
+
+    BusConfig _config;
+    Tick _arbTicks;
+    Tick _snoopTicks;
+    Tick _interventionTicks;
+    Tick _sharedLineTicks;
+
+    mem::Dram _dram;
+    mem::Resource _addressBus;
+    std::vector<mem::MemoryHierarchy *> _nodes;
+    std::unordered_map<Addr, LineState> _dir;
+
+    stats::Group _stats;
+    stats::Scalar _transactions;
+    stats::Scalar _interventions;
+    stats::Scalar _invalidationsSent;
+    stats::Scalar _memoryReads;
+    stats::Scalar _memoryWrites;
+};
+
+} // namespace gasnub::bus
+
+#endif // GASNUB_BUS_DEC8400_MEMORY_HH

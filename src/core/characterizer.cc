@@ -1,0 +1,140 @@
+#include "core/characterizer.hh"
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace gasnub::core {
+
+std::vector<std::uint64_t>
+paperStrides()
+{
+    return {1,  2,  3,  4,  5,  6,  7,  8,  12, 15,  16,
+            24, 31, 32, 48, 63, 64, 96, 127, 128, 192};
+}
+
+std::vector<std::uint64_t>
+paperWorkingSets(std::uint64_t max_bytes)
+{
+    std::vector<std::uint64_t> ws;
+    for (std::uint64_t b = 512; b <= max_bytes; b *= 2)
+        ws.push_back(b);
+    GASNUB_ASSERT(!ws.empty(), "max working set below 512 bytes");
+    return ws;
+}
+
+namespace {
+
+/** Resolve the grid of a config. */
+void
+resolveGrid(const CharacterizeConfig &cfg,
+            std::vector<std::uint64_t> &ws,
+            std::vector<std::uint64_t> &strides)
+{
+    ws = cfg.workingSets.empty() ? paperWorkingSets(cfg.maxWorkingSet)
+                                 : cfg.workingSets;
+    strides = cfg.strides.empty() ? paperStrides() : cfg.strides;
+}
+
+} // namespace
+
+Characterizer::Characterizer(machine::Machine &m) : _machine(m) {}
+
+Surface
+Characterizer::localLoads(NodeId node, const CharacterizeConfig &cfg)
+{
+    std::vector<std::uint64_t> ws, strides;
+    resolveGrid(cfg, ws, strides);
+    Surface s(machine::systemName(_machine.kind()) + " local loads",
+              ws, strides);
+    for (std::uint64_t w : ws) {
+        for (std::uint64_t st : strides) {
+            kernels::KernelParams p;
+            p.wsBytes = w;
+            p.stride = st;
+            p.capBytes = cfg.capBytes;
+            s.set(w, st, kernels::loadSumOn(_machine, node, p).mbs);
+        }
+    }
+    return s;
+}
+
+Surface
+Characterizer::localStores(NodeId node, const CharacterizeConfig &cfg)
+{
+    std::vector<std::uint64_t> ws, strides;
+    resolveGrid(cfg, ws, strides);
+    Surface s(machine::systemName(_machine.kind()) + " local stores",
+              ws, strides);
+    for (std::uint64_t w : ws) {
+        for (std::uint64_t st : strides) {
+            kernels::KernelParams p;
+            p.wsBytes = w;
+            p.stride = st;
+            p.capBytes = cfg.capBytes;
+            s.set(w, st,
+                  kernels::storeConstantOn(_machine, node, p).mbs);
+        }
+    }
+    return s;
+}
+
+Surface
+Characterizer::localCopy(NodeId node, kernels::CopyVariant variant,
+                         const CharacterizeConfig &cfg)
+{
+    std::vector<std::uint64_t> ws, strides;
+    resolveGrid(cfg, ws, strides);
+    const char *v =
+        variant == kernels::CopyVariant::StridedLoads
+            ? " local copy (strided loads/contiguous stores)"
+            : " local copy (contiguous loads/strided stores)";
+    Surface s(machine::systemName(_machine.kind()) + v, ws, strides);
+    for (std::uint64_t w : ws) {
+        for (std::uint64_t st : strides) {
+            kernels::KernelParams p;
+            p.wsBytes = w;
+            p.stride = st;
+            p.capBytes = cfg.capBytes;
+            // Destination region directly after the source.
+            const std::uint64_t eff =
+                kernels::effectiveWorkingSet(_machine.node(node), p);
+            s.set(w, st,
+                  kernels::copyOn(_machine, node, p, variant, eff)
+                      .mbs);
+        }
+    }
+    return s;
+}
+
+Surface
+Characterizer::remoteTransfer(remote::TransferMethod method,
+                              bool stride_on_source,
+                              const CharacterizeConfig &cfg,
+                              NodeId src, NodeId dst)
+{
+    std::vector<std::uint64_t> ws, strides;
+    resolveGrid(cfg, ws, strides);
+    std::string name = machine::systemName(_machine.kind());
+    name += " remote ";
+    name += remote::methodName(method);
+    name += stride_on_source ? " (strided loads)" : " (strided stores)";
+    Surface s(name, ws, strides);
+    for (std::uint64_t w : ws) {
+        for (std::uint64_t st : strides) {
+            kernels::RemoteParams p;
+            p.src = src;
+            p.dst = dst;
+            p.wsBytes = w;
+            p.stride = st;
+            p.strideOnSource = stride_on_source;
+            p.method = method;
+            p.capBytes = cfg.capBytes;
+            p.srcBase = 0;
+            p.dstBase = 1ull << 33;
+            s.set(w, st, kernels::remoteTransfer(_machine, p).mbs);
+        }
+    }
+    return s;
+}
+
+} // namespace gasnub::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The characterizer: runs the micro-benchmark suite over the
+ * (working set x stride) grid of the paper and produces
+ * characterization surfaces — the empirical cost model that "allows
+ * the compiler writer, the compiler or the runtime-system to pick the
+ * least expensive way to move data in the system" (Section 2.1).
+ */
+
+#ifndef GASNUB_CORE_CHARACTERIZER_HH
+#define GASNUB_CORE_CHARACTERIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/surface.hh"
+#include "kernels/kernels.hh"
+#include "kernels/remote_kernels.hh"
+#include "machine/machine.hh"
+#include "remote/remote_ops.hh"
+
+namespace gasnub::core {
+
+/** Grid and simulation parameters of a characterization run. */
+struct CharacterizeConfig
+{
+    /** Working-set grid; empty = the paper's 0.5 KB .. max grid. */
+    std::vector<std::uint64_t> workingSets;
+    /** Stride grid; empty = the paper's 1..192 selection. */
+    std::vector<std::uint64_t> strides;
+    /** Largest working set for the default grid. */
+    std::uint64_t maxWorkingSet = 8ull << 20;
+    /** Simulation cap per grid point (0 = auto from cache sizes). */
+    std::uint64_t capBytes = 0;
+};
+
+/** The paper's stride axis: 1..8, 12, 15, 16, 24, 31, 32, ... 192. */
+std::vector<std::uint64_t> paperStrides();
+
+/** The paper's working-set axis from 0.5 KB up to @p max_bytes. */
+std::vector<std::uint64_t> paperWorkingSets(std::uint64_t max_bytes);
+
+/**
+ * Benchmark driver producing surfaces for one machine.
+ */
+class Characterizer
+{
+  public:
+    /** @param m Machine under test (not owned). */
+    explicit Characterizer(machine::Machine &m);
+
+    /**
+     * Local load bandwidth surface (Figures 1, 3, 6): the Load-Sum
+     * kernel on @p node with all other processors idle.
+     */
+    Surface localLoads(NodeId node, const CharacterizeConfig &cfg);
+
+    /** Local store bandwidth (the Store-Constant dual benchmark). */
+    Surface localStores(NodeId node, const CharacterizeConfig &cfg);
+
+    /**
+     * Local copy bandwidth (Figures 9-11): strided loads + contiguous
+     * stores or the dual, at one large working set per row.
+     */
+    Surface localCopy(NodeId node, kernels::CopyVariant variant,
+                      const CharacterizeConfig &cfg);
+
+    /**
+     * Remote transfer bandwidth surface (Figures 2, 4, 5, 7, 8, and
+     * the 65 MB slices of Figures 12-14).
+     *
+     * @param method          Transfer method (must be supported).
+     * @param stride_on_source true = strided remote loads / gather;
+     *                        false = strided remote stores / scatter.
+     * @param cfg             Grid parameters.
+     * @param src,dst         Producer and consumer nodes.
+     */
+    Surface remoteTransfer(remote::TransferMethod method,
+                           bool stride_on_source,
+                           const CharacterizeConfig &cfg,
+                           NodeId src = 1, NodeId dst = 0);
+
+    machine::Machine &machine() { return _machine; }
+
+  private:
+    machine::Machine &_machine;
+};
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_CHARACTERIZER_HH

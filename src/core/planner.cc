@@ -1,0 +1,70 @@
+#include "core/planner.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gasnub::core {
+
+void
+TransferPlanner::addOption(PlanOption option)
+{
+    GASNUB_ASSERT(option.surface.complete(),
+                  "option '", option.label,
+                  "' has an incomplete surface");
+    _options.push_back(std::move(option));
+}
+
+const PlanOption &
+TransferPlanner::option(std::size_t i) const
+{
+    GASNUB_ASSERT(i < _options.size(), "bad option index ", i);
+    return _options[i];
+}
+
+std::vector<double>
+TransferPlanner::predictAll(const TransferQuery &query) const
+{
+    GASNUB_ASSERT(!_options.empty(), "planner has no options");
+    std::vector<double> out;
+    out.reserve(_options.size());
+    const double ws = query.wsBytes != 0
+                          ? static_cast<double>(query.wsBytes)
+                          : static_cast<double>(query.bytes);
+    for (const PlanOption &o : _options) {
+        // A blocked option works on cache-sized chunks: its working
+        // set — and therefore its bandwidth row — is capped.
+        const double eff_ws =
+            o.blockBytes != 0
+                ? std::min(ws, static_cast<double>(o.blockBytes))
+                : ws;
+        out.push_back(o.surface.interpolate(
+            eff_ws, static_cast<double>(query.stride)));
+    }
+    return out;
+}
+
+Plan
+TransferPlanner::best(const TransferQuery &query) const
+{
+    const std::vector<double> mbs = predictAll(query);
+    std::size_t best_i = 0;
+    for (std::size_t i = 1; i < mbs.size(); ++i)
+        if (mbs[i] > mbs[best_i])
+            best_i = i;
+    const PlanOption &o = _options[best_i];
+    Plan p;
+    p.optionIndex = best_i;
+    p.label = o.label;
+    p.method = o.method;
+    p.strideOnSource = o.strideOnSource;
+    p.predictedMBs = mbs[best_i];
+    p.predictedSeconds =
+        query.bytes > 0
+            ? static_cast<double>(query.bytes) / (mbs[best_i] * 1e6)
+            : 0.0;
+    return p;
+}
+
+} // namespace gasnub::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The transfer planner: the compiler-facing cost-benefit model.
+ *
+ * "If a given platform allows more than one way to implement a
+ * communication step, the modeled bandwidth metric is used to
+ * determine the best way to implement this communication step"
+ * (Section 4.1).  The planner holds one characterization surface per
+ * implementation option (fetch vs. deposit, strided loads vs. strided
+ * stores, coherent pull) and, for a queried communication step,
+ * returns the option with the highest predicted bandwidth — e.g.\ it
+ * reproduces the paper's back-end decisions: deposit on the T3D,
+ * fetch on the T3E (especially for even strides), pull on the 8400.
+ */
+
+#ifndef GASNUB_CORE_PLANNER_HH
+#define GASNUB_CORE_PLANNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/surface.hh"
+#include "remote/remote_ops.hh"
+
+namespace gasnub::core {
+
+/** One way to implement a communication step. */
+struct PlanOption
+{
+    std::string label;
+    remote::TransferMethod method =
+        remote::TransferMethod::Deposit;
+    bool strideOnSource = true; ///< which side carries the stride
+    Surface surface;            ///< measured characterization
+    /**
+     * Cache blocking: when nonzero, this option processes the
+     * transfer in blocks of at most this many bytes, so its
+     * bandwidth is the surface at min(query ws, blockBytes) — the
+     * Section 6.2 observation that "strided remote transfers can be
+     * done faster from L3 cache if a global communication operation
+     * can be blocked"; "the characterization quantifies the
+     * advantage for this interesting compiler optimization."
+     */
+    std::uint64_t blockBytes = 0;
+};
+
+/** A communication step a compiler wants to implement. */
+struct TransferQuery
+{
+    std::uint64_t bytes = 0;    ///< total data to move
+    std::uint64_t wsBytes = 0;  ///< communication working set
+    std::uint64_t stride = 1;   ///< access-pattern stride (words)
+};
+
+/** The planner's answer. */
+struct Plan
+{
+    std::size_t optionIndex = 0;
+    std::string label;
+    remote::TransferMethod method =
+        remote::TransferMethod::Deposit;
+    bool strideOnSource = true;
+    double predictedMBs = 0;
+    double predictedSeconds = 0;
+};
+
+/**
+ * Picks the cheapest implementation of a communication step from
+ * measured characterization surfaces.
+ */
+class TransferPlanner
+{
+  public:
+    TransferPlanner() = default;
+
+    /** Register an implementation option. */
+    void addOption(PlanOption option);
+
+    /** Number of registered options. */
+    std::size_t numOptions() const { return _options.size(); }
+
+    /** Access a registered option. */
+    const PlanOption &option(std::size_t i) const;
+
+    /**
+     * Choose the best option for @p query (highest predicted
+     * bandwidth at the query's working set and stride).
+     */
+    Plan best(const TransferQuery &query) const;
+
+    /** Predicted bandwidth of every option at the query point. */
+    std::vector<double> predictAll(const TransferQuery &query) const;
+
+  private:
+    std::vector<PlanOption> _options;
+};
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_PLANNER_HH

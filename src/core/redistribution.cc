@@ -1,0 +1,202 @@
+#include "core/redistribution.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace gasnub::core {
+
+const char *
+distKindName(DistKind k)
+{
+    switch (k) {
+      case DistKind::Block: return "BLOCK";
+      case DistKind::Cyclic: return "CYCLIC";
+    }
+    GASNUB_PANIC("bad DistKind");
+}
+
+namespace {
+
+/** Block size of a BLOCK distribution (last block may be short). */
+std::uint64_t
+blockSize(const Distribution &d)
+{
+    return (d.elements + d.procs - 1) / d.procs;
+}
+
+} // namespace
+
+NodeId
+Distribution::ownerOf(std::uint64_t i) const
+{
+    GASNUB_ASSERT(i < elements, "element out of range");
+    if (kind == DistKind::Block)
+        return static_cast<NodeId>(i / blockSize(*this));
+    return static_cast<NodeId>(i % static_cast<std::uint64_t>(procs));
+}
+
+std::uint64_t
+Distribution::localIndexOf(std::uint64_t i) const
+{
+    GASNUB_ASSERT(i < elements, "element out of range");
+    if (kind == DistKind::Block)
+        return i % blockSize(*this);
+    return i / static_cast<std::uint64_t>(procs);
+}
+
+std::uint64_t
+Distribution::localCount(NodeId p) const
+{
+    GASNUB_ASSERT(p >= 0 && p < procs, "bad processor");
+    if (kind == DistKind::Block) {
+        const std::uint64_t b = blockSize(*this);
+        const std::uint64_t begin = static_cast<std::uint64_t>(p) * b;
+        if (begin >= elements)
+            return 0;
+        return std::min(b, elements - begin);
+    }
+    const std::uint64_t q = elements / procs;
+    const std::uint64_t r = elements % procs;
+    return q + (static_cast<std::uint64_t>(p) < r ? 1 : 0);
+}
+
+RedistPlan
+planRedistribution(const Distribution &from, const Distribution &to)
+{
+    GASNUB_ASSERT(from.elements == to.elements,
+                  "assignment between different array lengths");
+    GASNUB_ASSERT(from.procs >= 1 && to.procs >= 1, "bad proc count");
+
+    RedistPlan plan;
+    plan.from = from;
+    plan.to = to;
+
+    // Bucket the element mapping by (source, destination) pair, in
+    // global element order; each bucket is then split into maximal
+    // constant-stride runs.
+    std::map<std::pair<NodeId, NodeId>,
+             std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        buckets;
+    for (std::uint64_t i = 0; i < from.elements; ++i) {
+        const NodeId p = from.ownerOf(i);
+        const NodeId q = to.ownerOf(i);
+        buckets[{p, q}].emplace_back(from.localIndexOf(i),
+                                     to.localIndexOf(i));
+    }
+
+    for (const auto &[pq, elems] : buckets)
+        detail::coalesceRuns(pq.first, pq.second, elems, plan);
+    return plan;
+}
+
+namespace detail {
+
+void
+coalesceRuns(
+    NodeId src, NodeId dst,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &elems,
+    RedistPlan &plan)
+{
+    std::size_t i = 0;
+    while (i < elems.size()) {
+        // Establish the run's strides from the first two pairs.
+        std::size_t len = 1;
+        std::uint64_t ds = 1;
+        std::uint64_t dd = 1;
+        if (i + 1 < elems.size() &&
+            elems[i + 1].first > elems[i].first &&
+            elems[i + 1].second > elems[i].second) {
+            ds = elems[i + 1].first - elems[i].first;
+            dd = elems[i + 1].second - elems[i].second;
+            len = 2;
+            while (i + len < elems.size() &&
+                   elems[i + len].first == elems[i].first + len * ds &&
+                   elems[i + len].second ==
+                       elems[i].second + len * dd) {
+                ++len;
+            }
+        }
+        RedistTransfer t;
+        t.src = src;
+        t.dst = dst;
+        t.srcLocal = elems[i].first;
+        t.dstLocal = elems[i].second;
+        t.words = len;
+        t.srcStride = ds;
+        t.dstStride = dd;
+        plan.transfers.push_back(t);
+        if (src == dst)
+            plan.localWords += len;
+        else
+            plan.remoteWords += len;
+        i += len;
+    }
+}
+
+} // namespace detail
+
+RedistResult
+executeRedistribution(machine::Machine &m, const RedistPlan &plan,
+                      Addr src_base, Addr dst_base)
+{
+    GASNUB_ASSERT(plan.from.procs <= m.numNodes() &&
+                      plan.to.procs <= m.numNodes(),
+                  "plan does not fit the machine");
+    m.resetAll();
+
+    const auto method = m.nativeMethod();
+    const bool sender_driven =
+        method == remote::TransferMethod::Deposit;
+
+    auto addr_of = [](Addr base, NodeId node, std::uint64_t local) {
+        return base + (static_cast<Addr>(node) << 38) +
+               static_cast<Addr>(node) * 320 + local * wordBytes;
+    };
+
+    std::vector<Tick> cursor(m.numNodes(), 0);
+    Tick end = 0;
+
+    for (const RedistTransfer &t : plan.transfers) {
+        if (t.src == t.dst) {
+            // Local part of the assignment: a plain copy loop.
+            mem::MemoryHierarchy &h = m.node(t.src);
+            h.stallUntil(cursor[t.src]);
+            Tick done = cursor[t.src];
+            for (std::uint64_t k = 0; k < t.words; ++k) {
+                h.read(addr_of(src_base, t.src,
+                               t.srcLocal + k * t.srcStride));
+                done = h.write(addr_of(dst_base, t.dst,
+                                       t.dstLocal + k * t.dstStride));
+            }
+            cursor[t.src] = std::max(cursor[t.src], done);
+            end = std::max(end, done);
+            continue;
+        }
+        remote::TransferRequest req;
+        req.src = t.src;
+        req.dst = t.dst;
+        req.srcAddr = addr_of(src_base, t.src, t.srcLocal);
+        req.dstAddr = addr_of(dst_base, t.dst, t.dstLocal);
+        req.words = t.words;
+        req.srcStride = t.srcStride;
+        req.dstStride = t.dstStride;
+        const NodeId drv = sender_driven ? t.src : t.dst;
+        const Tick done =
+            m.remote().transfer(req, method, cursor[drv]);
+        cursor[drv] = std::max(cursor[drv], done);
+        end = std::max(end, done);
+    }
+
+    RedistResult res;
+    res.elapsed = end;
+    res.bytesMoved =
+        (plan.localWords + plan.remoteWords) * wordBytes;
+    res.mbs = bandwidthMBs(res.bytesMoved, std::max<Tick>(end, 1));
+    res.transfers = plan.transfers.size();
+    return res;
+}
+
+} // namespace gasnub::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * HPF-style array redistribution — the compiler context of the paper.
+ *
+ * The Fx compiler implements "array assignment statements with
+ * distributed arrays (as defined by HPF)" (Section 2.2), and its
+ * Catacomb back-end provides "a general way of generating
+ * communication code for all array assignment statements and array
+ * distributions, not just for transposes" (Section 2.1).
+ *
+ * This module is that generator: given a 1D array distributed BLOCK
+ * or CYCLIC over P processors on each side of an assignment, it
+ * computes the exact set of strided copy transfers that realizes the
+ * redistribution, optionally asks the TransferPlanner which
+ * implementation to use, and executes the transfers on a Machine.
+ */
+
+#ifndef GASNUB_CORE_REDISTRIBUTION_HH
+#define GASNUB_CORE_REDISTRIBUTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "remote/remote_ops.hh"
+
+namespace gasnub::core {
+
+/** HPF distribution kinds for one dimension. */
+enum class DistKind {
+    Block,  ///< processor p owns one contiguous chunk
+    Cyclic, ///< elements dealt round-robin, one at a time
+};
+
+/** Human-readable kind name. */
+const char *distKindName(DistKind k);
+
+/** A distributed 1D array layout. */
+struct Distribution
+{
+    DistKind kind = DistKind::Block;
+    std::uint64_t elements = 0; ///< global array length (words)
+    int procs = 1;              ///< processors it is spread over
+
+    /** Owner of global element @p i. */
+    NodeId ownerOf(std::uint64_t i) const;
+
+    /** Local index of global element @p i at its owner. */
+    std::uint64_t localIndexOf(std::uint64_t i) const;
+
+    /** Number of elements processor @p owns. */
+    std::uint64_t localCount(NodeId p) const;
+};
+
+/**
+ * One strided transfer of the redistribution plan: `words` elements
+ * from `src` to `dst`, with element strides on both sides (in words,
+ * over the local arrays).
+ */
+struct RedistTransfer
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint64_t srcLocal = 0; ///< first local element index at src
+    std::uint64_t dstLocal = 0; ///< first local element index at dst
+    std::uint64_t words = 0;
+    std::uint64_t srcStride = 1;
+    std::uint64_t dstStride = 1;
+};
+
+/** The full communication plan of an assignment. */
+struct RedistPlan
+{
+    Distribution from;
+    Distribution to;
+    std::vector<RedistTransfer> transfers;
+    std::uint64_t localWords = 0;  ///< elements that stay put
+    std::uint64_t remoteWords = 0; ///< elements that cross nodes
+};
+
+/**
+ * Compute the transfer set of `to_array = from_array`.
+ *
+ * The generator coalesces maximal runs with constant source and
+ * destination strides, so BLOCK -> BLOCK yields contiguous bulk
+ * transfers, BLOCK <-> CYCLIC yields stride-P transfers (exactly the
+ * access patterns of the paper's characterization), and the plan is
+ * exact: every global element appears in exactly one transfer or in
+ * the local remainder.
+ */
+RedistPlan planRedistribution(const Distribution &from,
+                              const Distribution &to);
+
+namespace detail {
+
+/**
+ * Split an ordered (source local index, destination local index)
+ * element mapping into maximal constant-stride runs and append them
+ * to @p plan (shared by the 1D and 2D generators).
+ */
+void coalesceRuns(
+    NodeId src, NodeId dst,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &elems,
+    RedistPlan &plan);
+
+} // namespace detail
+
+/** Result of executing a redistribution. */
+struct RedistResult
+{
+    Tick elapsed = 0;
+    std::uint64_t bytesMoved = 0;
+    double mbs = 0;
+    std::size_t transfers = 0;
+};
+
+/**
+ * Execute @p plan on @p m with the machine's native method.
+ *
+ * @param m         The machine (plan procs must match node count).
+ * @param plan      The communication plan.
+ * @param src_base  Base address of each node's source array (the
+ *                  node id is folded into the high address bits).
+ * @param dst_base  Base address of each node's destination array.
+ */
+RedistResult executeRedistribution(machine::Machine &m,
+                                   const RedistPlan &plan,
+                                   Addr src_base = 0,
+                                   Addr dst_base = 1ull << 30);
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_REDISTRIBUTION_HH

@@ -1,0 +1,85 @@
+#include "core/redistribution2d.hh"
+
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace gasnub::core {
+
+Distribution
+Distribution2d::rowDist() const
+{
+    Distribution d;
+    d.kind = rowKind;
+    d.elements = rows;
+    d.procs = procRows;
+    return d;
+}
+
+Distribution
+Distribution2d::colDist() const
+{
+    Distribution d;
+    d.kind = colKind;
+    d.elements = cols;
+    d.procs = procCols;
+    return d;
+}
+
+NodeId
+Distribution2d::ownerOf(std::uint64_t i, std::uint64_t j) const
+{
+    const NodeId pr = rowDist().ownerOf(i);
+    const NodeId pc = colDist().ownerOf(j);
+    return pr * procCols + pc;
+}
+
+std::uint64_t
+Distribution2d::localIndexOf(std::uint64_t i, std::uint64_t j) const
+{
+    const Distribution rd = rowDist();
+    const Distribution cd = colDist();
+    const std::uint64_t li = rd.localIndexOf(i);
+    const std::uint64_t lj = cd.localIndexOf(j);
+    // Leading dimension: the owner's local column count.
+    const std::uint64_t ld = cd.localCount(cd.ownerOf(j));
+    return li * ld + lj;
+}
+
+RedistPlan
+planRedistribution2d(const Distribution2d &from,
+                     const Distribution2d &to, bool transpose)
+{
+    GASNUB_ASSERT(from.rows >= 1 && from.cols >= 1, "empty matrix");
+    if (transpose) {
+        GASNUB_ASSERT(to.rows == from.cols && to.cols == from.rows,
+                      "transpose target must be cols x rows");
+    } else {
+        GASNUB_ASSERT(to.rows == from.rows && to.cols == from.cols,
+                      "assignment between different shapes");
+    }
+
+    RedistPlan plan;
+    plan.from = from.rowDist(); // representative 1D views
+    plan.to = to.rowDist();
+
+    std::map<std::pair<NodeId, NodeId>,
+             std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        buckets;
+    for (std::uint64_t i = 0; i < from.rows; ++i) {
+        for (std::uint64_t j = 0; j < from.cols; ++j) {
+            const NodeId p = from.ownerOf(i, j);
+            const std::uint64_t sl = from.localIndexOf(i, j);
+            const std::uint64_t ti = transpose ? j : i;
+            const std::uint64_t tj = transpose ? i : j;
+            const NodeId q = to.ownerOf(ti, tj);
+            const std::uint64_t dl = to.localIndexOf(ti, tj);
+            buckets[{p, q}].emplace_back(sl, dl);
+        }
+    }
+    for (const auto &[pq, elems] : buckets)
+        detail::coalesceRuns(pq.first, pq.second, elems, plan);
+    return plan;
+}
+
+} // namespace gasnub::core

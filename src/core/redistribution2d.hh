@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Two-dimensional HPF distributions and the transpose-as-assignment
+ * communication generator.
+ *
+ * "The transposes are indicated to the compiler by an assignment
+ * statement of two distributed arrays" (paper Section 2.1).  This
+ * module distributes an R x C matrix over a processor grid with
+ * BLOCK or CYCLIC in each dimension, and generates the exact strided
+ * transfer set of
+ *
+ *     B = A          (re-distribution), or
+ *     B = transpose(A)
+ *
+ * between any two such layouts — the general form of the paper's
+ * 2D-FFT communication steps.
+ */
+
+#ifndef GASNUB_CORE_REDISTRIBUTION2D_HH
+#define GASNUB_CORE_REDISTRIBUTION2D_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/redistribution.hh"
+
+namespace gasnub::core {
+
+/** A distributed 2D array layout over a processor grid. */
+struct Distribution2d
+{
+    DistKind rowKind = DistKind::Block;
+    DistKind colKind = DistKind::Block;
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    int procRows = 1;
+    int procCols = 1;
+
+    /** Total processors in the grid. */
+    int procs() const { return procRows * procCols; }
+
+    /** Owner of element (i, j), row-major over the grid. */
+    NodeId ownerOf(std::uint64_t i, std::uint64_t j) const;
+
+    /**
+     * Linear local index of element (i, j) at its owner (row-major
+     * over the owner's local tile, leading dimension = the owner's
+     * local column count).
+     */
+    std::uint64_t localIndexOf(std::uint64_t i, std::uint64_t j) const;
+
+    /** The 1D distribution of the row dimension. */
+    Distribution rowDist() const;
+    /** The 1D distribution of the column dimension. */
+    Distribution colDist() const;
+};
+
+/**
+ * Generate the transfer set of `B = A` or `B = transpose(A)`.
+ *
+ * @param from      Layout of A (rows x cols).
+ * @param to        Layout of B (must be cols x rows when transposing,
+ *                  rows x cols otherwise).
+ * @param transpose When true, B(j, i) = A(i, j).
+ * @return a plan of maximal constant-stride runs over the local
+ *         linear index spaces; exact (every element in exactly one
+ *         transfer).
+ */
+RedistPlan planRedistribution2d(const Distribution2d &from,
+                                const Distribution2d &to,
+                                bool transpose);
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_REDISTRIBUTION2D_HH

@@ -1,0 +1,171 @@
+#include "core/surface.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace gasnub::core {
+
+Surface::Surface(std::string name,
+                 std::vector<std::uint64_t> working_sets,
+                 std::vector<std::uint64_t> strides)
+    : _name(std::move(name)),
+      _workingSets(std::move(working_sets)),
+      _strides(std::move(strides)),
+      _mbs(_workingSets.size() * _strides.size(), -1.0)
+{
+    GASNUB_ASSERT(!_workingSets.empty() && !_strides.empty(),
+                  "surface grid must be nonempty");
+    GASNUB_ASSERT(std::is_sorted(_workingSets.begin(),
+                                 _workingSets.end()),
+                  "working sets must ascend");
+    GASNUB_ASSERT(std::is_sorted(_strides.begin(), _strides.end()),
+                  "strides must ascend");
+}
+
+std::size_t
+Surface::indexOf(const std::vector<std::uint64_t> &grid,
+                 std::uint64_t value, const char *what) const
+{
+    auto it = std::lower_bound(grid.begin(), grid.end(), value);
+    if (it == grid.end() || *it != value)
+        GASNUB_FATAL(_name, ": ", what, " ", value,
+                     " is not on the surface grid");
+    return static_cast<std::size_t>(it - grid.begin());
+}
+
+void
+Surface::set(std::uint64_t ws_bytes, std::uint64_t stride, double mbs)
+{
+    GASNUB_ASSERT(mbs >= 0, "negative bandwidth");
+    const std::size_t r = indexOf(_workingSets, ws_bytes,
+                                  "working set");
+    const std::size_t c = indexOf(_strides, stride, "stride");
+    _mbs[r * _strides.size() + c] = mbs;
+}
+
+double
+Surface::at(std::uint64_t ws_bytes, std::uint64_t stride) const
+{
+    const std::size_t r = indexOf(_workingSets, ws_bytes,
+                                  "working set");
+    const std::size_t c = indexOf(_strides, stride, "stride");
+    const double v = _mbs[r * _strides.size() + c];
+    GASNUB_ASSERT(v >= 0, _name, ": point (", ws_bytes, ",", stride,
+                  ") not measured yet");
+    return v;
+}
+
+bool
+Surface::complete() const
+{
+    return std::all_of(_mbs.begin(), _mbs.end(),
+                       [](double v) { return v >= 0; });
+}
+
+namespace {
+
+/** Index of the grid cell containing @p v, clamped to the interior. */
+std::size_t
+cellBelow(const std::vector<std::uint64_t> &grid, double v)
+{
+    if (v <= static_cast<double>(grid.front()))
+        return 0;
+    for (std::size_t i = grid.size() - 1; i > 0; --i)
+        if (static_cast<double>(grid[i]) <= v)
+            return std::min(i, grid.size() - 2);
+    return 0;
+}
+
+/** Interpolation weight of @p v between grid[i] and grid[i+1]. */
+double
+logWeight(const std::vector<std::uint64_t> &grid, std::size_t i,
+          double v)
+{
+    if (grid.size() == 1)
+        return 0.0;
+    const double lo = std::log2(static_cast<double>(grid[i]));
+    const double hi = std::log2(static_cast<double>(grid[i + 1]));
+    const double x = std::log2(std::max(v, 1.0));
+    if (x <= lo)
+        return 0.0;
+    if (x >= hi)
+        return 1.0;
+    return (x - lo) / (hi - lo);
+}
+
+} // namespace
+
+double
+Surface::interpolate(double ws_bytes, double stride) const
+{
+    GASNUB_ASSERT(complete(), _name, ": surface incomplete");
+    const std::size_t nr = _workingSets.size();
+    const std::size_t nc = _strides.size();
+    const std::size_t r = nr == 1 ? 0 : cellBelow(_workingSets,
+                                                  ws_bytes);
+    const std::size_t c = nc == 1 ? 0 : cellBelow(_strides, stride);
+    const double wr = nr == 1 ? 0 : logWeight(_workingSets, r,
+                                              ws_bytes);
+    const double wc = nc == 1 ? 0 : logWeight(_strides, c, stride);
+
+    auto at_rc = [&](std::size_t rr, std::size_t cc) {
+        rr = std::min(rr, nr - 1);
+        cc = std::min(cc, nc - 1);
+        return _mbs[rr * nc + cc];
+    };
+    const double v00 = at_rc(r, c);
+    const double v01 = at_rc(r, c + 1);
+    const double v10 = at_rc(r + 1, c);
+    const double v11 = at_rc(r + 1, c + 1);
+    return (1 - wr) * ((1 - wc) * v00 + wc * v01) +
+           wr * ((1 - wc) * v10 + wc * v11);
+}
+
+std::vector<SurfacePoint>
+Surface::points() const
+{
+    std::vector<SurfacePoint> out;
+    out.reserve(_mbs.size());
+    for (std::size_t r = 0; r < _workingSets.size(); ++r)
+        for (std::size_t c = 0; c < _strides.size(); ++c)
+            out.push_back({_workingSets[r], _strides[c],
+                           _mbs[r * _strides.size() + c]});
+    return out;
+}
+
+void
+Surface::print(std::ostream &os) const
+{
+    os << "# " << _name
+       << " — bandwidth (MByte/s), rows: working set, cols: stride\n";
+    os << std::setw(10) << "ws\\stride";
+    for (std::uint64_t s : _strides)
+        os << std::setw(8) << s;
+    os << "\n";
+    for (std::size_t r = 0; r < _workingSets.size(); ++r) {
+        os << std::setw(10) << formatSize(_workingSets[r]);
+        for (std::size_t c = 0; c < _strides.size(); ++c) {
+            const double v = _mbs[r * _strides.size() + c];
+            os << std::setw(8) << std::fixed << std::setprecision(0)
+               << (v < 0 ? 0.0 : v);
+        }
+        os << "\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+double
+Surface::transferSeconds(std::uint64_t bytes, double ws_bytes,
+                         double stride) const
+{
+    const double mbs = interpolate(ws_bytes, stride);
+    GASNUB_ASSERT(mbs > 0, _name, ": zero bandwidth at query point");
+    return static_cast<double>(bytes) / (mbs * 1e6);
+}
+
+} // namespace gasnub::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The characterization surface of the extended copy-transfer model.
+ *
+ * The basic copy-transfer model [Stricker & Gross, ISCA'95]
+ * characterizes a memory system by the asymptotic bandwidth of copy
+ * transfers as a function of the access pattern (stride).  The paper
+ * extends it "by a working set parameter to capture the temporal
+ * locality" — the result is a 2D surface (working set x stride ->
+ * MByte/s), exactly what Figures 1-8 plot.
+ */
+
+#ifndef GASNUB_CORE_SURFACE_HH
+#define GASNUB_CORE_SURFACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gasnub::core {
+
+/** One measured point of a characterization. */
+struct SurfacePoint
+{
+    std::uint64_t wsBytes = 0;
+    std::uint64_t stride = 1;
+    double mbs = 0;
+};
+
+/**
+ * A (working set x stride) -> bandwidth surface.
+ *
+ * Built on a fixed grid; queries between grid points interpolate
+ * bilinearly in log2(working set) x log2(stride) space, which matches
+ * the axes of the paper's figures.
+ */
+class Surface
+{
+  public:
+    /**
+     * @param name          Label, e.g.\ "DEC 8400 local loads".
+     * @param working_sets  Grid of working-set sizes (ascending).
+     * @param strides       Grid of strides (ascending).
+     */
+    Surface(std::string name, std::vector<std::uint64_t> working_sets,
+            std::vector<std::uint64_t> strides);
+
+    const std::string &name() const { return _name; }
+    const std::vector<std::uint64_t> &workingSets() const
+    {
+        return _workingSets;
+    }
+    const std::vector<std::uint64_t> &strides() const
+    {
+        return _strides;
+    }
+
+    /** Store the measured bandwidth at a grid point. */
+    void set(std::uint64_t ws_bytes, std::uint64_t stride, double mbs);
+
+    /** Exact grid lookup; fatal if the point is not on the grid. */
+    double at(std::uint64_t ws_bytes, std::uint64_t stride) const;
+
+    /** @return true once every grid point has been filled. */
+    bool complete() const;
+
+    /**
+     * Bandwidth estimate at an arbitrary (ws, stride), bilinear in
+     * log-log space; clamps outside the grid.
+     */
+    double interpolate(double ws_bytes, double stride) const;
+
+    /** All points in row-major (working set, stride) order. */
+    std::vector<SurfacePoint> points() const;
+
+    /**
+     * Print the surface as the paper's tables: one row per working
+     * set, one column per stride, bandwidth in MByte/s.
+     */
+    void print(std::ostream &os) const;
+
+    /**
+     * Predicted time in seconds to move @p bytes with this access
+     * pattern at working set @p ws_bytes (the cost-model query a
+     * compiler makes).
+     */
+    double transferSeconds(std::uint64_t bytes, double ws_bytes,
+                           double stride) const;
+
+  private:
+    std::size_t indexOf(const std::vector<std::uint64_t> &grid,
+                        std::uint64_t value, const char *what) const;
+
+    std::string _name;
+    std::vector<std::uint64_t> _workingSets;
+    std::vector<std::uint64_t> _strides;
+    std::vector<double> _mbs; ///< row-major, -1 = unset
+};
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_SURFACE_HH

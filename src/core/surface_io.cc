@@ -1,0 +1,114 @@
+#include "core/surface_io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace gasnub::core {
+
+namespace {
+
+constexpr const char *kMagic = "gasnub-surface";
+constexpr int kVersion = 1;
+
+} // namespace
+
+void
+saveSurface(const Surface &s, std::ostream &os)
+{
+    GASNUB_ASSERT(s.complete(), "cannot save an incomplete surface");
+    os << kMagic << " " << kVersion << "\n";
+    os << "name " << s.name() << "\n";
+    os << "workingsets " << s.workingSets().size();
+    for (std::uint64_t w : s.workingSets())
+        os << " " << w;
+    os << "\nstrides " << s.strides().size();
+    for (std::uint64_t st : s.strides())
+        os << " " << st;
+    os << "\ndata\n";
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (std::uint64_t w : s.workingSets()) {
+        bool first = true;
+        for (std::uint64_t st : s.strides()) {
+            os << (first ? "" : " ") << s.at(w, st);
+            first = false;
+        }
+        os << "\n";
+    }
+    os << "end\n";
+}
+
+Surface
+loadSurface(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != kMagic)
+        GASNUB_FATAL("not a gasnub surface stream");
+    if (version != kVersion)
+        GASNUB_FATAL("unsupported surface version ", version);
+
+    std::string key;
+    if (!(is >> key) || key != "name")
+        GASNUB_FATAL("surface stream: expected 'name'");
+    is.ignore(1); // the separating space
+    std::string name;
+    std::getline(is, name);
+
+    std::size_t n = 0;
+    if (!(is >> key >> n) || key != "workingsets" || n == 0)
+        GASNUB_FATAL("surface stream: expected 'workingsets'");
+    std::vector<std::uint64_t> ws(n);
+    for (auto &w : ws)
+        if (!(is >> w))
+            GASNUB_FATAL("surface stream: truncated working sets");
+
+    std::size_t m = 0;
+    if (!(is >> key >> m) || key != "strides" || m == 0)
+        GASNUB_FATAL("surface stream: expected 'strides'");
+    std::vector<std::uint64_t> strides(m);
+    for (auto &st : strides)
+        if (!(is >> st))
+            GASNUB_FATAL("surface stream: truncated strides");
+
+    if (!(is >> key) || key != "data")
+        GASNUB_FATAL("surface stream: expected 'data'");
+
+    Surface s(name, ws, strides);
+    for (std::uint64_t w : ws) {
+        for (std::uint64_t st : strides) {
+            double v = 0;
+            if (!(is >> v))
+                GASNUB_FATAL("surface stream: truncated data");
+            s.set(w, st, v);
+        }
+    }
+    if (!(is >> key) || key != "end")
+        GASNUB_FATAL("surface stream: missing 'end' marker");
+    return s;
+}
+
+void
+saveSurfaceFile(const Surface &s, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        GASNUB_FATAL("cannot open '", path, "' for writing");
+    saveSurface(s, os);
+}
+
+Surface
+loadSurfaceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        GASNUB_FATAL("cannot open '", path, "' for reading");
+    return loadSurface(is);
+}
+
+} // namespace gasnub::core

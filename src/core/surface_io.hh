@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Text serialization of characterization surfaces.
+ *
+ * The paper's workflow is measure-once, decide-often: the compiler
+ * writer runs the micro-benchmarks on a machine and the compiler /
+ * runtime consults the resulting cost model on every communication
+ * step.  Persisting surfaces makes that split concrete: benches save
+ * characterizations, tools and applications load them.
+ *
+ * Format (one surface per stream):
+ *
+ *   gasnub-surface 1
+ *   name <free text until end of line>
+ *   workingsets <n> <ws0> <ws1> ...
+ *   strides <m> <s0> <s1> ...
+ *   data                     # n rows of m bandwidths (MB/s)
+ *   <row 0 ...>
+ *   ...
+ *   end
+ */
+
+#ifndef GASNUB_CORE_SURFACE_IO_HH
+#define GASNUB_CORE_SURFACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/surface.hh"
+
+namespace gasnub::core {
+
+/** Write @p s (which must be complete) to @p os. */
+void saveSurface(const Surface &s, std::ostream &os);
+
+/**
+ * Read one surface from @p is.
+ * Fatal on malformed input (version mismatch, truncated data).
+ */
+Surface loadSurface(std::istream &is);
+
+/** Convenience: save to / load from a file path. */
+void saveSurfaceFile(const Surface &s, const std::string &path);
+Surface loadSurfaceFile(const std::string &path);
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_SURFACE_IO_HH

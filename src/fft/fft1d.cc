@@ -1,0 +1,102 @@
+#include "fft/fft1d.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/logging.hh"
+
+namespace gasnub::fft {
+
+bool
+isPow2(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+void
+fft(Complex *data, std::size_t n, bool inverse)
+{
+    GASNUB_ASSERT(isPow2(n), "FFT length must be a power of two: ", n);
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * std::numbers::pi /
+                           static_cast<double>(len);
+        const Complex wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    fft(data.data(), data.size(), inverse);
+}
+
+std::vector<Complex>
+dft(const std::vector<Complex> &in, bool inverse)
+{
+    const std::size_t n = in.size();
+    std::vector<Complex> out(n, Complex(0, 0));
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = sign * 2.0 * std::numbers::pi *
+                               static_cast<double>(k * j) /
+                               static_cast<double>(n);
+            out[k] += in[j] * Complex(std::cos(ang), std::sin(ang));
+        }
+    }
+    return out;
+}
+
+double
+fftFlops(std::size_t n)
+{
+    GASNUB_ASSERT(isPow2(n), "FFT length must be a power of two");
+    return 5.0 * static_cast<double>(n) *
+           std::log2(static_cast<double>(n));
+}
+
+void
+fft2dReference(std::vector<Complex> &matrix, std::size_t n,
+               bool inverse)
+{
+    GASNUB_ASSERT(matrix.size() == n * n, "matrix size mismatch");
+    // Row FFTs.
+    for (std::size_t r = 0; r < n; ++r)
+        fft(matrix.data() + r * n, n, inverse);
+    // Column FFTs via transpose, row FFTs, transpose back.
+    std::vector<Complex> tmp(n * n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            tmp[c * n + r] = matrix[r * n + c];
+    for (std::size_t r = 0; r < n; ++r)
+        fft(tmp.data() + r * n, n, inverse);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            matrix[c * n + r] = tmp[r * n + c];
+}
+
+} // namespace gasnub::fft

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Complex 1D FFT (radix-2, iterative, in place) and a direct DFT used
+ * as a test oracle.  The paper's application kernel operates "on
+ * complex numbers represented as a pair of 64bit, double precision
+ * floating point numbers" — exactly std::complex<double>.
+ */
+
+#ifndef GASNUB_FFT_FFT1D_HH
+#define GASNUB_FFT_FFT1D_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace gasnub::fft {
+
+using Complex = std::complex<double>;
+
+/** @return true if @p n is a power of two (and nonzero). */
+bool isPow2(std::size_t n);
+
+/**
+ * In-place radix-2 FFT.
+ * @param data    n complex points; n must be a power of two.
+ * @param n       Transform length.
+ * @param inverse When true, computes the (unscaled) inverse
+ *                transform; divide by n afterwards to invert.
+ */
+void fft(Complex *data, std::size_t n, bool inverse = false);
+
+/** Convenience overload over a vector (size must be a power of 2). */
+void fft(std::vector<Complex> &data, bool inverse = false);
+
+/**
+ * Direct O(n^2) DFT, the oracle for tests.
+ * @param in      Input points.
+ * @param inverse Inverse (unscaled) transform when true.
+ * @return the transformed sequence.
+ */
+std::vector<Complex> dft(const std::vector<Complex> &in,
+                         bool inverse = false);
+
+/**
+ * 5 n log2 n — the operation count convention the FFT literature (and
+ * the paper's MFlop/s figures) use for an n-point complex transform.
+ */
+double fftFlops(std::size_t n);
+
+/**
+ * Serial 2D FFT of an n x n row-major matrix (rows, then columns),
+ * used as the oracle for the distributed kernel.
+ */
+void fft2dReference(std::vector<Complex> &matrix, std::size_t n,
+                    bool inverse = false);
+
+} // namespace gasnub::fft
+
+#endif // GASNUB_FFT_FFT1D_HH

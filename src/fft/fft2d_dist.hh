@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The paper's application kernel (Section 7): a distributed 2D-FFT in
+ * four steps — local row FFTs, global row-column transpose, local
+ * column FFTs, global column-row transpose — on an n x n matrix of
+ * complex numbers, block-row distributed over P processors.
+ *
+ * Local 1D FFTs use the vendor-library timing model; the transposes
+ * are compiled to each machine's native transfer primitives:
+ *
+ *  - T3D: contiguous(-ish) local loads + strided remote stores
+ *    ("copy transfers of transposes ... properly optimized using
+ *    strided stores ... at about 55 MByte/s");
+ *  - T3E: shmem_iget-style E-register transfers; complex elements do
+ *    not fit the word-granular primitive, so each block row moves as
+ *    two word-strided transfers whose destination writes land at
+ *    stride 2 — the mismatch that kept the T3E below its expected 3x
+ *    improvement (Section 7.3);
+ *  - DEC 8400: coherent pulls of contiguous row segments plus local
+ *    strided stores by the consumer.
+ *
+ * The same class can also carry out the numeric transform on real
+ * data to validate the kernel against a serial reference FFT.
+ */
+
+#ifndef GASNUB_FFT_FFT2D_DIST_HH
+#define GASNUB_FFT_FFT2D_DIST_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "fft/vendor_model.hh"
+#include "machine/machine.hh"
+#include "sim/types.hh"
+
+namespace gasnub::fft {
+
+/** Parameters of one distributed 2D-FFT run. */
+struct Fft2dConfig
+{
+    std::uint64_t n = 256;     ///< matrix is n x n complex points
+    bool verifyNumerics = false; ///< also transform real data
+    /**
+     * Override the transpose transfer method on the Cray machines
+     * (the Fx back-ends chose deposit on the T3D and fetch on the
+     * T3E; this knob lets a bench validate those choices end to
+     * end). Ignored on the 8400.
+     */
+    std::optional<remote::TransferMethod> methodOverride;
+    /**
+     * Simulation cap on the words moved per transpose block row; 0 =
+     * exact. Timing is extrapolated linearly over the capped part
+     * (used only by the very large scalability runs).
+     */
+    std::uint64_t rowCapWords = 0;
+};
+
+/** Results of one run, in the units of Figures 15-17. */
+struct Fft2dResult
+{
+    double overallMFlops = 0;  ///< total application rate (Fig. 15)
+    double computeMFlops = 0;  ///< total local compute rate (Fig. 16)
+    double commMBs = 0;        ///< total transpose bandwidth (Fig. 17)
+    Tick totalTicks = 0;
+    Tick computeTicks = 0;     ///< wall time of both FFT phases
+    Tick commTicks = 0;        ///< wall time of both transposes
+    std::uint64_t remoteBytes = 0; ///< bytes crossing node boundaries
+    double maxError = 0;       ///< vs. the serial reference FFT
+};
+
+/**
+ * Distributed 2D-FFT kernel bound to one machine.
+ */
+class DistributedFft2d
+{
+  public:
+    /**
+     * @param m The machine to run on (any node count that divides n).
+     */
+    explicit DistributedFft2d(machine::Machine &m);
+
+    /** Override the vendor library model (for ablations). */
+    void setVendorParams(const VendorFftParams &p) { _vendor = p; }
+    const VendorFftParams &vendorParams() const { return _vendor; }
+
+    /**
+     * Run the kernel.
+     * @param cfg Problem size and options.
+     * @return rates and times in the paper's units.
+     */
+    Fft2dResult run(const Fft2dConfig &cfg);
+
+  private:
+    /** Advance every node by one local FFT phase; @return phase end. */
+    Tick computePhase(Tick start, std::uint64_t n);
+
+    /** One global transpose; @return phase end. */
+    Tick transposePhase(Tick start, std::uint64_t n,
+                        std::uint64_t row_cap,
+                        std::uint64_t &remote_bytes);
+
+    /** Base address of a node's matrix region. */
+    Addr regionA(NodeId p) const;
+    Addr regionB(NodeId p) const;
+
+    machine::Machine &_machine;
+    VendorFftParams _vendor;
+    remote::TransferMethod _method =
+        remote::TransferMethod::Deposit;
+};
+
+} // namespace gasnub::fft
+
+#endif // GASNUB_FFT_FFT2D_DIST_HH

@@ -1,0 +1,77 @@
+#include "fft/vendor_model.hh"
+
+#include <cmath>
+
+#include "fft/fft1d.hh"
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace gasnub::fft {
+
+VendorFftParams
+vendorFftParams(machine::SystemKind kind)
+{
+    VendorFftParams p;
+    switch (kind) {
+      case machine::SystemKind::Dec8400:
+        // Large L2 + 4 MB L3: "the row and column FFTs [run] out of
+        // cache rather than out of DRAM memory for the problem sizes
+        // above 256x256" — performance stays level with size.
+        p.inCacheMFlops = 118;
+        p.cacheBytes = 4_MiB;
+        p.streamMBs = 57; // local copy bandwidth
+        p.callOverheadNs = 2500;
+        return p;
+      case machine::SystemKind::CrayT3D:
+        // 8 KB L1 only: performance falls off for large problems.
+        p.inCacheMFlops = 47;
+        p.cacheBytes = 8_KiB;
+        p.streamMBs = 100; // read-ahead + WBQ streamed copies
+        p.callOverheadNs = 4000;
+        return p;
+      case machine::SystemKind::CrayT3E:
+        // "up to 200 MFlop/s per processor possibly due to its better
+        // memory system with streaming units".
+        p.inCacheMFlops = 205;
+        p.cacheBytes = 96_KiB;
+        p.streamMBs = 200; // streamed copy bandwidth
+        p.callOverheadNs = 2000;
+        return p;
+    }
+    GASNUB_PANIC("bad SystemKind");
+}
+
+Tick
+vendorFftTime(const VendorFftParams &p, std::uint64_t n)
+{
+    GASNUB_ASSERT(isPow2(n), "FFT length must be a power of two");
+    GASNUB_ASSERT(p.inCacheMFlops > 0 && p.streamMBs > 0,
+                  "bad vendor FFT parameters");
+    const double flops = fftFlops(n);
+    // Base compute time at the in-cache library rate (in us:
+    // flops / (MFlop/s) = us; ticks are ps).
+    double us = flops / p.inCacheMFlops;
+
+    const double row_bytes = 16.0 * static_cast<double>(n);
+    if (row_bytes > static_cast<double>(p.cacheBytes)) {
+        // Out-of-core structure: ceil(log2 n / log2 B) passes over
+        // the data, each streaming the row in and out of memory.
+        const double in_cache_points =
+            static_cast<double>(p.cacheBytes) / 32.0; // half for data
+        const double passes = std::ceil(
+            std::log2(static_cast<double>(n)) /
+            std::log2(std::max(in_cache_points, 2.0)));
+        us += passes * (2.0 * row_bytes) / p.streamMBs;
+    }
+
+    return static_cast<Tick>(us * 1e6 + p.callOverheadNs * 1e3 + 0.5);
+}
+
+double
+vendorFftMFlops(const VendorFftParams &p, std::uint64_t n)
+{
+    const Tick t = vendorFftTime(p, n);
+    return fftFlops(n) * 1e6 / static_cast<double>(t);
+}
+
+} // namespace gasnub::fft

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Timing model of the vendors' optimized 1D-FFT library routines.
+ *
+ * The paper calls the local 1D-FFT a black box: "we can rely on the
+ * best available library routine ... we measured the routine in [the]
+ * scientific library offered by the vendor as a black box" (§7.1,
+ * §7.3).  Accordingly this model is calibrated per machine rather
+ * than simulated butterfly by butterfly: a row that fits in cache
+ * runs at the machine's peak library rate; larger rows pay
+ * external-memory passes at the streamed copy bandwidth (the classic
+ * out-of-core FFT structure used by blocked library codes).
+ */
+
+#ifndef GASNUB_FFT_VENDOR_MODEL_HH
+#define GASNUB_FFT_VENDOR_MODEL_HH
+
+#include <cstdint>
+
+#include "machine/configs.hh"
+#include "sim/types.hh"
+
+namespace gasnub::fft {
+
+/** Calibrated parameters of one machine's FFT library. */
+struct VendorFftParams
+{
+    /** Library rate for in-cache transforms, MFlop/s per processor. */
+    double inCacheMFlops = 100;
+    /** Cache capacity the library can block for, in bytes. */
+    std::uint64_t cacheBytes = 8192;
+    /** Streamed read+write bandwidth for out-of-cache passes, MB/s. */
+    double streamMBs = 100;
+    /** Fixed per-call overhead, ns (twiddle setup, dispatch). */
+    double callOverheadNs = 2000;
+};
+
+/** Calibrated library parameters for @p kind. */
+VendorFftParams vendorFftParams(machine::SystemKind kind);
+
+/**
+ * Time of one n-point complex 1D FFT on @p kind's node.
+ * @param p Parameters (from vendorFftParams or customized).
+ * @param n Transform length (power of two).
+ * @return simulated ticks for one transform.
+ */
+Tick vendorFftTime(const VendorFftParams &p, std::uint64_t n);
+
+/** Effective MFlop/s of one n-point transform under @p p. */
+double vendorFftMFlops(const VendorFftParams &p, std::uint64_t n);
+
+} // namespace gasnub::fft
+
+#endif // GASNUB_FFT_VENDOR_MODEL_HH

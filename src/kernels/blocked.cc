@@ -1,0 +1,86 @@
+#include "kernels/blocked.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace gasnub::kernels {
+
+const char *
+traversalName(Traversal t)
+{
+    switch (t) {
+      case Traversal::RowMajor: return "row-major";
+      case Traversal::ColumnMajor: return "column-major";
+      case Traversal::Tiled: return "tiled";
+    }
+    GASNUB_PANIC("bad Traversal");
+}
+
+KernelResult
+blockedTranspose(machine::Machine &m, NodeId node,
+                 const BlockedParams &p)
+{
+    GASNUB_ASSERT(p.n >= 1, "empty matrix");
+    GASNUB_ASSERT(p.tile == 0 || p.n % p.tile == 0,
+                  "tile must divide n");
+    const std::uint64_t tile =
+        (p.traversal != Traversal::Tiled || p.tile == 0) ? p.n
+                                                         : p.tile;
+    const std::uint64_t sim_rows =
+        p.capRows == 0 ? p.n
+                       : std::min<std::uint64_t>(
+                             p.n, (p.capRows + tile - 1) / tile * tile);
+    const double scale = static_cast<double>(p.n) /
+                         static_cast<double>(sim_rows);
+
+    m.resetAll();
+    mem::MemoryHierarchy &h = m.node(node);
+    m.resetTiming();
+
+    const std::uint64_t ld = p.leadingDim == 0 ? p.n : p.leadingDim;
+    GASNUB_ASSERT(ld >= p.n, "leading dimension smaller than n");
+    auto src_at = [&](std::uint64_t r, std::uint64_t c) {
+        return p.srcBase + (r * ld + c) * wordBytes;
+    };
+    auto dst_at = [&](std::uint64_t r, std::uint64_t c) {
+        return p.dstBase + (r * ld + c) * wordBytes;
+    };
+
+    // B[j][i] = A[i][j].
+    if (p.traversal == Traversal::ColumnMajor) {
+        // Whole columns: strided reads, contiguous writes.
+        for (std::uint64_t j = 0; j < sim_rows; ++j)
+            for (std::uint64_t i = 0; i < p.n; ++i) {
+                h.read(src_at(i, j));
+                h.write(dst_at(j, i));
+            }
+    } else {
+        // Row-major (tile == n) or tiled.
+        for (std::uint64_t bi = 0; bi < sim_rows; bi += tile) {
+            for (std::uint64_t bj = 0; bj < p.n; bj += tile) {
+                for (std::uint64_t i = bi; i < bi + tile; ++i) {
+                    for (std::uint64_t j = bj; j < bj + tile; ++j) {
+                        h.read(src_at(i, j));
+                        h.write(dst_at(j, i));
+                    }
+                }
+            }
+        }
+    }
+    Tick elapsed = h.drain();
+    if (scale > 1.0) {
+        elapsed = static_cast<Tick>(static_cast<double>(elapsed) *
+                                    scale);
+    }
+
+    KernelResult res;
+    res.accesses = 2 * sim_rows * p.n;
+    res.bytes = p.n * p.n * wordBytes;
+    res.elapsed = elapsed;
+    res.mbs = bandwidthMBs(res.bytes, std::max<Tick>(elapsed, 1));
+    return res;
+}
+
+} // namespace gasnub::kernels

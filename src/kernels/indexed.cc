@@ -1,0 +1,179 @@
+#include "kernels/indexed.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace gasnub::kernels {
+
+const char *
+indexPatternName(IndexPattern p)
+{
+    switch (p) {
+      case IndexPattern::Random: return "random";
+      case IndexPattern::Blocked: return "blocked";
+      case IndexPattern::MostlySequential: return "mostly-sequential";
+    }
+    GASNUB_PANIC("bad IndexPattern");
+}
+
+std::vector<std::uint64_t>
+makeIndexVector(std::uint64_t words, IndexPattern pattern,
+                std::uint64_t seed)
+{
+    GASNUB_ASSERT(words >= 1, "empty index vector");
+    std::vector<std::uint64_t> idx(words);
+    std::iota(idx.begin(), idx.end(), 0);
+    sim::Rng rng(seed);
+
+    switch (pattern) {
+      case IndexPattern::Random:
+        // Fisher-Yates with the deterministic generator.
+        for (std::uint64_t i = words - 1; i > 0; --i) {
+            const std::uint64_t j = rng.below(i + 1);
+            std::swap(idx[i], idx[j]);
+        }
+        break;
+      case IndexPattern::Blocked: {
+        // Shuffle within 8-word (cache-line) blocks only.
+        const std::uint64_t block = 8;
+        for (std::uint64_t b = 0; b < words; b += block) {
+            const std::uint64_t n = std::min(block, words - b);
+            for (std::uint64_t i = n - 1; i > 0; --i) {
+                const std::uint64_t j = rng.below(i + 1);
+                std::swap(idx[b + i], idx[b + j]);
+            }
+        }
+        break;
+      }
+      case IndexPattern::MostlySequential: {
+        // Swap every 16th element with a random far partner.
+        for (std::uint64_t i = 0; i < words; i += 16) {
+            const std::uint64_t j = rng.below(words);
+            std::swap(idx[i], idx[j]);
+        }
+        break;
+      }
+    }
+    return idx;
+}
+
+namespace {
+
+/** Effective working set for indexed runs (same rule as strided). */
+std::uint64_t
+effectiveWords(machine::Machine &m, NodeId node,
+               const IndexedParams &p)
+{
+    KernelParams kp;
+    kp.wsBytes = p.wsBytes;
+    kp.stride = 1;
+    kp.capBytes = p.capBytes;
+    return effectiveWorkingSet(m.node(node), kp) / wordBytes;
+}
+
+} // namespace
+
+KernelResult
+indexedLoadSum(machine::Machine &m, NodeId node,
+               const IndexedParams &p)
+{
+    m.resetAll();
+    mem::MemoryHierarchy &h = m.node(node);
+    const std::uint64_t words = effectiveWords(m, node, p);
+    const auto idx = makeIndexVector(words, p.pattern, p.seed);
+    // The index vector lives behind the data region, skewed by half
+    // an L1 so the two streams do not alias in direct-mapped caches
+    // (real allocators do not phase-align arrays).
+    const Addr idx_base = p.base + words * wordBytes + 4_KiB + 64;
+
+    m.resetTiming();
+    for (std::uint64_t i = 0; i < words; ++i) {
+        h.read(idx_base + i * wordBytes); // stream the index
+        h.read(p.base + idx[i] * wordBytes); // gather the element
+    }
+    const Tick elapsed = h.drain();
+
+    KernelResult res;
+    res.accesses = 2 * words;
+    res.bytes = words * wordBytes; // useful gathered bytes
+    res.elapsed = elapsed;
+    res.mbs = bandwidthMBs(res.bytes, std::max<Tick>(elapsed, 1));
+    return res;
+}
+
+KernelResult
+indexedCopy(machine::Machine &m, NodeId node, const IndexedParams &p,
+            Addr dst_base)
+{
+    m.resetAll();
+    mem::MemoryHierarchy &h = m.node(node);
+    const std::uint64_t words = effectiveWords(m, node, p);
+    GASNUB_ASSERT(dst_base >= p.base + 2 * words * wordBytes ||
+                      p.base >= dst_base + words * wordBytes,
+                  "indexed copy regions overlap");
+    const auto idx = makeIndexVector(words, p.pattern, p.seed);
+    const Addr idx_base = p.base + words * wordBytes + 4_KiB + 64;
+
+    m.resetTiming();
+    for (std::uint64_t i = 0; i < words; ++i) {
+        h.read(idx_base + i * wordBytes);
+        h.read(p.base + idx[i] * wordBytes);
+        h.write(dst_base + i * wordBytes);
+    }
+    const Tick elapsed = h.drain();
+
+    KernelResult res;
+    res.accesses = 3 * words;
+    res.bytes = words * wordBytes;
+    res.elapsed = elapsed;
+    res.mbs = bandwidthMBs(res.bytes, std::max<Tick>(elapsed, 1));
+    return res;
+}
+
+KernelResult
+indexedRemoteTransfer(machine::Machine &m, const IndexedParams &p,
+                      NodeId src, NodeId dst, Addr dst_base)
+{
+    GASNUB_ASSERT(src != dst, "remote transfer needs two nodes");
+    m.resetAll();
+    const std::uint64_t words = effectiveWords(m, src, p);
+    const auto idx = makeIndexVector(words, p.pattern, p.seed);
+
+    m.produce(src, p.base, words);
+    m.barrier();
+    m.resetTiming();
+
+    // An indexed transfer is a sequence of single-element transfers;
+    // consecutive indices that happen to be sequential are batched
+    // into one contiguous request (what a runtime gather would do).
+    remote::RemoteOps &ops = m.remote();
+    const auto method = m.nativeMethod();
+    Tick end = 0;
+    std::uint64_t i = 0;
+    while (i < words) {
+        std::uint64_t run = 1;
+        while (i + run < words && idx[i + run] == idx[i + run - 1] + 1)
+            ++run;
+        remote::TransferRequest req;
+        req.src = src;
+        req.dst = dst;
+        req.srcAddr = p.base + idx[i] * wordBytes;
+        req.dstAddr = dst_base + i * wordBytes;
+        req.words = run;
+        end = std::max(end, ops.transfer(req, method, 0));
+        i += run;
+    }
+
+    KernelResult res;
+    res.accesses = words;
+    res.bytes = words * wordBytes;
+    res.elapsed = end;
+    res.mbs = bandwidthMBs(res.bytes, std::max<Tick>(end, 1));
+    return res;
+}
+
+} // namespace gasnub::kernels

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Indexed (gather/scatter) access-pattern kernels.
+ *
+ * The copy-transfer model covers "contiguous, strided, and indexed
+ * accesses" (paper Section 4); transposes of *sparse* matrices are
+ * "largely determined by the ability of the DRAM memory system to
+ * handle local and remote copy transfers with ... indices" (Section
+ * 6).  These kernels measure the indexed column of that model: loads
+ * and copies driven by an index vector instead of a constant stride.
+ *
+ * Index vectors are generated deterministically (Rng) in three
+ * flavours covering the locality spectrum of sparse codes.
+ */
+
+#ifndef GASNUB_KERNELS_INDEXED_HH
+#define GASNUB_KERNELS_INDEXED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernels.hh"
+#include "machine/machine.hh"
+
+namespace gasnub::kernels {
+
+/** How the index vector is distributed over the working set. */
+enum class IndexPattern {
+    /** Uniform random permutation — no spatial locality at all. */
+    Random,
+    /**
+     * Random within cache-line-sized blocks, blocks in order — the
+     * locality of a banded / reordered sparse matrix.
+     */
+    Blocked,
+    /**
+     * Mostly sequential with occasional far jumps (every 16th index)
+     * — the locality of a well-ordered sparse matrix with fill-in.
+     */
+    MostlySequential,
+};
+
+/** Human-readable pattern name. */
+const char *indexPatternName(IndexPattern p);
+
+/**
+ * Build a deterministic index vector: a permutation of [0, words)
+ * with the requested locality.
+ *
+ * @param words   Number of 64-bit words in the working set.
+ * @param pattern Locality flavour.
+ * @param seed    RNG seed (same seed -> same vector).
+ */
+std::vector<std::uint64_t> makeIndexVector(std::uint64_t words,
+                                           IndexPattern pattern,
+                                           std::uint64_t seed = 42);
+
+/** Parameters of an indexed kernel run. */
+struct IndexedParams
+{
+    Addr base = 0;
+    std::uint64_t wsBytes = 65536;
+    IndexPattern pattern = IndexPattern::Random;
+    std::uint64_t capBytes = 0;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Indexed Load-Sum: gather every word of the working set once,
+ * following the index vector.  The index vector itself is assumed to
+ * stream from memory alongside (each index costs one extra
+ * contiguous word load, as in compiled gather loops).
+ */
+KernelResult indexedLoadSum(machine::Machine &m, NodeId node,
+                            const IndexedParams &p);
+
+/**
+ * Indexed local copy: gather via the index vector, store
+ * contiguously (the sparse transpose inner loop).
+ */
+KernelResult indexedCopy(machine::Machine &m, NodeId node,
+                         const IndexedParams &p, Addr dst_base);
+
+/**
+ * Indexed remote transfer: gather/scatter across nodes following the
+ * index vector, using the machine's native method.
+ */
+KernelResult indexedRemoteTransfer(machine::Machine &m,
+                                   const IndexedParams &p,
+                                   NodeId src, NodeId dst,
+                                   Addr dst_base);
+
+} // namespace gasnub::kernels
+
+#endif // GASNUB_KERNELS_INDEXED_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Calibrated configurations of the three machines the paper measures
+ * (Section 3): the DEC 8400 (AlphaServer 8400, 300 MHz 21164 EV-5),
+ * the Cray T3D (150 MHz 21064 EV-4) and the Cray T3E (300 MHz 21164).
+ *
+ * Cache geometries, clock rates, and policies come straight from the
+ * paper's hardware description; latency/occupancy parameters are
+ * calibrated so the simulated micro-benchmarks land on the measured
+ * plateaus of Figures 1-14 (see EXPERIMENTS.md for paper-vs-model).
+ */
+
+#ifndef GASNUB_MACHINE_CONFIGS_HH
+#define GASNUB_MACHINE_CONFIGS_HH
+
+#include <string>
+
+#include "mem/hierarchy.hh"
+
+namespace gasnub::machine {
+
+/** The three systems evaluated in the paper. */
+enum class SystemKind { Dec8400, CrayT3D, CrayT3E };
+
+/** Human-readable name of a system. */
+std::string systemName(SystemKind kind);
+
+/**
+ * Node-local memory system of the DEC 8400.
+ *
+ * 300 MHz 21164: 8 KB direct-mapped write-through L1 (32 B lines),
+ * 96 KB 3-way write-back unified L2 (64 B lines), 4 MB board-level
+ * write-back L3 of 10 ns SRAM, and bus-attached interleaved DRAM with
+ * "modest stream support for large contiguous transfers".
+ *
+ * @param name Stat-name prefix for this node.
+ */
+mem::HierarchyConfig dec8400Node(const std::string &name = "dec8400");
+
+/**
+ * Node-local memory system of the Cray T3D.
+ *
+ * 150 MHz 21064: 8 KB direct-mapped write-through read-allocate L1
+ * only (32 B lines), a coalescing write-back queue (32-byte entities),
+ * external read-ahead logic for contiguous loads, and fast page-mode
+ * local DRAM.
+ *
+ * @param name Stat-name prefix for this node.
+ */
+mem::HierarchyConfig crayT3dNode(const std::string &name = "t3d");
+
+/**
+ * Node-local memory system of the Cray T3E.
+ *
+ * 300 MHz 21164 (same on-chip L1/L2 as the DEC 8400 node), no L3, six
+ * hardware stream buffers feeding DRAM at high contiguous bandwidth.
+ *
+ * @param name Stat-name prefix for this node.
+ */
+mem::HierarchyConfig crayT3eNode(const std::string &name = "t3e");
+
+/** Node configuration by system kind. */
+mem::HierarchyConfig nodeConfig(SystemKind kind,
+                                const std::string &name);
+
+} // namespace gasnub::machine
+
+#endif // GASNUB_MACHINE_CONFIGS_HH

@@ -1,0 +1,286 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "remote/cray_engine.hh"
+#include "remote/smp_pull.hh"
+#include "sim/logging.hh"
+
+namespace gasnub::machine {
+
+namespace {
+
+/** Factor @p routers into a roughly cubic (x, y, z) torus shape. */
+void
+torusDims(int routers, int &x, int &y, int &z)
+{
+    x = 1;
+    y = 1;
+    z = 1;
+    int *dims[3] = {&x, &y, &z};
+    int next = 0;
+    int remaining = routers;
+    while (remaining > 1) {
+        // Peel the smallest prime factor onto the next dimension.
+        int f = 2;
+        while (f * f <= remaining && remaining % f != 0)
+            ++f;
+        if (f * f > remaining)
+            f = remaining;
+        *dims[next % 3] *= f;
+        remaining /= f;
+        ++next;
+    }
+    // Keep dims sorted descending-ish for short diameters.
+    if (x < y)
+        std::swap(x, y);
+    if (x < z)
+        std::swap(x, z);
+    if (y < z)
+        std::swap(y, z);
+}
+
+} // namespace
+
+noc::TorusConfig
+t3dTorusConfig(int num_nodes)
+{
+    noc::TorusConfig t;
+    t.name = "t3d.torus";
+    t.procsPerNic = 2; // two PEs share one network node on the T3D
+    const int routers = (num_nodes + 1) / 2;
+    torusDims(routers, t.dimX, t.dimY, t.dimZ);
+    t.linkMBs = 175;
+    t.hopNs = 15;
+    t.nicNs = 50;
+    t.headerBytes = 8; // address travels with the data
+    t.partnerSwitchNs = 250;
+    return t;
+}
+
+noc::TorusConfig
+t3eTorusConfig(int num_nodes)
+{
+    noc::TorusConfig t;
+    t.name = "t3e.torus";
+    t.procsPerNic = 1; // every processor has its own network access
+    torusDims(num_nodes, t.dimX, t.dimY, t.dimZ);
+    t.linkMBs = 460;
+    t.hopNs = 10;
+    t.nicNs = 20;
+    t.headerBytes = 8;
+    t.partnerSwitchNs = 150;
+    return t;
+}
+
+bus::BusConfig
+dec8400BusConfig()
+{
+    bus::BusConfig b;
+    b.name = "dec8400.bus";
+    b.arbNs = 40;
+    b.snoopNs = 45;
+    b.interventionNs = 180;
+    b.lineBytes = 64;
+    return b;
+}
+
+remote::CrayEngineConfig
+t3dEngineConfig()
+{
+    remote::CrayEngineConfig e;
+    e.name = "t3d.engine";
+    e.depositViaCpu = true;    // remote stores captured from the WBQ
+    e.blockBytes = 32;
+    e.window = 3;              // shallow external prefetch FIFO
+    e.engineNs = 30;
+    e.requestNs = 60;
+    e.requestBytes = 8;
+    e.captureDepth = 8;
+    // Remote loads go through the transparent blocking path / external
+    // FIFO: a long round trip that the shallow pipeline cannot hide
+    // ("communication performance an order of magnitude below the
+    // network bandwidth" for naive loads, Section 5.4).
+    e.fetchExtraNs = 600;
+    return e;
+}
+
+remote::CrayEngineConfig
+t3eEngineConfig()
+{
+    remote::CrayEngineConfig e;
+    e.name = "t3e.engine";
+    e.depositViaCpu = false;   // E-register gather/scatter
+    e.blockBytes = 64;
+    e.window = 32;             // 512 E-registers pipeline deeply
+    e.engineNs = 15;
+    e.requestNs = 10;
+    e.requestBytes = 8;
+    e.captureDepth = 8;
+    return e;
+}
+
+Machine::Machine(SystemKind kind, int num_nodes)
+    : Machine(kind, num_nodes, nodeConfig(kind, "node"))
+{
+}
+
+namespace {
+
+/** Re-prefix the stat names of a node config with its index. */
+mem::HierarchyConfig
+renameNode(mem::HierarchyConfig cfg, int i)
+{
+    const std::string name = cfg.name + std::to_string(i);
+    cfg.name = name;
+    cfg.cpu.name = name + ".cpu";
+    for (std::size_t l = 0; l < cfg.levels.size(); ++l)
+        cfg.levels[l].cache.name =
+            name + ".l" + std::to_string(l + 1);
+    cfg.dram.name = name + ".dram";
+    cfg.stream.name = name + ".streams";
+    if (cfg.wbq)
+        cfg.wbq->name = name + ".wbq";
+    return cfg;
+}
+
+} // namespace
+
+Machine::Machine(SystemKind kind, int num_nodes,
+                 const mem::HierarchyConfig &node_cfg)
+    : _kind(kind), _stats(systemName(kind))
+{
+    GASNUB_ASSERT(num_nodes >= 1, "need at least one node");
+
+    for (int i = 0; i < num_nodes; ++i) {
+        _nodes.push_back(std::make_unique<mem::MemoryHierarchy>(
+            renameNode(node_cfg, i), &_stats));
+    }
+
+    std::vector<mem::MemoryHierarchy *> raw;
+    raw.reserve(_nodes.size());
+    for (auto &n : _nodes)
+        raw.push_back(n.get());
+
+    switch (kind) {
+      case SystemKind::Dec8400: {
+        GASNUB_ASSERT(num_nodes <= 12,
+                      "a DEC 8400 holds at most 12 processors");
+        mem::DramConfig shared = dec8400Node("shared").dram;
+        shared.name = "dec8400.sharedDram";
+        _sharedMem = std::make_unique<bus::Dec8400Memory>(
+            dec8400BusConfig(), shared, &_stats);
+        for (int i = 0; i < num_nodes; ++i)
+            _sharedMem->attach(i, raw[i]);
+        _remote = std::make_unique<remote::SmpPull>(raw, &_stats);
+        break;
+      }
+      case SystemKind::CrayT3D: {
+        _torus = std::make_unique<noc::Torus>(
+            t3dTorusConfig(num_nodes), &_stats);
+        _remote = std::make_unique<remote::CrayEngine>(
+            t3dEngineConfig(), raw, _torus.get(), &_stats);
+        break;
+      }
+      case SystemKind::CrayT3E: {
+        _torus = std::make_unique<noc::Torus>(
+            t3eTorusConfig(num_nodes), &_stats);
+        _remote = std::make_unique<remote::CrayEngine>(
+            t3eEngineConfig(), raw, _torus.get(), &_stats);
+        break;
+      }
+    }
+}
+
+Machine::~Machine() = default;
+
+mem::MemoryHierarchy &
+Machine::node(NodeId id)
+{
+    GASNUB_ASSERT(id >= 0 && id < numNodes(), "bad node id ", id);
+    return *_nodes[id];
+}
+
+remote::TransferMethod
+Machine::nativeMethod() const
+{
+    switch (_kind) {
+      case SystemKind::Dec8400:
+        return remote::TransferMethod::CoherentPull;
+      case SystemKind::CrayT3D:
+        // "deposits based on remote stores are preferable" (§5.4).
+        return remote::TransferMethod::Deposit;
+      case SystemKind::CrayT3E:
+        // "fetches are more advantageous for even strides" (§5.6);
+        // the Fx back-end generates fetch code for the T3E.
+        return remote::TransferMethod::Fetch;
+    }
+    GASNUB_PANIC("bad SystemKind");
+}
+
+void
+Machine::produce(NodeId id, Addr base, std::uint64_t words)
+{
+    mem::MemoryHierarchy &h = node(id);
+    for (std::uint64_t i = 0; i < words; ++i)
+        h.write(base + i * wordBytes);
+    h.drain();
+}
+
+Tick
+Machine::barrierCost() const
+{
+    switch (_kind) {
+      case SystemKind::Dec8400:
+        // Coherent-memory flag barrier: a few bus round trips.
+        return 5'000'000; // 5 us
+      case SystemKind::CrayT3D:
+        // Dedicated hardware barrier network.
+        return 1'000'000; // 1 us
+      case SystemKind::CrayT3E:
+        // Atomic fetch-and-increment through the E-registers.
+        return 3'000'000; // 3 us
+    }
+    GASNUB_PANIC("bad SystemKind");
+}
+
+Tick
+Machine::barrier()
+{
+    Tick t = 0;
+    for (auto &n : _nodes)
+        t = std::max({t, n->now(), n->lastComplete()});
+    t += barrierCost();
+    for (auto &n : _nodes)
+        n->stallUntil(t);
+    return t;
+}
+
+void
+Machine::resetTiming()
+{
+    for (auto &n : _nodes)
+        n->resetTiming();
+    if (_torus)
+        _torus->reset();
+    if (_sharedMem)
+        _sharedMem->resetTiming();
+    if (_remote)
+        _remote->resetTiming();
+}
+
+void
+Machine::resetAll()
+{
+    for (auto &n : _nodes)
+        n->resetAll();
+    if (_torus)
+        _torus->reset();
+    if (_sharedMem)
+        _sharedMem->resetAll();
+    if (_remote)
+        _remote->resetTiming();
+}
+
+} // namespace gasnub::machine

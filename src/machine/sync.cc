@@ -1,0 +1,71 @@
+#include "machine/sync.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gasnub::machine {
+
+SignalResult
+signalLatency(Machine &m, NodeId src, NodeId dst, Addr flag,
+              Tick start)
+{
+    GASNUB_ASSERT(src != dst, "signal between distinct nodes");
+    SignalResult res;
+
+    // The consumer polls the flag so it is cached locally.
+    mem::MemoryHierarchy &consumer = m.node(dst);
+    consumer.read(flag);
+    consumer.drain();
+
+    if (m.kind() == SystemKind::Dec8400) {
+        // The producer's store gains exclusive ownership and
+        // invalidates the consumer's copy; the consumer's next poll
+        // misses and pulls the line (with the shared-line penalty).
+        mem::MemoryHierarchy &producer = m.node(src);
+        producer.stallUntil(start);
+        res.producerDone = producer.write(flag);
+    } else {
+        // A remote single-word deposit; the fetch/deposit circuitry
+        // invalidates the consumer's cached line as the word lands.
+        remote::TransferRequest req;
+        req.src = src;
+        req.dst = dst;
+        req.srcAddr = flag + 4096; // the value to post, locally held
+        req.dstAddr = flag;
+        req.words = 1;
+        res.producerDone =
+            m.remote().transfer(req, remote::TransferMethod::Deposit, start);
+    }
+
+    // The consumer's poll after the post misses (the line was
+    // invalidated) and observes the new value.
+    consumer.stallUntil(res.producerDone);
+    res.consumerSees = consumer.read(flag);
+    res.latency = res.consumerSees - start;
+    return res;
+}
+
+Tick
+barrierAll(Machine &m, Tick start)
+{
+    for (NodeId p = 0; p < m.numNodes(); ++p)
+        m.node(p).stallUntil(start);
+    return m.barrier();
+}
+
+double
+syncLimitedBandwidth(double raw_mbs, Tick signal_latency,
+                     std::uint64_t block_bytes)
+{
+    GASNUB_ASSERT(raw_mbs > 0 && block_bytes > 0,
+                  "bad sync-limit parameters");
+    const double transfer_s =
+        static_cast<double>(block_bytes) / (raw_mbs * 1e6);
+    const double latency_s =
+        static_cast<double>(signal_latency) * 1e-12;
+    return static_cast<double>(block_bytes) /
+           ((transfer_s + latency_s) * 1e6);
+}
+
+} // namespace gasnub::machine

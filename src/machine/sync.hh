@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synchronization primitives of the direct-deposit model.
+ *
+ * "In the deposit model, control messages, hardware barriers, or
+ * system semaphores are used to deal with explicit synchronization,
+ * and data messages are sent only when the receiver has signaled its
+ * willingness to accept them" (paper Section 2.2).  The three
+ * machines synchronize very differently:
+ *
+ *  - DEC 8400: flags in coherent shared memory — a producer's store
+ *    invalidates the consumer's cached copy; the consumer's next poll
+ *    misses and pulls the new value over the bus;
+ *  - Cray T3D: a dedicated hardware barrier network, plus remote
+ *    word deposits usable as flags;
+ *  - Cray T3E: atomic operations through the E-registers.
+ *
+ * The primitives here put numbers on that difference: the
+ * producer-to-consumer signal latency and the cost of a full barrier,
+ * both of which bound how finely communication can be pipelined.
+ */
+
+#ifndef GASNUB_MACHINE_SYNC_HH
+#define GASNUB_MACHINE_SYNC_HH
+
+#include "machine/machine.hh"
+#include "sim/types.hh"
+
+namespace gasnub::machine {
+
+/** Outcome of one signal measurement. */
+struct SignalResult
+{
+    Tick producerDone = 0; ///< when the producer's signal is posted
+    Tick consumerSees = 0; ///< when the consumer observes it
+    Tick latency = 0;      ///< consumerSees - signal post time
+};
+
+/**
+ * Measure the point-to-point signal latency: node @p src posts a
+ * flag at @p start; node @p dst is polling it.
+ *
+ * On the Crays the flag is a remote word deposit into the consumer's
+ * memory (the deposit circuitry invalidates the polled line, so the
+ * consumer's next poll misses and reads the new value).  On the 8400
+ * the producer's store invalidates the consumer's cached line via
+ * the coherence protocol and the consumer re-fetches it.
+ *
+ * @param m     The machine.
+ * @param src   Producer node.
+ * @param dst   Consumer node.
+ * @param flag  Address of the flag word (in dst's region).
+ * @param start Tick at which the producer posts.
+ */
+SignalResult signalLatency(Machine &m, NodeId src,
+                           NodeId dst, Addr flag, Tick start = 0);
+
+/**
+ * Full-machine barrier cost for @p m (all nodes at @p start).
+ * Uses the machine's native mechanism (Machine::barrierCost).
+ * @return completion tick.
+ */
+Tick barrierAll(Machine &m, Tick start = 0);
+
+/**
+ * The pipelining bound of the deposit model: with per-block
+ * synchronization every @p block_bytes, the effective bandwidth of a
+ * stream at raw rate @p raw_mbs is
+ *   raw / (1 + signal_latency * raw / block).
+ *
+ * @return effective bandwidth in MB/s.
+ */
+double syncLimitedBandwidth(double raw_mbs, Tick signal_latency,
+                            std::uint64_t block_bytes);
+
+} // namespace gasnub::machine
+
+#endif // GASNUB_MACHINE_SYNC_HH

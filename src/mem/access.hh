@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Memory access descriptors and the strided access-pattern generators
+ * used by the paper's micro-benchmarks (Section 4.2).
+ *
+ * The benchmarks operate on 64-bit double words.  A "pattern" visits
+ * every word of a working set exactly once: for a stride s, the region
+ * is swept in s passes, pass o visiting words o, o+s, o+2s, ... This is
+ * the classic strided-bandwidth loop nest and is what gives the
+ * stride-axis slope in Figures 1-8 of the paper.
+ */
+
+#ifndef GASNUB_MEM_ACCESS_HH
+#define GASNUB_MEM_ACCESS_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gasnub::mem {
+
+/** The kind of memory operation. */
+enum class AccessType { Read, Write };
+
+/** One 64-bit-word memory access. */
+struct MemAccess
+{
+    Addr addr;
+    AccessType type;
+};
+
+/**
+ * Generator for the paper's strided sweep: all words of
+ * [base, base + words*8) exactly once, in s passes of stride s.
+ *
+ * Iteration order (stride s, W words):
+ *   pass 0: base+0, base+8s, base+16s, ...
+ *   pass 1: base+8, base+8s+8, ...
+ *   ...
+ * Words beyond the last full stride multiple are still visited (the
+ * per-pass trip count accounts for the region tail).
+ */
+class StridedSweep
+{
+  public:
+    /**
+     * @param base  Byte address of the first word (8-byte aligned).
+     * @param words Number of 64-bit words in the working set (>= 1).
+     * @param stride Stride in words between consecutive accesses (>=1).
+     */
+    StridedSweep(Addr base, std::uint64_t words, std::uint64_t stride)
+        : _base(base), _words(words), _stride(stride)
+    {
+        GASNUB_ASSERT(base % wordBytes == 0, "unaligned base");
+        GASNUB_ASSERT(words >= 1, "empty working set");
+        GASNUB_ASSERT(stride >= 1, "stride must be >= 1");
+    }
+
+    /** Total number of accesses the sweep generates (== words). */
+    std::uint64_t size() const { return _words; }
+
+    /** Stride in words. */
+    std::uint64_t stride() const { return _stride; }
+
+    /**
+     * Address of the i-th access in sweep order.
+     * @param i Access index in [0, size()).
+     */
+    Addr
+    operator[](std::uint64_t i) const
+    {
+        // Number of accesses in one full pass at offset o is
+        // ceil((words - o) / stride); walk passes in order.
+        // To stay O(1), compute directly: the first `longPasses`
+        // passes have `perPassLong` elements.
+        const std::uint64_t per_pass_long =
+            (_words + _stride - 1) / _stride;
+        const std::uint64_t rem = _words % _stride;
+        const std::uint64_t long_passes = rem == 0 ? _stride : rem;
+        std::uint64_t pass, idx;
+        const std::uint64_t long_total = long_passes * per_pass_long;
+        if (i < long_total) {
+            pass = i / per_pass_long;
+            idx = i % per_pass_long;
+        } else {
+            const std::uint64_t j = i - long_total;
+            const std::uint64_t per_pass_short = per_pass_long - 1;
+            pass = long_passes + j / per_pass_short;
+            idx = j % per_pass_short;
+        }
+        const std::uint64_t word = pass + idx * _stride;
+        return _base + word * wordBytes;
+    }
+
+  private:
+    Addr _base;
+    std::uint64_t _words;
+    std::uint64_t _stride;
+};
+
+} // namespace gasnub::mem
+
+#endif // GASNUB_MEM_ACCESS_HH

@@ -1,0 +1,206 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+namespace gasnub::mem {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config, stats::Group *parent)
+    : _config(config),
+      _lineMask(config.lineBytes - 1),
+      _numSets(config.sizeBytes / (config.lineBytes * config.assoc)),
+      _stats(config.name),
+      _hits(&_stats, config.name + ".hits", "accesses that hit"),
+      _misses(&_stats, config.name + ".misses", "accesses that missed"),
+      _writebacks(&_stats, config.name + ".writebacks",
+                  "dirty lines evicted"),
+      _invalidations(&_stats, config.name + ".invalidations",
+                     "lines invalidated")
+{
+    GASNUB_ASSERT(isPow2(config.lineBytes), "line size must be pow2: ",
+                  config.name);
+    GASNUB_ASSERT(config.assoc >= 1, "associativity must be >= 1");
+    GASNUB_ASSERT(config.sizeBytes %
+                      (config.lineBytes * config.assoc) == 0,
+                  "size not divisible by way size: ", config.name);
+    GASNUB_ASSERT(isPow2(_numSets), "number of sets must be pow2: ",
+                  config.name);
+    _lines.resize(_numSets * config.assoc);
+    if (parent)
+        parent->addChild(&_stats);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / _config.lineBytes) & (_numSets - 1);
+}
+
+CacheResult
+Cache::access(Addr addr, AccessType type)
+{
+    CacheResult res;
+    const Addr line = lineAddr(addr);
+    const std::size_t set = setIndex(addr);
+    Line *ways = &_lines[set * _config.assoc];
+
+    // Probe all ways.
+    for (std::uint32_t w = 0; w < _config.assoc; ++w) {
+        Line &l = ways[w];
+        if (l.valid && l.tag == line) {
+            res.hit = true;
+            res.wasDirty = l.dirty;
+            l.lru = ++_lruClock;
+            if (type == AccessType::Write &&
+                _config.writePolicy == WritePolicy::WriteBack) {
+                l.dirty = true;
+            }
+            ++_hits;
+            return res;
+        }
+    }
+
+    ++_misses;
+
+    // Decide whether to allocate.
+    const bool allocate =
+        type == AccessType::Read ||
+        _config.allocPolicy == AllocPolicy::ReadWriteAllocate;
+    if (!allocate)
+        return res;
+
+    // Choose a victim: invalid way first, else LRU.
+    Line *victim = &ways[0];
+    for (std::uint32_t w = 0; w < _config.assoc; ++w) {
+        Line &l = ways[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lru < victim->lru)
+            victim = &l;
+    }
+
+    if (victim->valid && victim->dirty) {
+        res.evictedDirty = true;
+        res.victimAddr = victim->tag;
+        ++_writebacks;
+    }
+
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = type == AccessType::Write &&
+                    _config.writePolicy == WritePolicy::WriteBack;
+    victim->lru = ++_lruClock;
+    res.allocated = true;
+    return res;
+}
+
+CacheResult
+Cache::install(Addr line_addr)
+{
+    CacheResult res;
+    const Addr line = lineAddr(line_addr);
+    const std::size_t set = setIndex(line);
+    Line *ways = &_lines[set * _config.assoc];
+
+    // Already present: just mark dirty.
+    for (std::uint32_t w = 0; w < _config.assoc; ++w) {
+        Line &l = ways[w];
+        if (l.valid && l.tag == line) {
+            l.dirty = true;
+            l.lru = ++_lruClock;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    Line *victim = &ways[0];
+    for (std::uint32_t w = 0; w < _config.assoc; ++w) {
+        Line &l = ways[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lru < victim->lru)
+            victim = &l;
+    }
+    if (victim->valid && victim->dirty) {
+        res.evictedDirty = true;
+        res.victimAddr = victim->tag;
+        ++_writebacks;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = true;
+    victim->lru = ++_lruClock;
+    res.allocated = true;
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr line = addr & ~_lineMask;
+    const std::size_t set = setIndex(addr);
+    const Line *ways = &_lines[set * _config.assoc];
+    for (std::uint32_t w = 0; w < _config.assoc; ++w)
+        if (ways[w].valid && ways[w].tag == line)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr line = addr & ~_lineMask;
+    const std::size_t set = setIndex(addr);
+    Line *ways = &_lines[set * _config.assoc];
+    for (std::uint32_t w = 0; w < _config.assoc; ++w) {
+        Line &l = ways[w];
+        if (l.valid && l.tag == line) {
+            l.valid = false;
+            l.dirty = false;
+            ++_invalidations;
+            return;
+        }
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &l : _lines) {
+        if (l.valid)
+            ++_invalidations;
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+bool
+Cache::clean(Addr addr)
+{
+    const Addr line = addr & ~_lineMask;
+    const std::size_t set = setIndex(addr);
+    Line *ways = &_lines[set * _config.assoc];
+    for (std::uint32_t w = 0; w < _config.assoc; ++w) {
+        Line &l = ways[w];
+        if (l.valid && l.tag == line && l.dirty) {
+            l.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace gasnub::mem

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * A functional set-associative cache tag array with LRU replacement.
+ *
+ * The timing of hits and fills lives in MemoryHierarchy; this class
+ * answers only "hit or miss, and which dirty line got evicted".  It
+ * supports the structures found in the three machines:
+ *   - DEC 21064 / 21164 L1: 8 KB direct-mapped, write-through,
+ *     read-allocate (no write-allocate), 32-byte lines;
+ *   - DEC 21164 L2: 96 KB 3-way, write-back, write-allocate, 64 B;
+ *   - DEC 8400 L3 board cache: 4 MB direct-mapped write-back, 64 B.
+ */
+
+#ifndef GASNUB_MEM_CACHE_HH
+#define GASNUB_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/access.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gasnub::mem {
+
+/** Write hit policy. */
+enum class WritePolicy {
+    WriteThrough, ///< stores always propagate below (21064/21164 L1)
+    WriteBack,    ///< dirty lines written below on eviction
+};
+
+/** Miss allocation policy. */
+enum class AllocPolicy {
+    ReadAllocate,      ///< allocate on read miss only (WT caches)
+    ReadWriteAllocate, ///< allocate on both (WB caches)
+};
+
+/** Static configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 8192;
+    std::uint32_t lineBytes = 32;
+    std::uint32_t assoc = 1; ///< 1 = direct mapped
+    WritePolicy writePolicy = WritePolicy::WriteThrough;
+    AllocPolicy allocPolicy = AllocPolicy::ReadAllocate;
+};
+
+/** Outcome of a single cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool allocated = false;     ///< a new line was brought in
+    bool evictedDirty = false;  ///< a dirty victim must be written back
+    bool wasDirty = false;      ///< line was already dirty before a hit
+    Addr victimAddr = 0;        ///< line address of the dirty victim
+};
+
+/**
+ * Functional cache model.
+ *
+ * All addresses are physical byte addresses; lines are aligned.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param config Geometry and policies.
+     * @param parent Stats group to register under (may be null).
+     */
+    explicit Cache(const CacheConfig &config,
+                   stats::Group *parent = nullptr);
+
+    /**
+     * Perform one access and update tag state.
+     * @param addr Byte address accessed.
+     * @param type Read or Write.
+     * @return hit/miss and eviction information.
+     */
+    CacheResult access(Addr addr, AccessType type);
+
+    /** @return true if the line containing @p addr is present. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Install a full line that arrived as a victim writeback from the
+     * level above (no read-from-below needed; the whole line is
+     * valid). The installed line is dirty.
+     * @param line_addr Line-aligned address.
+     * @return eviction information for cascading writebacks.
+     */
+    CacheResult install(Addr line_addr);
+
+    /** Invalidate the line containing @p addr, if present. */
+    void invalidate(Addr addr);
+
+    /**
+     * Invalidate everything (the T3D invalidates the whole L1 at
+     * synchronization points; see paper Section 3.2).
+     */
+    void invalidateAll();
+
+    /**
+     * Mark the line containing @p addr clean (after an external
+     * writeback, e.g.\ a bus intervention on the DEC 8400).
+     * @return true if the line was present and dirty.
+     */
+    bool clean(Addr addr);
+
+    const CacheConfig &config() const { return _config; }
+
+    /** Line-aligned address for @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~_lineMask; }
+
+    /** Per-cache statistics, registered as "<name>.<stat>". */
+    stats::Group &statsGroup() { return _stats; }
+
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(_hits.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(_misses.value());
+    }
+    std::uint64_t writebacks() const
+    {
+        return static_cast<std::uint64_t>(_writebacks.value());
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0; ///< larger = more recently used
+    };
+
+    std::size_t setIndex(Addr addr) const;
+
+    CacheConfig _config;
+    Addr _lineMask;
+    std::size_t _numSets;
+    std::uint64_t _lruClock = 0;
+    std::vector<Line> _lines; ///< numSets x assoc, row major
+
+    stats::Group _stats;
+    stats::Scalar _hits;
+    stats::Scalar _misses;
+    stats::Scalar _writebacks;
+    stats::Scalar _invalidations;
+};
+
+} // namespace gasnub::mem
+
+#endif // GASNUB_MEM_CACHE_HH

@@ -1,0 +1,160 @@
+#include "mem/dram.hh"
+
+#include "sim/units.hh"
+
+namespace gasnub::mem {
+
+namespace {
+
+Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1000.0 + 0.5);
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Dram::Dram(const DramConfig &config, stats::Group *parent)
+    : _config(config),
+      _rowHitTicks(nsToTicks(config.rowHitNs)),
+      _rowMissTicks(nsToTicks(config.rowMissNs)),
+      _bankBusyTicks(nsToTicks(config.bankBusyNs)),
+      _writeBusyTicks(nsToTicks(config.writeBusyNs >= 0
+                                    ? config.writeBusyNs
+                                    : config.bankBusyNs)),
+      _banks(config.banks),
+      _stats(config.name),
+      _reads(&_stats, config.name + ".reads", "read accesses"),
+      _writes(&_stats, config.name + ".writes", "write accesses"),
+      _rowHits(&_stats, config.name + ".rowHits",
+               "accesses hitting the open row"),
+      _rowMisses(&_stats, config.name + ".rowMisses",
+                 "accesses opening a new row"),
+      _bankConflicts(&_stats, config.name + ".bankConflicts",
+                     "accesses delayed by a busy bank")
+{
+    GASNUB_ASSERT(isPow2(config.banks), "banks must be pow2");
+    GASNUB_ASSERT(isPow2(config.interleaveBytes),
+                  "interleave must be pow2");
+    GASNUB_ASSERT(isPow2(config.rowBytes), "row size must be pow2");
+    GASNUB_ASSERT(config.busMBs > 0, "bus bandwidth must be positive");
+    // The channel and banks are shared between the processor's demand
+    // stream and the network engine's accesses: allow backfill.
+    _bus.enableBackfill();
+    for (Bank &b : _banks)
+        b.busy.enableBackfill();
+    if (parent)
+        parent->addChild(&_stats);
+}
+
+std::uint32_t
+Dram::bankOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / _config.interleaveBytes) & (_config.banks - 1));
+}
+
+std::uint64_t
+Dram::rowOf(Addr addr) const
+{
+    // Within-bank byte address: strip the bank-select bits.
+    const std::uint64_t chunk =
+        addr / (static_cast<std::uint64_t>(_config.interleaveBytes) *
+                _config.banks);
+    const std::uint64_t within =
+        chunk * _config.interleaveBytes + addr % _config.interleaveBytes;
+    return within / _config.rowBytes;
+}
+
+DramResult
+Dram::access(Addr addr, AccessType type, Tick earliest,
+             std::uint32_t bytes)
+{
+    if (type == AccessType::Read)
+        ++_reads;
+    else
+        ++_writes;
+
+    const Tick transfer_t = ticksForBytes(bytes, _config.busMBs);
+
+    // Accesses wider than the full interleave span stripe across all
+    // banks; no single bank serializes them and the row buffers are
+    // streamed (page-mode bursts). Only the channel is charged.
+    if (bytes >= static_cast<std::uint64_t>(_config.interleaveBytes) *
+                     _config.banks) {
+        ++_rowHits;
+        DramResult res;
+        res.rowHit = true;
+        if (_config.splitTransactionChannel) {
+            const Tick cs = _bus.acquire(earliest + _rowHitTicks,
+                                         transfer_t);
+            res.start = earliest;
+            res.dataReady = cs + transfer_t;
+        } else {
+            const Tick cs = _bus.acquire(earliest,
+                                         _rowHitTicks + transfer_t);
+            res.start = cs;
+            res.dataReady = cs + _rowHitTicks + transfer_t;
+        }
+        return res;
+    }
+
+    Bank &bank = _banks[bankOf(addr)];
+    const std::uint64_t row = rowOf(addr);
+
+    const bool row_hit = bank.hasOpenRow && bank.openRow == row;
+    if (row_hit)
+        ++_rowHits;
+    else
+        ++_rowMisses;
+    bank.hasOpenRow = true;
+    bank.openRow = row;
+
+    const Tick service = row_hit ? _rowHitTicks : _rowMissTicks;
+    const Tick transfer = transfer_t;
+    const Tick recovery = type == AccessType::Write ? _writeBusyTicks
+                                                    : _bankBusyTicks;
+
+    if (earliest < bank.busy.freeAt())
+        ++_bankConflicts;
+    // Bank occupied for access + recovery; the single command/data
+    // channel of the node's memory system serializes the row access
+    // plus the transfer (all three machines have one memory port per
+    // node, which is why local copies run at roughly half the pure
+    // load bandwidth — paper Section 6.1).
+    const Tick bank_start = bank.busy.acquire(earliest,
+                                              service + recovery);
+    DramResult res;
+    res.rowHit = row_hit;
+    if (_config.splitTransactionChannel) {
+        const Tick chan_start =
+            _bus.acquire(bank_start + service, transfer);
+        res.start = bank_start;
+        res.dataReady = chan_start + transfer;
+    } else {
+        const Tick chan_start = _bus.acquire(bank_start,
+                                             service + transfer);
+        res.start = chan_start;
+        res.dataReady = chan_start + service + transfer;
+    }
+    return res;
+}
+
+void
+Dram::reset()
+{
+    for (Bank &b : _banks) {
+        b.busy.reset();
+        b.hasOpenRow = false;
+        b.openRow = ~0ULL;
+    }
+    _bus.reset();
+}
+
+} // namespace gasnub::mem

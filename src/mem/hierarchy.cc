@@ -1,0 +1,345 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gasnub::mem {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
+                                 stats::Group *parent)
+    : _config(config),
+      _dram(config.dram),
+      _readAhead(config.stream),
+      _readWindow(std::max<std::uint32_t>(config.cpu.readWindow, 1)),
+      _writeWindow(std::max<std::uint32_t>(config.cpu.writeWindow, 1)),
+      _stats(config.name),
+      _reads(&_stats, config.name + ".reads", "word loads issued"),
+      _writes(&_stats, config.name + ".writes", "word stores issued"),
+      _dramLineFills(&_stats, config.name + ".dramLineFills",
+                     "cache lines filled from DRAM")
+{
+    GASNUB_ASSERT(!config.levels.empty(),
+                  "hierarchy needs at least one cache level");
+    GASNUB_ASSERT(config.cpu.clockMhz > 0, "bad clock");
+    _loadIssueTicks = cyclesToTicks(config.cpu.loadIssueCycles);
+    _storeIssueTicks = cyclesToTicks(config.cpu.storeIssueCycles);
+    _dramFrontTicks = nsTicks(config.dramFrontNs);
+    _dramBackTicks = nsTicks(config.dramBackNs);
+    _streamLineTicks =
+        config.streamLineNs > 0 ? nsTicks(config.streamLineNs) : 0;
+
+    for (const LevelConfig &lc : config.levels)
+        _caches.push_back(std::make_unique<Cache>(lc.cache, &_stats));
+    _ports.resize(_caches.size());
+
+    _stats.addChild(&_dram.statsGroup());
+    _stats.addChild(&_readAhead.statsGroup());
+
+    if (config.wbq) {
+        _wbq = std::make_unique<WriteBackQueue>(
+            *config.wbq,
+            [this](Addr chunk, std::uint32_t bytes, Tick start) {
+                return _dram
+                    .access(chunk, AccessType::Write, start, bytes)
+                    .dataReady;
+            },
+            &_stats);
+    }
+
+    if (parent)
+        parent->addChild(&_stats);
+}
+
+Tick
+MemoryHierarchy::cyclesToTicks(double cycles) const
+{
+    return static_cast<Tick>(cycles * 1e6 / _config.cpu.clockMhz + 0.5);
+}
+
+Tick
+MemoryHierarchy::nsTicks(double ns) const
+{
+    return static_cast<Tick>(ns * 1000.0 + 0.5);
+}
+
+Cache &
+MemoryHierarchy::level(std::size_t i)
+{
+    GASNUB_ASSERT(i < _caches.size(), "bad cache level ", i);
+    return *_caches[i];
+}
+
+mem::DramResult
+MemoryHierarchy::memorySide(Addr addr, FetchIntent intent, Tick earliest,
+                            std::uint32_t bytes)
+{
+    if (_dramHook)
+        return _dramHook(addr, intent, earliest, bytes);
+    const AccessType t = intent == FetchIntent::Write
+                             ? AccessType::Write
+                             : AccessType::Read;
+    return _dram.access(addr, t, earliest, bytes);
+}
+
+Tick
+MemoryHierarchy::dramLineRead(Addr line_addr, std::uint32_t line_bytes,
+                              Tick issue, bool &covered, bool exclusive)
+{
+    ++_dramLineFills;
+    const StreamHit sh = _readAhead.note(line_addr, line_bytes);
+    covered = sh.covered;
+
+    Tick earliest;
+    if (sh.covered) {
+        // Decoupled prefetch: the next fill issues one pipelined line
+        // interval after the previous one, bounded by how far ahead of
+        // the processor the stream engine may run.
+        const Tick pipelined =
+            _readAhead.lastStart(sh.slot) + _streamLineTicks;
+        const Tick lookahead =
+            static_cast<Tick>(_config.streamDepth) * _streamLineTicks;
+        const Tick floor = issue > lookahead ? issue - lookahead : 0;
+        earliest = std::max(pipelined, floor);
+    } else {
+        earliest = issue + _dramFrontTicks;
+    }
+
+    const DramResult dr = memorySide(
+        line_addr,
+        exclusive ? FetchIntent::ReadExclusive : FetchIntent::Read,
+        earliest, line_bytes);
+    if (sh.covered)
+        _readAhead.setLastStart(sh.slot, dr.start);
+
+    Tick ready = dr.dataReady + _dramBackTicks;
+    const Tick min_use = issue + cyclesToTicks(1);
+    return std::max(ready, min_use);
+}
+
+Tick
+MemoryHierarchy::serveRead(std::size_t level, Addr addr, Tick issue,
+                           std::size_t &served_level, bool &covered,
+                           bool exclusive)
+{
+    const std::size_t n = _caches.size();
+    if (level == n) {
+        served_level = n;
+        const std::uint32_t line_bytes =
+            _config.levels.back().cache.lineBytes;
+        const Addr line = addr & ~static_cast<Addr>(line_bytes - 1);
+        return dramLineRead(line, line_bytes, issue, covered, exclusive);
+    }
+
+    const LevelTiming &t = _config.levels[level].timing;
+    const CacheResult r = _caches[level]->access(addr, AccessType::Read);
+    if (r.hit) {
+        served_level = level;
+        const Tick occ = nsTicks(t.hitOccupancyNs);
+        const Tick start = _ports[level].acquire(issue, occ);
+        return std::max(start + occ, issue + nsTicks(t.hitNs));
+    }
+
+    const Tick below = serveRead(level + 1, addr, issue, served_level,
+                                 covered, exclusive);
+    if (r.evictedDirty)
+        postWriteback(level, r.victimAddr, below);
+
+    const Tick fill_occ = nsTicks(t.fillOccupancyNs);
+    const Tick start = _ports[level].acquire(below, fill_occ);
+    return start + fill_occ;
+}
+
+void
+MemoryHierarchy::postWriteback(std::size_t from_level, Addr victim_line,
+                               Tick earliest)
+{
+    const std::size_t target = from_level + 1;
+    const std::uint32_t line_bytes =
+        _config.levels[from_level].cache.lineBytes;
+    if (target == _caches.size()) {
+        // Last-level victim goes to DRAM; posted write, occupies the
+        // bank and bus but never blocks the demand path directly.
+        memorySide(victim_line, FetchIntent::Write, earliest,
+                   line_bytes);
+        return;
+    }
+    const LevelTiming &t = _config.levels[target].timing;
+    const CacheResult r = _caches[target]->install(victim_line);
+    _ports[target].acquire(earliest, nsTicks(t.fillOccupancyNs));
+    if (r.evictedDirty)
+        postWriteback(target, r.victimAddr, earliest);
+}
+
+Tick
+MemoryHierarchy::read(Addr addr)
+{
+    ++_reads;
+    const Tick want = _nextIssue;
+
+    // Functional peek to decide whether this access consumes a slot of
+    // the bounded outstanding-read window.
+    std::size_t peek_level = _caches.size();
+    for (std::size_t k = 0; k < _caches.size(); ++k) {
+        if (_caches[k]->contains(addr)) {
+            peek_level = k;
+            break;
+        }
+    }
+    bool would_cover = false;
+    if (peek_level == _caches.size()) {
+        const std::uint32_t line_bytes =
+            _config.levels.back().cache.lineBytes;
+        const Addr line = addr & ~static_cast<Addr>(line_bytes - 1);
+        would_cover = _readAhead.wouldCover(line);
+    }
+    const bool uses_window =
+        peek_level >= _config.windowFromLevel && !would_cover;
+
+    const Tick issue = uses_window ? _readWindow.admit(want) : want;
+    _nextIssue = issue + _loadIssueTicks;
+
+    std::size_t served = 0;
+    bool covered = false;
+    const Tick ready =
+        serveRead(0, addr, issue, served, covered, false);
+
+    (void)covered;
+    if (uses_window) {
+        _readWindow.complete(ready);
+        if (_config.blockingOffchipReads)
+            _nextIssue = std::max(_nextIssue, ready);
+    }
+    _lastComplete = std::max(_lastComplete, ready);
+    return ready;
+}
+
+Tick
+MemoryHierarchy::serveWrite(std::size_t level, Addr addr, Tick issue,
+                            std::size_t &served_level)
+{
+    const std::size_t n = _caches.size();
+    if (level == n) {
+        // Uncached word-granularity write to DRAM.
+        served_level = n;
+        const DramResult dr = memorySide(
+            addr, FetchIntent::Write, issue + _dramFrontTicks,
+            static_cast<std::uint32_t>(wordBytes));
+        return dr.dataReady;
+    }
+
+    const LevelTiming &t = _config.levels[level].timing;
+    const CacheResult r =
+        _caches[level]->access(addr, AccessType::Write);
+    if (r.hit) {
+        served_level = level;
+        const Tick occ = nsTicks(t.hitOccupancyNs);
+        const Tick start = _ports[level].acquire(issue, occ);
+        Tick done = start + occ;
+        if (_config.levels[level].cache.writePolicy ==
+            WritePolicy::WriteThrough) {
+            // Write-through: the word continues downstream.
+            done = serveWrite(level + 1, addr, issue, served_level);
+        } else if (!r.wasDirty && _dramHook) {
+            // First write to a clean cached line: the coherence
+            // protocol must gain ownership (invalidate other copies).
+            const DramResult up =
+                _dramHook(addr, FetchIntent::Upgrade, issue, 0);
+            done = std::max(done, up.dataReady);
+        }
+        return done;
+    }
+
+    if (r.allocated) {
+        // Write-allocate: fetch the line from below (read for
+        // ownership), then write.
+        std::size_t fill_from = 0;
+        bool covered = false;
+        const Tick below = serveRead(level + 1, addr, issue, fill_from,
+                                     covered, true);
+        served_level = fill_from;
+        if (r.evictedDirty)
+            postWriteback(level, r.victimAddr, below);
+        const Tick fill_occ = nsTicks(t.fillOccupancyNs);
+        const Tick start = _ports[level].acquire(below, fill_occ);
+        return start + fill_occ;
+    }
+
+    // No-write-allocate miss (write-through L1): forward downstream.
+    return serveWrite(level + 1, addr, issue, served_level);
+}
+
+Tick
+MemoryHierarchy::write(Addr addr)
+{
+    ++_writes;
+    const Tick want = _nextIssue;
+
+    if (_wbq) {
+        // T3D path: the write-through L1 updates its copy on a hit and
+        // every store enters the coalescing write-back queue.
+        _caches[0]->access(addr, AccessType::Write);
+        const Tick proceed = _wbq->store(addr, want);
+        _nextIssue = proceed + _storeIssueTicks;
+        _lastComplete = std::max(_lastComplete, proceed);
+        return proceed;
+    }
+
+    const Tick issue = std::max(want, _writeWindow.admit(want));
+    _nextIssue = issue + _storeIssueTicks;
+
+    std::size_t served = 0;
+    const Tick done = serveWrite(0, addr, issue, served);
+    _writeWindow.complete(done);
+    _lastComplete = std::max(_lastComplete, done);
+    return done;
+}
+
+Tick
+MemoryHierarchy::drain()
+{
+    Tick done = std::max(_nextIssue, _lastComplete);
+    if (_wbq)
+        done = std::max(done, _wbq->drainAll(done));
+    _lastComplete = std::max(_lastComplete, done);
+    return done;
+}
+
+void
+MemoryHierarchy::resetTiming()
+{
+    for (Resource &p : _ports)
+        p.reset();
+    _dram.reset();
+    _readAhead.reset();
+    if (_wbq)
+        _wbq->reset();
+    _readWindow.reset();
+    _writeWindow.reset();
+    _nextIssue = 0;
+    _lastComplete = 0;
+}
+
+void
+MemoryHierarchy::resetAll()
+{
+    resetTiming();
+    for (auto &c : _caches)
+        c->invalidateAll();
+}
+
+Tick
+MemoryHierarchy::engineAccess(Addr addr, AccessType type, Tick earliest,
+                              std::uint32_t bytes)
+{
+    return _dram.access(addr, type, earliest, bytes).dataReady;
+}
+
+void
+MemoryHierarchy::invalidateLine(Addr addr)
+{
+    for (auto &c : _caches)
+        c->invalidate(addr);
+}
+
+} // namespace gasnub::mem

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Timing primitives for the pipelined-cost memory model: a calendar
+ * Resource (a port, a DRAM bank, a link) and a bounded
+ * OutstandingWindow that models limited memory-level parallelism
+ * (hit-under-miss / miss-under-miss capacity of the processor).
+ *
+ * A Resource is by default a simple busy-until timeline (requests
+ * served in call order).  Resources shared by *concurrent flows* —
+ * DRAM channels serving the local processor and the network engine,
+ * torus links, NIC ports, the 8400 bus — enable backfill: the
+ * calendar remembers recent idle gaps so a flow whose requests carry
+ * earlier timestamps can claim time the other flow left unused,
+ * instead of being falsely serialized behind it.
+ */
+
+#ifndef GASNUB_MEM_RESOURCE_HH
+#define GASNUB_MEM_RESOURCE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gasnub::mem {
+
+/**
+ * A unit that can serve one request at a time, with optional
+ * gap-backfill for concurrent flows.
+ */
+class Resource
+{
+  public:
+    /**
+     * Enable backfill: keep up to @p max_gaps recent idle intervals
+     * and allow later acquire() calls with earlier timestamps to use
+     * them. Deterministic; single-flow callers are unaffected.
+     */
+    void
+    enableBackfill(std::size_t max_gaps = 16384)
+    {
+        _maxGaps = max_gaps;
+    }
+
+    /**
+     * Reserve the resource.
+     * @param earliest Earliest tick the request may start.
+     * @param occupancy How long the resource stays busy.
+     * @return the tick at which service actually starts.
+     */
+    Tick
+    acquire(Tick earliest, Tick occupancy)
+    {
+        // Backfill fast path: only scan when a fit is possible.  Gap
+        // end times are nondecreasing by construction (new gaps are
+        // appended after the previous busy tail; splits stay in
+        // place), so gaps that end too early are skipped with a
+        // binary search.
+        if (_maxGaps != 0 && !_gaps.empty() &&
+            earliest + occupancy <= _maxGapEnd &&
+            occupancy <= _maxGapLen) {
+            bool fit = false;
+            Tick start = 0;
+            std::size_t lo = 0;
+            std::size_t hi = _gaps.size();
+            const Tick need_end = earliest + occupancy;
+            while (lo < hi) {
+                const std::size_t mid = (lo + hi) / 2;
+                if (_gaps[mid].end < need_end)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            for (std::size_t i = lo; i < _gaps.size(); ++i) {
+                Gap &g = _gaps[i];
+                start = earliest > g.start ? earliest : g.start;
+                if (start + occupancy > g.end)
+                    continue;
+                // Claim [start, start+occupancy) out of the gap.
+                const Tick tail_start = start + occupancy;
+                const Tick tail_end = g.end;
+                if (start > g.start) {
+                    g.end = start;
+                    if (tail_end > tail_start) {
+                        _gaps.insert(_gaps.begin() +
+                                         static_cast<long>(i) + 1,
+                                     Gap{tail_start, tail_end});
+                    }
+                } else if (tail_end > tail_start) {
+                    g.start = tail_start;
+                } else {
+                    _gaps.erase(_gaps.begin() + static_cast<long>(i));
+                }
+                fit = true;
+                break;
+            }
+            if (fit)
+                return start;
+            // A full scan failed; retighten the guards so repeated
+            // doomed scans stay cheap.
+            recomputeGapBounds();
+        }
+
+        const Tick start = earliest > _busyUntil ? earliest
+                                                 : _busyUntil;
+        if (_maxGaps != 0 && start > _busyUntil && _busyUntil > 0) {
+            _gaps.push_back(Gap{_busyUntil, start});
+            if (start > _maxGapEnd)
+                _maxGapEnd = start;
+            if (start - _busyUntil > _maxGapLen)
+                _maxGapLen = start - _busyUntil;
+            if (_gaps.size() > _maxGaps)
+                _gaps.pop_front();
+        }
+        _busyUntil = start + occupancy;
+        return start;
+    }
+
+    /** Next tick at which the resource is free (calendar tail). */
+    Tick freeAt() const { return _busyUntil; }
+
+    /** Forget all reservations (between experiments). */
+    void
+    reset()
+    {
+        _busyUntil = 0;
+        _gaps.clear();
+        _maxGapEnd = 0;
+        _maxGapLen = 0;
+    }
+
+  private:
+    struct Gap
+    {
+        Tick start;
+        Tick end;
+    };
+
+    void
+    recomputeGapBounds()
+    {
+        _maxGapEnd = 0;
+        _maxGapLen = 0;
+        for (const Gap &g : _gaps) {
+            if (g.end > _maxGapEnd)
+                _maxGapEnd = g.end;
+            if (g.end - g.start > _maxGapLen)
+                _maxGapLen = g.end - g.start;
+        }
+    }
+
+    Tick _busyUntil = 0;
+    Tick _maxGapEnd = 0;
+    Tick _maxGapLen = 0;
+    std::size_t _maxGaps = 0;
+    std::deque<Gap> _gaps;
+};
+
+/**
+ * Bounded window of outstanding operations.
+ *
+ * Before issuing a new operation, call admit(): if the window is full,
+ * the issue time is pushed back to the completion of the oldest
+ * outstanding operation. This yields the classic steady state
+ * throughput = max(occupancy, latency / depth) without simulating the
+ * pipeline cycle by cycle.
+ */
+class OutstandingWindow
+{
+  public:
+    /** @param depth Maximum operations in flight (>= 1). */
+    explicit OutstandingWindow(std::size_t depth) : _depth(depth)
+    {
+        GASNUB_ASSERT(depth >= 1, "window depth must be >= 1");
+    }
+
+    /**
+     * Admit a new operation that wants to issue at @p want.
+     * @return the earliest tick the operation may actually issue.
+     */
+    Tick
+    admit(Tick want)
+    {
+        if (_inflight.size() < _depth)
+            return want;
+        Tick oldest = _inflight.front();
+        _inflight.pop_front();
+        return want > oldest ? want : oldest;
+    }
+
+    /** Record the completion time of the operation just issued. */
+    void
+    complete(Tick when)
+    {
+        // Completions are monotone for in-order pipelines; keep the
+        // deque sorted even if a caller violates that slightly.
+        if (!_inflight.empty() && when < _inflight.back())
+            when = _inflight.back();
+        _inflight.push_back(when);
+        while (_inflight.size() > _depth)
+            _inflight.pop_front();
+    }
+
+    /** Maximum in-flight operations. */
+    std::size_t depth() const { return _depth; }
+
+    /** Forget in-flight state (between experiments). */
+    void reset() { _inflight.clear(); }
+
+  private:
+    std::size_t _depth;
+    std::deque<Tick> _inflight;
+};
+
+} // namespace gasnub::mem
+
+#endif // GASNUB_MEM_RESOURCE_HH

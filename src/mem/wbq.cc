@@ -1,0 +1,109 @@
+#include "mem/wbq.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gasnub::mem {
+
+WriteBackQueue::WriteBackQueue(const WbqConfig &config, DrainFn drain,
+                               stats::Group *parent)
+    : _config(config),
+      _drain(std::move(drain)),
+      _stats(config.name),
+      _stores(&_stats, config.name + ".stores", "stores accepted"),
+      _coalesced(&_stats, config.name + ".coalesced",
+                 "stores merged into an open entry"),
+      _entriesCreated(&_stats, config.name + ".entries",
+                      "queue entries created"),
+      _fullStalls(&_stats, config.name + ".fullStalls",
+                  "stores stalled on a full queue")
+{
+    GASNUB_ASSERT(_drain, "write-back queue needs a drain function");
+    GASNUB_ASSERT(config.depth >= 1, "queue depth must be >= 1");
+    GASNUB_ASSERT(config.chunkBytes >= wordBytes &&
+                      config.chunkBytes % wordBytes == 0,
+                  "chunk size must be a multiple of the word size");
+    if (parent)
+        parent->addChild(&_stats);
+}
+
+void
+WriteBackQueue::closeOpenEntry()
+{
+    if (!_openValid)
+        return;
+    // Entries drain as soon as they close; downstream resources (the
+    // DRAM channel, the network links) provide the serialization, so
+    // independent entries pipeline.
+    const Tick done = _drain(_openChunk, _openBytes, _openIssue);
+    if (done > _lastDrainComplete)
+        _lastDrainComplete = done;
+    // Keep the in-flight list sorted so full-queue stalls pick the
+    // right completion even when drains complete out of order.
+    auto it = _inflight.end();
+    while (it != _inflight.begin() && *(it - 1) > done)
+        --it;
+    _inflight.insert(it, done);
+    _openValid = false;
+}
+
+Tick
+WriteBackQueue::store(Addr addr, Tick issue)
+{
+    ++_stores;
+    const Addr chunk = addr & ~static_cast<Addr>(_config.chunkBytes - 1);
+
+    // Coalesce into the open entry only for contiguous writes into the
+    // same chunk, as the T3D hardware does.
+    if (_openValid && chunk == _openChunk && addr == _openNextAddr &&
+        _openBytes < _config.chunkBytes) {
+        _openBytes += wordBytes;
+        _openNextAddr += wordBytes;
+        ++_coalesced;
+        return issue;
+    }
+
+    closeOpenEntry();
+
+    // Retire completed drains, then stall if the queue is still full.
+    while (!_inflight.empty() && _inflight.front() <= issue)
+        _inflight.pop_front();
+    Tick proceed = issue;
+    if (_inflight.size() >= _config.depth) {
+        const std::size_t excess = _inflight.size() - _config.depth;
+        proceed = _inflight[excess];
+        ++_fullStalls;
+        while (!_inflight.empty() && _inflight.front() <= proceed)
+            _inflight.pop_front();
+    }
+
+    _openValid = true;
+    _openChunk = chunk;
+    _openNextAddr = addr + wordBytes;
+    _openBytes = wordBytes;
+    _openIssue = proceed;
+    ++_entriesCreated;
+    return proceed;
+}
+
+Tick
+WriteBackQueue::drainAll(Tick from)
+{
+    if (_openValid && _openIssue < from)
+        _openIssue = from;
+    closeOpenEntry();
+    Tick done = _lastDrainComplete > from ? _lastDrainComplete : from;
+    _inflight.clear();
+    return done;
+}
+
+void
+WriteBackQueue::reset()
+{
+    _inflight.clear();
+    _lastDrainComplete = 0;
+    _openValid = false;
+}
+
+} // namespace gasnub::mem

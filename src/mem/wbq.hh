@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The coalescing write-back queue of the Cray T3D node.
+ *
+ * Paper Section 3.2: "The write path contains an on-chip write-back
+ * queue that buffers the high rate processor writes and coalesces them
+ * into 32 bytes entities if they are contiguous."  Remote stores are
+ * captured from this queue by the network interface; local stores drain
+ * to local DRAM.  The queue decouples the processor from store
+ * latency: stores stall only when the queue is full.
+ */
+
+#ifndef GASNUB_MEM_WBQ_HH
+#define GASNUB_MEM_WBQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "mem/access.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gasnub::mem {
+
+/** Static configuration of a write-back queue. */
+struct WbqConfig
+{
+    std::string name = "wbq";
+    std::uint32_t depth = 8;      ///< entries before stores stall
+    std::uint32_t chunkBytes = 32; ///< coalescing granularity
+};
+
+/**
+ * Coalescing store buffer.
+ *
+ * The drain target is a callback so the same queue front-end can drain
+ * to local DRAM (local stores) or be captured by the network interface
+ * (T3D remote deposits).
+ */
+class WriteBackQueue
+{
+  public:
+    /**
+     * Drain function: given (chunk address, coalesced bytes, earliest
+     * start tick) perform the downstream write and return its
+     * completion tick.
+     */
+    using DrainFn =
+        std::function<Tick(Addr, std::uint32_t, Tick)>;
+
+    /**
+     * @param config Queue geometry.
+     * @param drain  Downstream writer.
+     * @param parent Stats group to register under (may be null).
+     */
+    WriteBackQueue(const WbqConfig &config, DrainFn drain,
+                   stats::Group *parent = nullptr);
+
+    /**
+     * Accept one word-sized store.
+     *
+     * @param addr  Byte address of the stored word.
+     * @param issue Tick at which the processor presents the store.
+     * @return the tick at which the processor may proceed (== issue
+     *         unless the queue was full).
+     */
+    Tick store(Addr addr, Tick issue);
+
+    /**
+     * Flush everything (a synchronization point).
+     * @param from Earliest tick the flush may begin.
+     * @return completion tick of the last drain.
+     */
+    Tick drainAll(Tick from);
+
+    /** Forget all state (between experiments). */
+    void reset();
+
+    const WbqConfig &config() const { return _config; }
+
+    std::uint64_t coalescedStores() const
+    {
+        return static_cast<std::uint64_t>(_coalesced.value());
+    }
+    std::uint64_t entries() const
+    {
+        return static_cast<std::uint64_t>(_entriesCreated.value());
+    }
+    std::uint64_t fullStalls() const
+    {
+        return static_cast<std::uint64_t>(_fullStalls.value());
+    }
+
+  private:
+    /** Close the open entry and schedule its drain. */
+    void closeOpenEntry();
+
+    WbqConfig _config;
+    DrainFn _drain;
+
+    /** Completion ticks of entries already handed to the drain. */
+    std::deque<Tick> _inflight;
+    Tick _lastDrainComplete = 0;
+
+    /** The entry currently accepting coalesced stores. */
+    bool _openValid = false;
+    Addr _openChunk = 0;
+    Addr _openNextAddr = 0;
+    std::uint32_t _openBytes = 0;
+    Tick _openIssue = 0;
+
+    stats::Group _stats;
+    stats::Scalar _stores;
+    stats::Scalar _coalesced;
+    stats::Scalar _entriesCreated;
+    stats::Scalar _fullStalls;
+};
+
+} // namespace gasnub::mem
+
+#endif // GASNUB_MEM_WBQ_HH

@@ -1,0 +1,133 @@
+#include "remote/aapc.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace gasnub::remote {
+
+const char *
+aapcScheduleName(AapcSchedule s)
+{
+    switch (s) {
+      case AapcSchedule::ShiftRing: return "shift-ring";
+      case AapcSchedule::PairwiseXor: return "pairwise-xor";
+      case AapcSchedule::NaiveOrdered: return "naive-ordered";
+    }
+    GASNUB_PANIC("bad AapcSchedule");
+}
+
+AapcPlacement
+defaultAapcPlacement()
+{
+    return [](NodeId src, NodeId dst) {
+        // Disjoint, bank-skewed regions per pair.
+        const Addr s = (static_cast<Addr>(src) << 38) +
+                       (static_cast<Addr>(dst) << 30) +
+                       static_cast<Addr>(src) * 320;
+        const Addr d = (static_cast<Addr>(dst) << 38) +
+                       (static_cast<Addr>(src) << 30) +
+                       (1ull << 29) + static_cast<Addr>(dst) * 320;
+        return std::make_pair(s, d);
+    };
+}
+
+namespace {
+
+/** Issue one pairwise block; returns its completion tick. */
+Tick
+sendBlock(RemoteOps &ops, const AapcConfig &cfg,
+          const AapcPlacement &placement, NodeId src, NodeId dst,
+          Tick start)
+{
+    const auto [sa, da] = placement(src, dst);
+    TransferRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.srcAddr = sa;
+    req.dstAddr = da;
+    req.words = cfg.wordsPerPair;
+    req.srcStride = cfg.srcStride;
+    req.dstStride = cfg.dstStride;
+    return ops.transfer(req, cfg.method, start);
+}
+
+} // namespace
+
+AapcResult
+runAapc(RemoteOps &ops, int procs, const AapcConfig &cfg,
+        const AapcPlacement &placement, Tick start)
+{
+    GASNUB_ASSERT(procs >= 2, "AAPC needs at least two nodes");
+    GASNUB_ASSERT(ops.supports(cfg.method), methodName(cfg.method),
+                  " unsupported on this machine");
+    if (cfg.schedule == AapcSchedule::PairwiseXor) {
+        GASNUB_ASSERT((procs & (procs - 1)) == 0,
+                      "pairwise-xor needs a power-of-two node count");
+    }
+
+    AapcResult res;
+    // The driver of each block: sender for deposits, receiver for
+    // fetches and pulls.
+    const bool sender_driven = cfg.method == TransferMethod::Deposit;
+    std::vector<Tick> cursor(procs, start);
+    Tick end = start;
+
+    auto issue = [&](NodeId src, NodeId dst) {
+        const NodeId drv = sender_driven ? src : dst;
+        const Tick t =
+            sendBlock(ops, cfg, placement, src, dst, cursor[drv]);
+        cursor[drv] = std::max(cursor[drv], t);
+        end = std::max(end, t);
+    };
+
+    switch (cfg.schedule) {
+      case AapcSchedule::ShiftRing:
+        for (int r = 1; r < procs; ++r) {
+            ++res.rounds;
+            for (NodeId d = 0; d < procs; ++d) {
+                const NodeId src =
+                    sender_driven ? d : (d + r) % procs;
+                const NodeId dst =
+                    sender_driven ? (d + r) % procs : d;
+                issue(src, dst);
+            }
+        }
+        break;
+      case AapcSchedule::PairwiseXor:
+        for (int r = 1; r < procs; ++r) {
+            ++res.rounds;
+            for (NodeId d = 0; d < procs; ++d) {
+                const NodeId partner = d ^ r;
+                const NodeId src = sender_driven ? d : partner;
+                const NodeId dst = sender_driven ? partner : d;
+                issue(src, dst);
+            }
+        }
+        break;
+      case AapcSchedule::NaiveOrdered:
+        // Every driver walks partners in node order — all drivers
+        // target node 0's region first, then node 1's, ...
+        res.rounds = procs - 1;
+        for (NodeId d = 0; d < procs; ++d) {
+            for (int k = 0; k < procs; ++k) {
+                if (k == d)
+                    continue;
+                const NodeId src = sender_driven ? d : k;
+                const NodeId dst = sender_driven ? k : d;
+                issue(src, dst);
+            }
+        }
+        break;
+    }
+
+    res.elapsed = end - start;
+    res.bytesMoved = static_cast<std::uint64_t>(procs) *
+                     (procs - 1) * cfg.wordsPerPair * wordBytes;
+    res.mbs = bandwidthMBs(res.bytesMoved,
+                           std::max<Tick>(res.elapsed, 1));
+    return res;
+}
+
+} // namespace gasnub::remote

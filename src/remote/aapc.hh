@@ -1,0 +1,96 @@
+/**
+ * @file
+ * All-to-all personalized communication (AAPC) scheduling.
+ *
+ * "These 'all-to-all personalized communication' (AAPC) operations
+ * have received considerable interest by researchers" (paper Section
+ * 6); transposes are the paper's canonical instance, and footnote 1
+ * notes the largest machine "that can route AAPC permutations
+ * without congestion".  This module schedules the P*(P-1) pairwise
+ * exchanges of an AAPC into rounds of disjoint permutations and
+ * drives them through a machine's remote engine.
+ */
+
+#ifndef GASNUB_REMOTE_AAPC_HH
+#define GASNUB_REMOTE_AAPC_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "remote/remote_ops.hh"
+#include "sim/types.hh"
+
+namespace gasnub::remote {
+
+/** How the pairwise exchanges are ordered into rounds. */
+enum class AapcSchedule {
+    /**
+     * Round r: p sends to (p + r) mod P — the shift permutations a
+     * torus routes without congestion; one partner switch per round.
+     */
+    ShiftRing,
+    /**
+     * Round r: p exchanges with p xor r (P must be a power of two) —
+     * the recursive-doubling order of hypercube algorithms.
+     */
+    PairwiseXor,
+    /**
+     * No round structure: every node works through its partners in
+     * node order, so early destinations become hotspots — the
+     * congested baseline.
+     */
+    NaiveOrdered,
+};
+
+/** Human-readable schedule name. */
+const char *aapcScheduleName(AapcSchedule s);
+
+/** Parameters of one AAPC run. */
+struct AapcConfig
+{
+    AapcSchedule schedule = AapcSchedule::ShiftRing;
+    TransferMethod method = TransferMethod::Deposit;
+    /** Words each (src, dst) pair exchanges. */
+    std::uint64_t wordsPerPair = 1024;
+    /** Source/destination strides of each pairwise transfer. */
+    std::uint64_t srcStride = 1;
+    std::uint64_t dstStride = 1;
+};
+
+/** Outcome of one AAPC. */
+struct AapcResult
+{
+    Tick elapsed = 0;
+    std::uint64_t bytesMoved = 0;
+    double mbs = 0;       ///< aggregate bandwidth
+    int rounds = 0;
+};
+
+/**
+ * Callback providing the region addresses of a pairwise block:
+ * given (src, dst), return the base addresses the data moves
+ * between.
+ */
+using AapcPlacement =
+    std::function<std::pair<Addr, Addr>(NodeId, NodeId)>;
+
+/** Default placement: disjoint regions per (src, dst) pair. */
+AapcPlacement defaultAapcPlacement();
+
+/**
+ * Run one AAPC through a remote engine.
+ *
+ * @param ops       The machine's remote engine (must support
+ *                  cfg.method).
+ * @param procs     Number of participating nodes.
+ * @param cfg       Schedule, method, and block shape.
+ * @param placement Address placement of the pairwise blocks.
+ * @param start     Earliest start tick.
+ */
+AapcResult runAapc(RemoteOps &ops, int procs, const AapcConfig &cfg,
+                   const AapcPlacement &placement, Tick start = 0);
+
+} // namespace gasnub::remote
+
+#endif // GASNUB_REMOTE_AAPC_HH

@@ -1,0 +1,54 @@
+#include "remote/smp_pull.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gasnub::remote {
+
+SmpPull::SmpPull(std::vector<mem::MemoryHierarchy *> nodes,
+                 stats::Group *parent)
+    : _nodes(std::move(nodes)),
+      _stats("smpPull"),
+      _pulls(&_stats, "smpPull.transfers", "pull transfers performed"),
+      _wordsMoved(&_stats, "smpPull.wordsMoved", "64-bit words pulled")
+{
+    if (parent)
+        parent->addChild(&_stats);
+}
+
+bool
+SmpPull::supports(TransferMethod method) const
+{
+    return method == TransferMethod::CoherentPull;
+}
+
+Tick
+SmpPull::transfer(const TransferRequest &req, TransferMethod method,
+                  Tick start)
+{
+    GASNUB_ASSERT(method == TransferMethod::CoherentPull,
+                  "SMP supports only coherent pulling");
+    GASNUB_ASSERT(req.dst >= 0 &&
+                      req.dst < static_cast<NodeId>(_nodes.size()),
+                  "bad destination node");
+    ++_pulls;
+    _wordsMoved += static_cast<double>(req.words);
+
+    // The consumer reads the producer's data; the coherency protocol
+    // sources each line from the owner's board or from shared DRAM.
+    mem::MemoryHierarchy *dst = _nodes[req.dst];
+    dst->stallUntil(start);
+    Tick last = start;
+    for (std::uint64_t i = 0; i < req.words; ++i) {
+        last = dst->read(req.srcAddr + i * req.srcStride * wordBytes);
+    }
+    return std::max(last, dst->drain());
+}
+
+void
+SmpPull::resetTiming()
+{
+}
+
+} // namespace gasnub::remote

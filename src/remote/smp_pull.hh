@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The DEC 8400's remote transfer: coherent pulling.
+ *
+ * "The DEC 8400 does not have support for pushing data into memory or
+ * caches of a remote processor" (paper Section 5.2) — the consumer
+ * reads the producer's data through the coherency mechanism, which
+ * detects misses on shared data and pulls cache lines from a DRAM
+ * bank or from the caches of a remote processor board.  The transfer
+ * therefore ends in the consumer's caches; no second copy is made
+ * (uniform address space).
+ */
+
+#ifndef GASNUB_REMOTE_SMP_PULL_HH
+#define GASNUB_REMOTE_SMP_PULL_HH
+
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "remote/remote_ops.hh"
+#include "sim/stats.hh"
+
+namespace gasnub::remote {
+
+/** Consumer-driven coherent pull for bus-based SMPs. */
+class SmpPull : public RemoteOps
+{
+  public:
+    /**
+     * @param nodes  Per-node hierarchies (indexed by NodeId); their
+     *               DRAM hooks must already route to the shared bus.
+     * @param parent Stats group to register under (may be null).
+     */
+    explicit SmpPull(std::vector<mem::MemoryHierarchy *> nodes,
+                     stats::Group *parent = nullptr);
+
+    bool supports(TransferMethod method) const override;
+    Tick transfer(const TransferRequest &req, TransferMethod method,
+                  Tick start) override;
+    void resetTiming() override;
+
+  private:
+    std::vector<mem::MemoryHierarchy *> _nodes;
+    stats::Group _stats;
+    stats::Scalar _pulls;
+    stats::Scalar _wordsMoved;
+};
+
+} // namespace gasnub::remote
+
+#endif // GASNUB_REMOTE_SMP_PULL_HH

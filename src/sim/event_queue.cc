@@ -1,0 +1,86 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gasnub::sim {
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    GASNUB_ASSERT(when >= _now, "event scheduled in the past: when=", when,
+                  " now=", _now);
+    GASNUB_ASSERT(cb, "null event callback");
+    std::uint64_t seq = _nextSeq++;
+    _heap.push(Entry{when, static_cast<int>(prio), seq, std::move(cb)});
+    _live.insert(seq);
+    ++_pending;
+    return seq;
+}
+
+bool
+EventQueue::deschedule(std::uint64_t handle)
+{
+    // Lazy cancellation: the entry stays in the heap and is skipped
+    // when it reaches the top; liveness is tracked in _live.
+    if (_live.erase(handle) == 0)
+        return false;
+    --_pending;
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    while (!_heap.empty()) {
+        Entry top = _heap.top();
+        _heap.pop();
+        if (_live.erase(top.seq) == 0)
+            continue; // cancelled
+        GASNUB_ASSERT(top.when >= _now, "time went backwards");
+        _now = top.when;
+        --_pending;
+        top.cb();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!_heap.empty()) {
+        const Entry &top = _heap.top();
+        if (_live.count(top.seq) == 0) {
+            _heap.pop(); // cancelled
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    if (_now < limit)
+        _now = limit;
+    return _now;
+}
+
+void
+EventQueue::reset()
+{
+    _now = 0;
+    _pending = 0;
+    _live.clear();
+    while (!_heap.empty())
+        _heap.pop();
+}
+
+} // namespace gasnub::sim

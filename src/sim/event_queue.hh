@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A deterministic discrete-event simulation kernel.
+ *
+ * The interconnect models (the DEC 8400 snooping bus and the Cray 3D
+ * torus) are simulated at message granularity on top of this kernel.
+ * Events scheduled for the same tick execute in (priority, insertion
+ * order), which makes every simulation run bit-reproducible.
+ */
+
+#ifndef GASNUB_SIM_EVENT_QUEUE_HH
+#define GASNUB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gasnub::sim {
+
+/** Relative ordering of events scheduled for the same tick. */
+enum class EventPriority : int {
+    High = 0,    ///< e.g.\ link arbitration decisions
+    Default = 1,
+    Low = 2,     ///< e.g.\ statistics sampling
+};
+
+/**
+ * A deterministic event queue.
+ *
+ * Usage: schedule() callbacks at absolute ticks, then run() or
+ * runUntil(). The queue owns no component state; callbacks capture what
+ * they need.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated time in ticks. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb   Callback to invoke.
+     * @param prio Ordering among events at the same tick.
+     * @return a handle that can be passed to deschedule().
+     */
+    std::uint64_t schedule(Tick when, Callback cb,
+                           EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    std::uint64_t
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_now + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @param handle Handle returned by schedule().
+     * @return true if the event was pending and has been cancelled.
+     */
+    bool deschedule(std::uint64_t handle);
+
+    /** @return number of events still pending (excluding cancelled). */
+    std::size_t pending() const { return _pending; }
+
+    /** @return true if no events are pending. */
+    bool empty() const { return _pending == 0; }
+
+    /**
+     * Run until the queue drains.
+     * @return the tick of the last executed event.
+     */
+    Tick run();
+
+    /**
+     * Run events with time <= @p limit; simulated time advances to
+     * @p limit even when the queue drains earlier.
+     * @return the current time after the run.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute exactly one event, if any. @return true if one ran. */
+    bool step();
+
+    /**
+     * Reset time to zero and drop all pending events. Only legal between
+     * independent experiments.
+     */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    /** Min-heap ordering: earliest tick, then priority, then FIFO. */
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::size_t _pending = 0;
+    std::unordered_set<std::uint64_t> _live;
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+};
+
+} // namespace gasnub::sim
+
+#endif // GASNUB_SIM_EVENT_QUEUE_HH

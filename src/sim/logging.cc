@@ -1,0 +1,60 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace gasnub {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Normal;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (globalLevel != LogLevel::Quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg, LogLevel level)
+{
+    if (static_cast<int>(globalLevel) >= static_cast<int>(level))
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace gasnub

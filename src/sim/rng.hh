@@ -1,0 +1,41 @@
+/**
+ * @file
+ * A small, fast, deterministic pseudo-random number generator
+ * (xoshiro256** by Blackman & Vigna). Used by workload generators
+ * (indexed/sparse access patterns) so that experiments never depend on
+ * the host C library's rand().
+ */
+
+#ifndef GASNUB_SIM_RNG_HH
+#define GASNUB_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace gasnub::sim {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value is fine, including 0). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next 64 uniformly random bits. */
+    std::uint64_t next();
+
+    /**
+     * @return a uniform integer in [0, bound) using Lemire's unbiased
+     * rejection method. @p bound must be nonzero.
+     */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform double in [0, 1). */
+    double real();
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace gasnub::sim
+
+#endif // GASNUB_SIM_RNG_HH

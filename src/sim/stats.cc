@@ -1,0 +1,156 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace gasnub::stats {
+
+StatBase::StatBase(Group *group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (group)
+        group->add(this);
+}
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << _value << " # " << desc() << "\n";
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << mean() << " # " << desc()
+       << " (n=" << _count << ")\n";
+}
+
+Distribution::Distribution(Group *group, std::string name,
+                           std::string desc, double min, double max,
+                           int buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      _min(min), _max(max),
+      _width((max - min) / std::max(buckets, 1)),
+      _buckets(static_cast<std::size_t>(std::max(buckets, 1)), 0)
+{
+    GASNUB_ASSERT(max > min, "distribution range empty");
+    GASNUB_ASSERT(buckets >= 1, "distribution needs >= 1 bucket");
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _minSeen = v;
+        _maxSeen = v;
+    } else {
+        _minSeen = std::min(_minSeen, v);
+        _maxSeen = std::max(_maxSeen, v);
+    }
+    ++_count;
+    _sum += v;
+    if (v < _min) {
+        ++_underflow;
+    } else if (v >= _max) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _min) / _width);
+        idx = std::min(idx, _buckets.size() - 1);
+        ++_buckets[idx];
+    }
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " mean="
+       << mean() << " n=" << _count << " min=" << _minSeen
+       << " max=" << _maxSeen << " # " << desc() << "\n";
+    if (_underflow)
+        os << "  " << name() << ".underflow " << _underflow << "\n";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        os << "  " << name() << ".bucket[" << (_min + i * _width) << ","
+           << (_min + (i + 1) * _width) << ") " << _buckets[i] << "\n";
+    }
+    if (_overflow)
+        os << "  " << name() << ".overflow " << _overflow << "\n";
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _count = 0;
+    _sum = 0;
+    _minSeen = 0;
+    _maxSeen = 0;
+}
+
+Group::Group(std::string name) : _name(std::move(name)) {}
+
+Group::~Group() = default;
+
+void
+Group::add(StatBase *stat)
+{
+    GASNUB_ASSERT(stat != nullptr, "null stat");
+    _stats.push_back(stat);
+}
+
+void
+Group::remove(StatBase *stat)
+{
+    _stats.erase(std::remove(_stats.begin(), _stats.end(), stat),
+                 _stats.end());
+}
+
+void
+Group::addChild(Group *child)
+{
+    GASNUB_ASSERT(child != nullptr && child != this, "bad child group");
+    _children.push_back(child);
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    if (!_name.empty() && (!_stats.empty() || !_children.empty()))
+        os << "---------- " << _name << " ----------\n";
+    for (const StatBase *s : _stats)
+        s->print(os);
+    for (const Group *g : _children)
+        g->dump(os);
+}
+
+void
+Group::resetAll()
+{
+    for (StatBase *s : _stats)
+        s->reset();
+    for (Group *g : _children)
+        g->resetAll();
+}
+
+const StatBase *
+Group::find(const std::string &name) const
+{
+    for (const StatBase *s : _stats)
+        if (s->name() == name)
+            return s;
+    for (const Group *g : _children)
+        if (const StatBase *s = g->find(name))
+            return s;
+    return nullptr;
+}
+
+} // namespace gasnub::stats

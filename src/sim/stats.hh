@@ -1,0 +1,181 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's stats framework.
+ *
+ * Components declare named statistics in a Group; harnesses dump them to
+ * a stream after an experiment. All statistics are deterministic
+ * (simulated time only, no wall clock).
+ */
+
+#ifndef GASNUB_SIM_STATS_HH
+#define GASNUB_SIM_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gasnub::stats {
+
+class Group;
+
+/** Base class for all named statistics. */
+class StatBase
+{
+  public:
+    /**
+     * @param group Owning group (registers this stat); may be null.
+     * @param name  Dot-separated stat name, e.g.\ "l1.hits".
+     * @param desc  One-line human description.
+     */
+    StatBase(Group *group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print one or more "name value # desc" lines. */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the initial (zero) state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple counting statistic. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Mean of sampled values (e.g.\ average queue depth). */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _sum = 0; _count = 0; }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * A fixed-bucket histogram over [min, max); samples outside the range go
+ * to underflow/overflow counters.
+ */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param group   Owning group.
+     * @param name    Stat name.
+     * @param desc    Description.
+     * @param min     Inclusive lower bound of the first bucket.
+     * @param max     Exclusive upper bound of the last bucket.
+     * @param buckets Number of equal-width buckets (>= 1).
+     */
+    Distribution(Group *group, std::string name, std::string desc,
+                 double min, double max, int buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minSeen() const { return _minSeen; }
+    double maxSeen() const { return _maxSeen; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double _min;
+    double _max;
+    double _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0;
+    double _minSeen = 0;
+    double _maxSeen = 0;
+};
+
+/**
+ * A named collection of statistics; may nest.
+ *
+ * Groups do not own their stats (stats are members of components); a
+ * group must outlive registration but stats deregister on destruction.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name = "");
+    ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Register/deregister a stat (called by StatBase). */
+    void add(StatBase *stat);
+    void remove(StatBase *stat);
+
+    /** Attach a child group (e.g.\ per-cache-level groups). */
+    void addChild(Group *child);
+
+    /** Dump all stats, prefixed with the group name. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all registered stats (recursively). */
+    void resetAll();
+
+    /** Find a stat by exact name; nullptr if absent. */
+    const StatBase *find(const std::string &name) const;
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> _stats;
+    std::vector<Group *> _children;
+};
+
+} // namespace gasnub::stats
+
+#endif // GASNUB_SIM_STATS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the gasnub simulator.
+ *
+ * Simulated time is counted in processor-independent "ticks"; one tick is
+ * one picosecond, so machines with different clock rates (the 150 MHz
+ * EV-4 of the Cray T3D vs. the 300 MHz EV-5 of the DEC 8400 and T3E) can
+ * be composed in a single simulation without rounding surprises.
+ */
+
+#ifndef GASNUB_SIM_TYPES_HH
+#define GASNUB_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace gasnub {
+
+/** A physical (simulated) memory address, in bytes. */
+using Addr = std::uint64_t;
+
+/** Simulated time in ticks. One tick is one picosecond. */
+using Tick = std::uint64_t;
+
+/** A number of processor clock cycles (frequency-relative). */
+using Cycles = std::uint64_t;
+
+/** Ticks per second: ticks are picoseconds. */
+inline constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** The paper measures everything in 64-bit double words. */
+inline constexpr Addr wordBytes = 8;
+
+/** Identifies a node (processing element) in a parallel machine. */
+using NodeId = int;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalidNode = -1;
+
+/**
+ * Convert a clock frequency in MHz to the tick period of one cycle.
+ *
+ * @param mhz Clock frequency in MHz (e.g.\ 300 for the 21164 parts).
+ * @return Ticks (picoseconds) per clock cycle.
+ */
+constexpr Tick
+clockPeriod(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+} // namespace gasnub
+
+#endif // GASNUB_SIM_TYPES_HH

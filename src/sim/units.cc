@@ -1,0 +1,82 @@
+#include "sim/units.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace gasnub {
+
+double
+bandwidthMBs(std::uint64_t bytes, Tick ticks)
+{
+    GASNUB_ASSERT(ticks > 0, "bandwidth over zero time");
+    // bytes / (ticks * 1e-12 s) / 1e6 = bytes * 1e6 / ticks.
+    return static_cast<double>(bytes) * 1e6 / static_cast<double>(ticks);
+}
+
+Tick
+ticksForBytes(std::uint64_t bytes, double mbs)
+{
+    GASNUB_ASSERT(mbs > 0, "nonpositive bandwidth");
+    double ticks = static_cast<double>(bytes) * 1e6 / mbs;
+    return static_cast<Tick>(std::ceil(ticks));
+}
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    std::ostringstream os;
+    if (bytes == 512) {
+        os << ".5k";
+    } else if (bytes >= 1_GiB && bytes % 1_GiB == 0) {
+        os << (bytes / 1_GiB) << "G";
+    } else if (bytes >= 1_MiB && bytes % 1_MiB == 0) {
+        os << (bytes / 1_MiB) << "M";
+    } else if (bytes >= 1_KiB && bytes % 1_KiB == 0) {
+        os << (bytes / 1_KiB) << "k";
+    } else {
+        os << bytes;
+    }
+    return os.str();
+}
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        GASNUB_FATAL("empty size string");
+    std::size_t pos = 0;
+    double value = 0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception &) {
+        GASNUB_FATAL("malformed size: '", text, "'");
+    }
+    std::uint64_t mult = 1;
+    if (pos < text.size()) {
+        char suffix = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(text[pos])));
+        switch (suffix) {
+          case 'k': mult = 1_KiB; break;
+          case 'm': mult = 1_MiB; break;
+          case 'g': mult = 1_GiB; break;
+          default:
+            GASNUB_FATAL("unknown size suffix in '", text, "'");
+        }
+        if (pos + 1 != text.size() &&
+            !(pos + 2 == text.size() &&
+              std::tolower(static_cast<unsigned char>(text[pos + 1])) ==
+                  'b')) {
+            GASNUB_FATAL("trailing junk in size '", text, "'");
+        }
+    }
+    double bytes = value * static_cast<double>(mult);
+    if (bytes < 0 || bytes != std::floor(bytes))
+        GASNUB_FATAL("size is not a whole byte count: '", text, "'");
+    return static_cast<std::uint64_t>(bytes);
+}
+
+} // namespace gasnub

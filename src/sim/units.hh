@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit helpers: byte-size literals/parsing and bandwidth conversions.
+ *
+ * The paper reports bandwidth in MByte/s (decimal mega) and working sets
+ * in binary kilo/mega bytes (".5k" .. "128M"); these helpers keep that
+ * convention consistent across benches, tests, and examples.
+ */
+
+#ifndef GASNUB_SIM_UNITS_HH
+#define GASNUB_SIM_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace gasnub {
+
+/** Binary kilobytes. */
+constexpr std::uint64_t
+operator"" _KiB(unsigned long long v)
+{
+    return v * 1024ULL;
+}
+
+/** Binary megabytes. */
+constexpr std::uint64_t
+operator"" _MiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024ULL;
+}
+
+/** Binary gigabytes. */
+constexpr std::uint64_t
+operator"" _GiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024ULL * 1024ULL;
+}
+
+/**
+ * Bandwidth in MByte/s for @p bytes moved in @p ticks of simulated time.
+ * Uses decimal MB (1e6 bytes) as the paper does. @p ticks must be > 0.
+ */
+double bandwidthMBs(std::uint64_t bytes, Tick ticks);
+
+/** Ticks needed to move @p bytes at @p mbs MByte/s (rounded up). */
+Tick ticksForBytes(std::uint64_t bytes, double mbs);
+
+/**
+ * Format a byte count in the paper's axis style: ".5k", "64k", "8M" ...
+ * Exact binary multiples only get a suffix; other values print raw.
+ */
+std::string formatSize(std::uint64_t bytes);
+
+/**
+ * Parse a size string such as "512", "64k", "8M", "1G" (case
+ * insensitive suffixes, binary multiples). Fatal on malformed input.
+ */
+std::uint64_t parseSize(const std::string &text);
+
+} // namespace gasnub
+
+#endif // GASNUB_SIM_UNITS_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the characterizer — the benchmark driver of the extended
+ * copy-transfer model — on reduced grids so they run quickly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.hh"
+#include "core/planner.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::core;
+
+CharacterizeConfig
+tinyGrid()
+{
+    CharacterizeConfig cfg;
+    cfg.workingSets = {4_KiB, 64_KiB, 2_MiB};
+    cfg.strides = {1, 8, 64};
+    cfg.capBytes = 2_MiB;
+    return cfg;
+}
+
+TEST(Characterizer, PaperGridsMatchTheFigures)
+{
+    const auto strides = paperStrides();
+    EXPECT_EQ(strides.front(), 1u);
+    EXPECT_EQ(strides.back(), 192u);
+    EXPECT_NE(std::find(strides.begin(), strides.end(), 31),
+              strides.end());
+    const auto ws = paperWorkingSets(8_MiB);
+    EXPECT_EQ(ws.front(), 512u);   // ".5k"
+    EXPECT_EQ(ws.back(), 8_MiB);
+    EXPECT_EQ(ws.size(), 15u);     // powers of two
+}
+
+TEST(Characterizer, LocalLoadSurfaceIsCompleteAndPlateaued)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    Characterizer c(m);
+    Surface s = c.localLoads(0, tinyGrid());
+    EXPECT_TRUE(s.complete());
+    // Cache plateau above DRAM plateau, contiguous above strided.
+    EXPECT_GT(s.at(4_KiB, 8), s.at(2_MiB, 8));
+    EXPECT_GT(s.at(2_MiB, 1), s.at(2_MiB, 64));
+}
+
+TEST(Characterizer, LocalStoreSurfaceComplete)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    Characterizer c(m);
+    Surface s = c.localStores(0, tinyGrid());
+    EXPECT_TRUE(s.complete());
+    EXPECT_GT(s.at(2_MiB, 1), 0);
+}
+
+TEST(Characterizer, CopySurfacesReflectVariantAsymmetry)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    Characterizer c(m);
+    CharacterizeConfig cfg;
+    cfg.workingSets = {2_MiB};
+    cfg.strides = {1, 16};
+    cfg.capBytes = 2_MiB;
+    Surface sload =
+        c.localCopy(0, kernels::CopyVariant::StridedLoads, cfg);
+    Surface sstore =
+        c.localCopy(0, kernels::CopyVariant::StridedStores, cfg);
+    // T3D: strided stores (WBQ) beat strided loads (Figure 10).
+    EXPECT_GT(sstore.at(2_MiB, 16), sload.at(2_MiB, 16));
+    // Contiguous copies agree (same access pattern).
+    EXPECT_NEAR(sstore.at(2_MiB, 1), sload.at(2_MiB, 1),
+                0.05 * sload.at(2_MiB, 1));
+}
+
+TEST(Characterizer, RemoteSurfaceUsesTheRequestedMethod)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    Characterizer c(m);
+    CharacterizeConfig cfg;
+    cfg.workingSets = {256_KiB};
+    cfg.strides = {1, 2, 3};
+    cfg.capBytes = 256_KiB;
+    Surface dep = c.remoteTransfer(remote::TransferMethod::Deposit,
+                                   false, cfg);
+    EXPECT_TRUE(dep.complete());
+    // Figure 8 ripple: odd stride beats even stride.
+    EXPECT_GT(dep.at(256_KiB, 3), 1.4 * dep.at(256_KiB, 2));
+}
+
+TEST(Characterizer, SurfacesFeedThePlannerEndToEnd)
+{
+    // The paper's use case: characterize, then let the compiler pick.
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    Characterizer c(m);
+    CharacterizeConfig cfg;
+    cfg.workingSets = {512_KiB};
+    cfg.strides = {1, 2, 4};
+    cfg.capBytes = 512_KiB;
+
+    TransferPlanner planner;
+    planner.addOption(
+        {"iget (strided loads)", remote::TransferMethod::Fetch, true,
+         c.remoteTransfer(remote::TransferMethod::Fetch, true, cfg)});
+    planner.addOption(
+        {"iput (strided stores)", remote::TransferMethod::Deposit,
+         false,
+         c.remoteTransfer(remote::TransferMethod::Deposit, false,
+                          cfg)});
+
+    // "Fetches are more advantageous for even strides" (Section 5.6).
+    TransferQuery q;
+    q.wsBytes = 512_KiB;
+    q.stride = 2;
+    EXPECT_EQ(planner.best(q).method, remote::TransferMethod::Fetch);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Round-trip and error-handling tests for surface serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/surface_io.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::core;
+
+Surface
+sample()
+{
+    Surface s("DEC 8400 local loads (test)", {512, 1_KiB, 1_MiB},
+              {1, 8, 64});
+    double v = 10.5;
+    for (std::uint64_t w : s.workingSets())
+        for (std::uint64_t st : s.strides())
+            s.set(w, st, v += 1.25);
+    return s;
+}
+
+TEST(SurfaceIo, StreamRoundTripPreservesEverything)
+{
+    const Surface original = sample();
+    std::stringstream ss;
+    saveSurface(original, ss);
+    const Surface loaded = loadSurface(ss);
+
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_EQ(loaded.workingSets(), original.workingSets());
+    EXPECT_EQ(loaded.strides(), original.strides());
+    for (std::uint64_t w : original.workingSets())
+        for (std::uint64_t st : original.strides())
+            EXPECT_DOUBLE_EQ(loaded.at(w, st), original.at(w, st));
+}
+
+TEST(SurfaceIo, NameWithSpacesSurvives)
+{
+    Surface s("a name with   spaces", {1_KiB}, {1});
+    s.set(1_KiB, 1, 3.25);
+    std::stringstream ss;
+    saveSurface(s, ss);
+    EXPECT_EQ(loadSurface(ss).name(), "a name with   spaces");
+}
+
+TEST(SurfaceIo, FileRoundTrip)
+{
+    const Surface original = sample();
+    const std::string path = "/tmp/gasnub_surface_test.txt";
+    saveSurfaceFile(original, path);
+    const Surface loaded = loadSurfaceFile(path);
+    EXPECT_DOUBLE_EQ(loaded.at(1_MiB, 64), original.at(1_MiB, 64));
+    std::remove(path.c_str());
+}
+
+TEST(SurfaceIo, MultipleSurfacesPerStream)
+{
+    std::stringstream ss;
+    saveSurface(sample(), ss);
+    Surface other("second", {2_KiB}, {2});
+    other.set(2_KiB, 2, 99);
+    saveSurface(other, ss);
+
+    const Surface a = loadSurface(ss);
+    const Surface b = loadSurface(ss);
+    EXPECT_EQ(a.name(), sample().name());
+    EXPECT_EQ(b.name(), "second");
+    EXPECT_DOUBLE_EQ(b.at(2_KiB, 2), 99);
+}
+
+using SurfaceIoDeath = ::testing::Test;
+
+TEST(SurfaceIoDeath, RejectsWrongMagic)
+{
+    std::stringstream ss("not-a-surface 1\n");
+    EXPECT_EXIT(loadSurface(ss), ::testing::ExitedWithCode(1),
+                "not a gasnub surface");
+}
+
+TEST(SurfaceIoDeath, RejectsTruncatedData)
+{
+    std::stringstream full;
+    saveSurface(sample(), full);
+    const std::string text = full.str();
+    std::stringstream truncated(
+        text.substr(0, text.size() / 2));
+    EXPECT_EXIT(loadSurface(truncated),
+                ::testing::ExitedWithCode(1), "surface stream");
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the characterization surface and transfer planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/planner.hh"
+#include "core/surface.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::core;
+
+Surface
+rampSurface(const std::string &name, double base)
+{
+    Surface s(name, {1_KiB, 1_MiB}, {1, 8, 64});
+    for (std::uint64_t ws : s.workingSets())
+        for (std::uint64_t st : s.strides())
+            s.set(ws, st, base / static_cast<double>(st));
+    return s;
+}
+
+TEST(Surface, SetAtRoundTrips)
+{
+    Surface s("t", {512, 1_KiB}, {1, 2});
+    EXPECT_FALSE(s.complete());
+    s.set(512, 1, 100);
+    s.set(512, 2, 50);
+    s.set(1_KiB, 1, 80);
+    s.set(1_KiB, 2, 40);
+    EXPECT_TRUE(s.complete());
+    EXPECT_DOUBLE_EQ(s.at(512, 2), 50);
+    EXPECT_DOUBLE_EQ(s.at(1_KiB, 1), 80);
+}
+
+TEST(Surface, InterpolationIsExactOnGridPoints)
+{
+    Surface s = rampSurface("r", 800);
+    for (std::uint64_t ws : s.workingSets())
+        for (std::uint64_t st : s.strides())
+            EXPECT_DOUBLE_EQ(s.interpolate(
+                                 static_cast<double>(ws),
+                                 static_cast<double>(st)),
+                             s.at(ws, st));
+}
+
+TEST(Surface, InterpolationBetweenPointsIsBounded)
+{
+    Surface s = rampSurface("r", 800);
+    const double mid = s.interpolate(64_KiB, 4); // between grid pts
+    EXPECT_GT(mid, 100);  // 800/8
+    EXPECT_LT(mid, 800);  // 800/1
+}
+
+TEST(Surface, InterpolationClampsOutsideGrid)
+{
+    Surface s = rampSurface("r", 800);
+    EXPECT_DOUBLE_EQ(s.interpolate(1, 1), 800);
+    EXPECT_DOUBLE_EQ(s.interpolate(1e12, 1000), 800.0 / 64);
+}
+
+TEST(Surface, PointsEnumeratesRowMajor)
+{
+    Surface s = rampSurface("r", 640);
+    auto pts = s.points();
+    ASSERT_EQ(pts.size(), 6u);
+    EXPECT_EQ(pts[0].wsBytes, 1_KiB);
+    EXPECT_EQ(pts[0].stride, 1u);
+    EXPECT_EQ(pts[5].wsBytes, 1_MiB);
+    EXPECT_EQ(pts[5].stride, 64u);
+}
+
+TEST(Surface, PrintProducesPaperStyleTable)
+{
+    Surface s = rampSurface("My Machine", 640);
+    std::ostringstream os;
+    s.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("My Machine"), std::string::npos);
+    EXPECT_NE(out.find("1k"), std::string::npos);
+    EXPECT_NE(out.find("640"), std::string::npos);
+}
+
+TEST(Surface, TransferSecondsInvertsBandwidth)
+{
+    Surface s = rampSurface("r", 100); // 100 MB/s at stride 1
+    EXPECT_NEAR(s.transferSeconds(100 * 1000 * 1000, 1_KiB, 1), 1.0,
+                1e-9);
+}
+
+TEST(Planner, PicksHighestBandwidthOption)
+{
+    TransferPlanner p;
+    p.addOption({"slow", remote::TransferMethod::Fetch, true,
+                 rampSurface("slow", 100)});
+    p.addOption({"fast", remote::TransferMethod::Deposit, false,
+                 rampSurface("fast", 200)});
+    TransferQuery q;
+    q.bytes = 1 << 20;
+    q.wsBytes = 1_MiB;
+    q.stride = 8;
+    const Plan plan = p.best(q);
+    EXPECT_EQ(plan.label, "fast");
+    EXPECT_EQ(plan.method, remote::TransferMethod::Deposit);
+    EXPECT_DOUBLE_EQ(plan.predictedMBs, 25.0);
+    EXPECT_NEAR(plan.predictedSeconds,
+                (1 << 20) / (25.0 * 1e6), 1e-9);
+}
+
+TEST(Planner, ChoiceMayDependOnStride)
+{
+    // fetch wins at high strides, deposit at low strides — the T3E
+    // even-stride situation in miniature.
+    Surface fetch("fetch", {1_MiB}, {1, 8, 64});
+    fetch.set(1_MiB, 1, 300);
+    fetch.set(1_MiB, 8, 140);
+    fetch.set(1_MiB, 64, 140);
+    Surface deposit("deposit", {1_MiB}, {1, 8, 64});
+    deposit.set(1_MiB, 1, 350);
+    deposit.set(1_MiB, 8, 70);
+    deposit.set(1_MiB, 64, 70);
+
+    TransferPlanner p;
+    p.addOption({"fetch", remote::TransferMethod::Fetch, true, fetch});
+    p.addOption({"deposit", remote::TransferMethod::Deposit, false,
+                 deposit});
+
+    TransferQuery q;
+    q.wsBytes = 1_MiB;
+    q.stride = 1;
+    EXPECT_EQ(p.best(q).label, "deposit");
+    q.stride = 8;
+    EXPECT_EQ(p.best(q).label, "fetch");
+}
+
+TEST(Planner, PredictAllReportsEveryOption)
+{
+    TransferPlanner p;
+    p.addOption({"a", remote::TransferMethod::Fetch, true,
+                 rampSurface("a", 100)});
+    p.addOption({"b", remote::TransferMethod::Deposit, true,
+                 rampSurface("b", 50)});
+    TransferQuery q;
+    q.wsBytes = 1_KiB;
+    q.stride = 1;
+    auto all = p.predictAll(q);
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_DOUBLE_EQ(all[0], 100);
+    EXPECT_DOUBLE_EQ(all[1], 50);
+}
+
+} // namespace
+
+namespace blocked_options {
+
+using namespace gasnub;
+using namespace gasnub::core;
+
+TEST(Planner, BlockedOptionUsesCappedWorkingSet)
+{
+    // A surface that is much faster at small working sets (cache
+    // resident) than at large ones — the 8400 pull shape.
+    Surface s("pull", {1_MiB, 64_MiB}, {1, 16});
+    s.set(1_MiB, 1, 150);
+    s.set(1_MiB, 16, 75);
+    s.set(64_MiB, 1, 140);
+    s.set(64_MiB, 16, 22);
+
+    TransferPlanner p;
+    PlanOption direct{"direct pull",
+                      remote::TransferMethod::CoherentPull, true, s,
+                      0};
+    PlanOption blocked{"L3-blocked pull",
+                       remote::TransferMethod::CoherentPull, true, s,
+                       1_MiB};
+    p.addOption(direct);
+    p.addOption(blocked);
+
+    TransferQuery q;
+    q.bytes = 64_MiB;
+    q.wsBytes = 64_MiB;
+    q.stride = 16;
+    // Section 9: "if a global communication operation can be
+    // partitioned into sub-blocks, cache to cache transfers might
+    // perform better than remote memory copies."
+    const Plan plan = p.best(q);
+    EXPECT_EQ(plan.label, "L3-blocked pull");
+    EXPECT_DOUBLE_EQ(plan.predictedMBs, 75);
+    // Contiguous data does not need the blocking.
+    q.stride = 1;
+    EXPECT_DOUBLE_EQ(p.best(q).predictedMBs, 150);
+}
+
+} // namespace blocked_options

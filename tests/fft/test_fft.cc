@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Numerics tests for the FFT (against a direct DFT oracle) and tests
+ * for the vendor-library timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fft/fft1d.hh"
+#include "fft/vendor_model.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub::fft;
+namespace machine = gasnub::machine;
+namespace sim = gasnub::sim;
+using gasnub::operator""_KiB;
+using gasnub::operator""_MiB;
+
+double
+maxDiff(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+TEST(Fft1d, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(768));
+}
+
+TEST(Fft1d, ImpulseTransformsToConstant)
+{
+    std::vector<Complex> x(8, Complex(0, 0));
+    x[0] = Complex(1, 0);
+    fft(x);
+    for (const Complex &v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft1d, ConstantTransformsToImpulse)
+{
+    std::vector<Complex> x(16, Complex(1, 0));
+    fft(x);
+    EXPECT_NEAR(x[0].real(), 16.0, 1e-12);
+    for (std::size_t i = 1; i < 16; ++i)
+        EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-10);
+}
+
+TEST(Fft1d, ForwardInverseRoundTrip)
+{
+    sim::Rng rng(17);
+    std::vector<Complex> x(256);
+    for (auto &v : x)
+        v = Complex(rng.real() - 0.5, rng.real() - 0.5);
+    std::vector<Complex> y = x;
+    fft(y, false);
+    fft(y, true);
+    for (auto &v : y)
+        v /= 256.0;
+    EXPECT_LT(maxDiff(x, y), 1e-12);
+}
+
+TEST(Fft1d, ParsevalEnergyConservation)
+{
+    sim::Rng rng(23);
+    std::vector<Complex> x(128);
+    double energy_t = 0;
+    for (auto &v : x) {
+        v = Complex(rng.real() - 0.5, rng.real() - 0.5);
+        energy_t += std::norm(v);
+    }
+    fft(x);
+    double energy_f = 0;
+    for (const auto &v : x)
+        energy_f += std::norm(v);
+    EXPECT_NEAR(energy_f, 128.0 * energy_t, 1e-9 * energy_f);
+}
+
+class FftVsDft : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftVsDft, MatchesDirectDft)
+{
+    const std::size_t n = GetParam();
+    sim::Rng rng(n);
+    std::vector<Complex> x(n);
+    for (auto &v : x)
+        v = Complex(rng.real() - 0.5, rng.real() - 0.5);
+    std::vector<Complex> expected = dft(x);
+    fft(x);
+    EXPECT_LT(maxDiff(x, expected), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftVsDft,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 512));
+
+TEST(Fft2d, ReferenceMatchesSeparableDft)
+{
+    const std::size_t n = 8;
+    sim::Rng rng(5);
+    std::vector<Complex> m(n * n);
+    for (auto &v : m)
+        v = Complex(rng.real() - 0.5, rng.real() - 0.5);
+
+    // Oracle: DFT on rows, then DFT on columns.
+    std::vector<Complex> oracle = m;
+    for (std::size_t r = 0; r < n; ++r) {
+        std::vector<Complex> row(oracle.begin() + r * n,
+                                 oracle.begin() + (r + 1) * n);
+        row = dft(row);
+        std::copy(row.begin(), row.end(), oracle.begin() + r * n);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+        std::vector<Complex> col(n);
+        for (std::size_t r = 0; r < n; ++r)
+            col[r] = oracle[r * n + c];
+        col = dft(col);
+        for (std::size_t r = 0; r < n; ++r)
+            oracle[r * n + c] = col[r];
+    }
+
+    fft2dReference(m, n);
+    EXPECT_LT(maxDiff(m, oracle), 1e-9);
+}
+
+TEST(Fft1d, FlopCountConvention)
+{
+    EXPECT_DOUBLE_EQ(fftFlops(1024), 5.0 * 1024 * 10);
+}
+
+TEST(VendorModel, InCacheRateIsTheLibraryRate)
+{
+    VendorFftParams p;
+    p.inCacheMFlops = 100;
+    p.cacheBytes = 1_MiB;
+    p.callOverheadNs = 0;
+    EXPECT_NEAR(vendorFftMFlops(p, 1024), 100, 1);
+}
+
+TEST(VendorModel, OutOfCacheTransformsSlowDown)
+{
+    VendorFftParams p;
+    p.inCacheMFlops = 100;
+    p.cacheBytes = 8_KiB;
+    p.streamMBs = 100;
+    p.callOverheadNs = 0;
+    EXPECT_LT(vendorFftMFlops(p, 4096), 80);
+}
+
+TEST(VendorModel, PaperRatesPerMachine)
+{
+    // Figure 16's per-processor plateaus.
+    const auto dec = vendorFftParams(machine::SystemKind::Dec8400);
+    const auto t3d = vendorFftParams(machine::SystemKind::CrayT3D);
+    const auto t3e = vendorFftParams(machine::SystemKind::CrayT3E);
+    // 8400 at least 2.3x the T3D ("more than a factor 2.5" in total).
+    EXPECT_GT(vendorFftMFlops(dec, 256),
+              2.3 * vendorFftMFlops(t3d, 256));
+    // T3E up to 200 MFlop/s per processor.
+    EXPECT_NEAR(vendorFftMFlops(t3e, 1024), 200, 15);
+    // T3D falls off for 1024-point rows (out of its 8 KB L1).
+    EXPECT_LT(vendorFftMFlops(t3d, 1024),
+              0.75 * vendorFftMFlops(t3d, 256));
+    // The 8400's big caches keep it level (Section 7.3).
+    EXPECT_GT(vendorFftMFlops(dec, 1024),
+              0.9 * vendorFftMFlops(dec, 256));
+}
+
+} // namespace

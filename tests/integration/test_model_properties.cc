@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Model-level property tests: invariants any sane memory-system
+ * simulator must satisfy, swept over configurations.  These guard the
+ * timing model against regressions that the calibration points alone
+ * would miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hh"
+#include "kernels/remote_kernels.hh"
+#include "machine/configs.hh"
+#include "machine/machine.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+
+double
+loadMbs(const mem::HierarchyConfig &cfg, std::uint64_t ws,
+        std::uint64_t stride)
+{
+    mem::MemoryHierarchy h(cfg);
+    kernels::KernelParams p;
+    p.wsBytes = ws;
+    p.stride = stride;
+    p.capBytes = 4_MiB;
+    return kernels::loadSum(h, p).mbs;
+}
+
+class AllMachines
+    : public ::testing::TestWithParam<machine::SystemKind>
+{
+  protected:
+    mem::HierarchyConfig
+    cfg() const
+    {
+        return machine::nodeConfig(GetParam(), "prop");
+    }
+};
+
+TEST_P(AllMachines, DeterministicAcrossRuns)
+{
+    const double a = loadMbs(cfg(), 2_MiB, 8);
+    const double b = loadMbs(cfg(), 2_MiB, 8);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_P(AllMachines, FasterDramBusNeverSlower)
+{
+    mem::HierarchyConfig base = cfg();
+    mem::HierarchyConfig fast = base;
+    fast.dram.busMBs *= 2;
+    for (std::uint64_t stride : {1ull, 8ull, 64ull}) {
+        EXPECT_GE(loadMbs(fast, 8_MiB, stride) * 1.001,
+                  loadMbs(base, 8_MiB, stride))
+            << "stride " << stride;
+    }
+}
+
+TEST_P(AllMachines, LowerDramLatencyNeverSlower)
+{
+    mem::HierarchyConfig base = cfg();
+    mem::HierarchyConfig fast = base;
+    fast.dram.rowHitNs *= 0.5;
+    fast.dram.rowMissNs *= 0.5;
+    for (std::uint64_t stride : {1ull, 16ull}) {
+        EXPECT_GE(loadMbs(fast, 8_MiB, stride) * 1.001,
+                  loadMbs(base, 8_MiB, stride));
+    }
+}
+
+TEST_P(AllMachines, DeeperReadWindowNeverSlower)
+{
+    mem::HierarchyConfig base = cfg();
+    mem::HierarchyConfig deep = base;
+    deep.cpu.readWindow = base.cpu.readWindow + 3;
+    // Deeper windows overlap more misses; blocking reads cap this,
+    // so compare with blocking off in both.
+    base.blockingOffchipReads = false;
+    deep.blockingOffchipReads = false;
+    for (std::uint64_t stride : {8ull, 32ull}) {
+        EXPECT_GE(loadMbs(deep, 8_MiB, stride) * 1.001,
+                  loadMbs(base, 8_MiB, stride));
+    }
+}
+
+TEST_P(AllMachines, CacheableSetsFasterThanUncacheable)
+{
+    const mem::HierarchyConfig c = cfg();
+    const double cached = loadMbs(c, 4_KiB, 2);
+    const double uncached = loadMbs(c, 8_MiB, 2);
+    EXPECT_GT(cached, uncached);
+}
+
+TEST_P(AllMachines, BandwidthScalesDownWithStride)
+{
+    // Within the DRAM regime, larger strides never yield more
+    // bandwidth until the plateau (monotone non-increasing up to
+    // stride = line size).
+    const mem::HierarchyConfig c = cfg();
+    double prev = loadMbs(c, 8_MiB, 1);
+    for (std::uint64_t stride : {2ull, 4ull, 8ull}) {
+        const double cur = loadMbs(c, 8_MiB, stride);
+        EXPECT_LE(cur, prev * 1.02) << "stride " << stride;
+        prev = cur;
+    }
+}
+
+TEST_P(AllMachines, PrimingNeverHurtsCacheableSets)
+{
+    mem::MemoryHierarchy h(cfg());
+    kernels::KernelParams p;
+    p.wsBytes = 8_KiB;
+    p.stride = 1;
+    p.prime = true;
+    const double primed = kernels::loadSum(h, p).mbs;
+    p.prime = false;
+    const double cold = kernels::loadSum(h, p).mbs;
+    EXPECT_GE(primed * 1.001, cold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllMachines,
+                         ::testing::Values(
+                             machine::SystemKind::Dec8400,
+                             machine::SystemKind::CrayT3D,
+                             machine::SystemKind::CrayT3E));
+
+TEST(ModelProperties, RemoteBandwidthDeterministic)
+{
+    machine::Machine a(machine::SystemKind::CrayT3E, 4);
+    machine::Machine b(machine::SystemKind::CrayT3E, 4);
+    kernels::RemoteParams p;
+    p.src = 1;
+    p.dst = 0;
+    p.wsBytes = 512_KiB;
+    p.stride = 3;
+    p.method = remote::TransferMethod::Fetch;
+    EXPECT_DOUBLE_EQ(kernels::remoteTransfer(a, p).mbs,
+                     kernels::remoteTransfer(b, p).mbs);
+}
+
+TEST(ModelProperties, FasterLinksNeverSlowRemoteTransfers)
+{
+    // Build two T3E-like machines differing only in link speed via
+    // the custom-config constructor plus a raw engine comparison.
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    noc::TorusConfig slow_cfg = machine::t3eTorusConfig(4);
+    noc::TorusConfig fast_cfg = slow_cfg;
+    fast_cfg.linkMBs *= 2;
+    noc::Torus slow(slow_cfg), fast(fast_cfg);
+    std::vector<mem::MemoryHierarchy *> nodes;
+    for (int i = 0; i < 4; ++i)
+        nodes.push_back(&m.node(i));
+    remote::CrayEngine e_slow(machine::t3eEngineConfig(), nodes,
+                              &slow);
+    remote::CrayEngine e_fast(machine::t3eEngineConfig(), nodes,
+                              &fast);
+    remote::TransferRequest req;
+    req.src = 0;
+    req.dst = 1;
+    req.srcAddr = 0;
+    req.dstAddr = 1ull << 33;
+    req.words = 8192;
+    m.resetAll();
+    const Tick t_slow =
+        e_slow.transfer(req, remote::TransferMethod::Deposit, 0);
+    m.resetAll();
+    const Tick t_fast =
+        e_fast.transfer(req, remote::TransferMethod::Deposit, 0);
+    EXPECT_LE(t_fast, t_slow);
+}
+
+TEST(ModelProperties, MoreProcessorsNeverSpeedUpASingleTransfer)
+{
+    // A point-to-point transfer should not get faster just because
+    // the machine is bigger (routes may get longer, never shorter
+    // between fixed near neighbours).
+    kernels::RemoteParams p;
+    p.src = 0;
+    p.dst = 2;
+    p.wsBytes = 256_KiB;
+    p.method = remote::TransferMethod::Deposit;
+    machine::Machine small(machine::SystemKind::CrayT3D, 4);
+    machine::Machine big(machine::SystemKind::CrayT3D, 64);
+    const double mbs_small = kernels::remoteTransfer(small, p).mbs;
+    const double mbs_big = kernels::remoteTransfer(big, p).mbs;
+    EXPECT_LE(mbs_big, mbs_small * 1.05);
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Integration tests: the simulated machines must land on the paper's
+ * measured plateaus (within a tolerance band) and reproduce every
+ * qualitative finding of the evaluation.  This is the repository's
+ * scientific regression suite; EXPERIMENTS.md records the full
+ * paper-vs-model comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fft/fft2d_dist.hh"
+#include "kernels/kernels.hh"
+#include "kernels/remote_kernels.hh"
+#include "machine/machine.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using machine::Machine;
+using machine::SystemKind;
+
+constexpr double kTol = 0.25; // +-25% band on absolute plateaus
+
+void
+expectNear(double measured, double paper, const char *what,
+           double tol = kTol)
+{
+    EXPECT_GE(measured, paper * (1 - tol)) << what;
+    EXPECT_LE(measured, paper * (1 + tol)) << what;
+}
+
+double
+localLoad(Machine &m, std::uint64_t ws, std::uint64_t stride)
+{
+    kernels::KernelParams p;
+    p.wsBytes = ws;
+    p.stride = stride;
+    return kernels::loadSumOn(m, 0, p).mbs;
+}
+
+double
+localCopy(Machine &m, kernels::CopyVariant v, std::uint64_t stride)
+{
+    kernels::KernelParams p;
+    p.wsBytes = 16_MiB;
+    p.stride = stride;
+    const std::uint64_t eff =
+        kernels::effectiveWorkingSet(m.node(0), p);
+    return kernels::copyOn(m, 0, p, v, eff).mbs;
+}
+
+double
+remoteMbs(Machine &m, remote::TransferMethod method, bool on_src,
+          std::uint64_t ws, std::uint64_t stride, NodeId src,
+          NodeId dst)
+{
+    kernels::RemoteParams p;
+    p.src = src;
+    p.dst = dst;
+    p.wsBytes = ws;
+    p.stride = stride;
+    p.strideOnSource = on_src;
+    p.method = method;
+    p.dstBase = 1ull << 33;
+    return kernels::remoteTransfer(m, p).mbs;
+}
+
+// ----- Figure 1: DEC 8400 local loads ------------------------------
+
+TEST(PaperFig1, Dec8400LocalLoadPlateaus)
+{
+    Machine m(SystemKind::Dec8400, 4);
+    expectNear(localLoad(m, 4_KiB, 1), 1100, "L1");
+    expectNear(localLoad(m, 64_KiB, 8), 700, "L2 strided");
+    expectNear(localLoad(m, 1_MiB, 1), 600, "L3 contiguous");
+    expectNear(localLoad(m, 1_MiB, 16), 120, "L3 strided");
+    expectNear(localLoad(m, 16_MiB, 1), 150, "DRAM contiguous");
+    expectNear(localLoad(m, 16_MiB, 32), 28, "DRAM strided");
+}
+
+// ----- Figure 3: T3D local loads -----------------------------------
+
+TEST(PaperFig3, T3dLocalLoadPlateaus)
+{
+    Machine m(SystemKind::CrayT3D, 4);
+    expectNear(localLoad(m, 4_KiB, 1), 600, "L1");
+    expectNear(localLoad(m, 16_MiB, 1), 195, "DRAM contiguous");
+    expectNear(localLoad(m, 16_MiB, 16), 43, "DRAM strided");
+    // "Contiguous loads ... about 30% faster than in the DEC 8400".
+    Machine dec(SystemKind::Dec8400, 4);
+    EXPECT_GT(localLoad(m, 16_MiB, 1),
+              1.2 * localLoad(dec, 16_MiB, 1));
+}
+
+// ----- Figure 6: T3E local loads -----------------------------------
+
+TEST(PaperFig6, T3eLocalLoadPlateaus)
+{
+    Machine m(SystemKind::CrayT3E, 4);
+    expectNear(localLoad(m, 4_KiB, 1), 1100, "L1");
+    expectNear(localLoad(m, 64_KiB, 8), 700, "L2 strided");
+    expectNear(localLoad(m, 16_MiB, 1), 430, "DRAM contiguous");
+    expectNear(localLoad(m, 16_MiB, 32), 42, "DRAM strided");
+    // "No improvement for strided accesses out of DRAM" vs the T3D.
+    Machine t3d(SystemKind::CrayT3D, 4);
+    EXPECT_NEAR(localLoad(m, 16_MiB, 32),
+                localLoad(t3d, 16_MiB, 32), 10);
+}
+
+// ----- Figures 9-11: local copies ----------------------------------
+
+TEST(PaperFig9, Dec8400LocalCopy)
+{
+    Machine m(SystemKind::Dec8400, 4);
+    expectNear(localCopy(m, kernels::CopyVariant::StridedLoads, 1), 57,
+               "contiguous copy");
+    // "Strided data at about 18 MByte/s" (both variants similar).
+    const double sl =
+        localCopy(m, kernels::CopyVariant::StridedLoads, 16);
+    const double ss =
+        localCopy(m, kernels::CopyVariant::StridedStores, 16);
+    // Model bands: the strided-load variant sits near the paper's 18;
+    // the strided-store variant runs somewhat high (~30) because the
+    // contiguous load stream survives the write allocations.
+    EXPECT_GT(sl, 10);
+    EXPECT_LT(sl, 30);
+    EXPECT_GT(ss, 8);
+    EXPECT_LT(ss, 34);
+}
+
+TEST(PaperFig10, T3dLocalCopy)
+{
+    Machine m(SystemKind::CrayT3D, 4);
+    expectNear(localCopy(m, kernels::CopyVariant::StridedLoads, 1),
+               100, "contiguous copy");
+    // "Strided stores at up to 70 MByte/s, almost three times the
+    // speed of the DEC 8400."
+    const double ss =
+        localCopy(m, kernels::CopyVariant::StridedStores, 16);
+    expectNear(ss, 60, "strided stores", 0.3);
+    Machine dec(SystemKind::Dec8400, 4);
+    EXPECT_GT(ss, 1.7 * localCopy(dec,
+                                  kernels::CopyVariant::StridedStores,
+                                  16));
+}
+
+TEST(PaperFig11, T3eLocalCopy)
+{
+    Machine m(SystemKind::CrayT3E, 4);
+    expectNear(localCopy(m, kernels::CopyVariant::StridedLoads, 1),
+               200, "contiguous copy");
+    // "The picture for strided access resembles more the DEC 8400
+    // than the T3D": strided stores are slow again.
+    const double ss =
+        localCopy(m, kernels::CopyVariant::StridedStores, 16);
+    EXPECT_LT(ss, 45);
+}
+
+// ----- Figure 2 / 12: DEC 8400 remote pulls ------------------------
+
+TEST(PaperFig2And12, Dec8400RemotePull)
+{
+    Machine m(SystemKind::Dec8400, 4);
+    const auto pull = remote::TransferMethod::CoherentPull;
+    // "Maximal performance for remote memory accesses is down to 140
+    // MByte/s" — contiguous.
+    expectNear(remoteMbs(m, pull, true, 16_MiB, 1, 1, 0), 140,
+               "remote contiguous");
+    // "For strided accesses out of DRAM, performance is about 22."
+    expectNear(remoteMbs(m, pull, true, 16_MiB, 32, 1, 0), 22,
+               "remote strided");
+}
+
+// ----- Figures 4, 5, 13: T3D remote transfers ----------------------
+
+TEST(PaperFig5And13, T3dDeposit)
+{
+    Machine m(SystemKind::CrayT3D, 4);
+    const auto dep = remote::TransferMethod::Deposit;
+    // Contiguous deposits around 120 MB/s (Figure 5 plateau).
+    expectNear(remoteMbs(m, dep, false, 8_MiB, 1, 0, 2), 120,
+               "deposit contiguous");
+    // "Optimized using strided stores ... at about 55 MByte/s."
+    expectNear(remoteMbs(m, dep, false, 8_MiB, 16, 0, 2), 55,
+               "deposit strided stores");
+    // Strided-load deposits are limited by the 43 MB/s local loads.
+    const double sl = remoteMbs(m, dep, true, 8_MiB, 16, 0, 2);
+    EXPECT_LT(sl, 48);
+}
+
+TEST(PaperFig4, T3dFetchInferior)
+{
+    Machine m(SystemKind::CrayT3D, 4);
+    const double fetch = remoteMbs(
+        m, remote::TransferMethod::Fetch, true, 8_MiB, 1, 0, 2);
+    const double dep = remoteMbs(
+        m, remote::TransferMethod::Deposit, false, 8_MiB, 1, 0, 2);
+    // "Pulling data proves to be consistently inferior."
+    EXPECT_LT(fetch, 0.8 * dep);
+    const double fetch_s = remoteMbs(
+        m, remote::TransferMethod::Fetch, true, 8_MiB, 16, 0, 2);
+    const double dep_s = remoteMbs(
+        m, remote::TransferMethod::Deposit, false, 8_MiB, 16, 0, 2);
+    EXPECT_LT(fetch_s, 0.8 * dep_s);
+}
+
+// ----- Figures 7, 8, 14: T3E remote transfers ----------------------
+
+TEST(PaperFig7And8, T3eFetchAndDeposit)
+{
+    Machine m(SystemKind::CrayT3E, 4);
+    // "Both modes of operation perform impressively at 350 MByte/sec
+    // for contiguous data transfers."
+    expectNear(remoteMbs(m, remote::TransferMethod::Fetch, true,
+                         8_MiB, 1, 1, 0),
+               350, "iget contiguous");
+    expectNear(remoteMbs(m, remote::TransferMethod::Deposit, false,
+                         8_MiB, 1, 1, 0),
+               350, "iput contiguous");
+    // "Falls down to 140 MByte/s or 70 MByte/s for strided accesses
+    // (depending on how the transfer is programmed)."
+    expectNear(remoteMbs(m, remote::TransferMethod::Fetch, true,
+                         8_MiB, 16, 1, 0),
+               140, "iget strided");
+    expectNear(remoteMbs(m, remote::TransferMethod::Deposit, false,
+                         8_MiB, 16, 1, 0),
+               70, "iput strided even");
+    // The odd-stride ripple (destination bank parity).
+    const double odd = remoteMbs(m, remote::TransferMethod::Deposit,
+                                 false, 8_MiB, 15, 1, 0);
+    EXPECT_GT(odd, 110);
+}
+
+// ----- Conclusions: cross-machine ratios ---------------------------
+
+TEST(PaperConclusions, StridedRemoteRatios)
+{
+    // "22 MByte/s per processor on the DEC 8400, a factor of 2.5 less
+    // than the 55 MByte/s measured in the T3D, or a factor of 6.5
+    // less than the 140 MByte/s measured in the T3E."
+    Machine dec(SystemKind::Dec8400, 4);
+    Machine t3d(SystemKind::CrayT3D, 4);
+    Machine t3e(SystemKind::CrayT3E, 4);
+    const double v_dec = remoteMbs(
+        dec, remote::TransferMethod::CoherentPull, true, 8_MiB, 16, 1,
+        0);
+    const double v_t3d = remoteMbs(
+        t3d, remote::TransferMethod::Deposit, false, 8_MiB, 16, 0, 2);
+    const double v_t3e = remoteMbs(
+        t3e, remote::TransferMethod::Fetch, true, 8_MiB, 16, 1, 0);
+    EXPECT_NEAR(v_t3d / v_dec, 2.5, 1.0);
+    EXPECT_NEAR(v_t3e / v_dec, 6.5, 2.0);
+}
+
+TEST(PaperConclusions, RemoteCopyNotSlowerThanLocalCopy)
+{
+    // "The straight remote memory copy bandwidth is equal to or
+    // higher than the local copy performance" — packing never pays.
+    Machine t3d(SystemKind::CrayT3D, 4);
+    const double local =
+        localCopy(t3d, kernels::CopyVariant::StridedLoads, 1);
+    const double rem = remoteMbs(
+        t3d, remote::TransferMethod::Deposit, false, 8_MiB, 1, 0, 2);
+    EXPECT_GE(rem, 0.95 * local);
+}
+
+// ----- Figure 15-17 headline numbers -------------------------------
+
+TEST(PaperFig15, FftOverallPerformance)
+{
+    fft::Fft2dConfig cfg;
+    cfg.n = 256;
+    Machine t3d(SystemKind::CrayT3D, 4);
+    Machine dec(SystemKind::Dec8400, 4);
+    Machine t3e(SystemKind::CrayT3E, 4);
+    const double v_t3d =
+        fft::DistributedFft2d(t3d).run(cfg).overallMFlops;
+    const double v_dec =
+        fft::DistributedFft2d(dec).run(cfg).overallMFlops;
+    const double v_t3e =
+        fft::DistributedFft2d(t3e).run(cfg).overallMFlops;
+    expectNear(v_t3d, 133, "T3D 256^2");
+    expectNear(v_dec, 220, "8400 256^2");
+    expectNear(v_t3e, 330, "T3E 256^2", 0.30);
+    EXPECT_LT(v_dec / v_t3d, 2.0); // "a factor below two over the T3D"
+}
+
+TEST(PaperFig16, FftComputeRates)
+{
+    fft::Fft2dConfig cfg;
+    cfg.n = 256;
+    Machine t3d(SystemKind::CrayT3D, 4);
+    Machine dec(SystemKind::Dec8400, 4);
+    Machine t3e(SystemKind::CrayT3E, 4);
+    const double c_t3d =
+        fft::DistributedFft2d(t3d).run(cfg).computeMFlops;
+    const double c_dec =
+        fft::DistributedFft2d(dec).run(cfg).computeMFlops;
+    const double c_t3e =
+        fft::DistributedFft2d(t3e).run(cfg).computeMFlops;
+    // "More than a factor 2.5 higher on the DEC 8400 than on the T3D"
+    EXPECT_GT(c_dec, 2.3 * c_t3d);
+    // T3E up to 200 MFlop/s per processor.
+    EXPECT_GT(c_t3e, 4 * 180);
+}
+
+} // namespace

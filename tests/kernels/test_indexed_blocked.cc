@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the indexed (gather/scatter) and cache-blocked kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "kernels/blocked.hh"
+#include "kernels/indexed.hh"
+#include "kernels/remote_kernels.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::kernels;
+
+TEST(IndexVector, AllPatternsArePermutations)
+{
+    for (auto pat : {IndexPattern::Random, IndexPattern::Blocked,
+                     IndexPattern::MostlySequential}) {
+        const auto idx = makeIndexVector(1000, pat);
+        std::set<std::uint64_t> seen(idx.begin(), idx.end());
+        EXPECT_EQ(seen.size(), 1000u) << indexPatternName(pat);
+        EXPECT_EQ(*seen.begin(), 0u);
+        EXPECT_EQ(*seen.rbegin(), 999u);
+    }
+}
+
+TEST(IndexVector, DeterministicPerSeed)
+{
+    const auto a = makeIndexVector(256, IndexPattern::Random, 7);
+    const auto b = makeIndexVector(256, IndexPattern::Random, 7);
+    const auto c = makeIndexVector(256, IndexPattern::Random, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(IndexVector, BlockedStaysWithinBlocks)
+{
+    const auto idx = makeIndexVector(64, IndexPattern::Blocked);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(idx[i] / 8, i / 8); // same 8-word block
+}
+
+TEST(IndexVector, MostlySequentialIsMostlySequential)
+{
+    const auto idx =
+        makeIndexVector(4096, IndexPattern::MostlySequential);
+    std::uint64_t sequential = 0;
+    for (std::uint64_t i = 1; i < idx.size(); ++i)
+        if (idx[i] == idx[i - 1] + 1)
+            ++sequential;
+    EXPECT_GT(sequential, idx.size() * 3 / 4);
+}
+
+TEST(IndexedKernels, LocalityOrderingHolds)
+{
+    // The indexed column of the copy-transfer model: more locality in
+    // the index vector means more bandwidth, on every machine.
+    for (auto kind :
+         {machine::SystemKind::Dec8400, machine::SystemKind::CrayT3D,
+          machine::SystemKind::CrayT3E}) {
+        machine::Machine m(kind, 4);
+        IndexedParams p;
+        p.wsBytes = 2_MiB;
+        p.capBytes = 2_MiB;
+        p.pattern = IndexPattern::Random;
+        const double random = indexedLoadSum(m, 0, p).mbs;
+        p.pattern = IndexPattern::MostlySequential;
+        const double mostly = indexedLoadSum(m, 0, p).mbs;
+        EXPECT_GT(mostly, random) << machine::systemName(kind);
+    }
+}
+
+TEST(IndexedKernels, RandomGatherSlowerThanContiguousLoad)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    IndexedParams ip;
+    ip.wsBytes = 2_MiB;
+    ip.capBytes = 2_MiB;
+    ip.pattern = IndexPattern::Random;
+    const double gather = indexedLoadSum(m, 0, ip).mbs;
+    KernelParams kp;
+    kp.wsBytes = 2_MiB;
+    kp.capBytes = 2_MiB;
+    const double contiguous = loadSumOn(m, 0, kp).mbs;
+    EXPECT_LT(gather, 0.5 * contiguous);
+}
+
+TEST(IndexedKernels, IndexedCopyMovesEverything)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    IndexedParams p;
+    p.wsBytes = 256_KiB;
+    p.capBytes = 256_KiB;
+    auto r = indexedCopy(m, 0, p, 1ull << 33);
+    EXPECT_EQ(r.bytes, 256_KiB);
+    EXPECT_EQ(r.accesses, 3 * (256_KiB / 8));
+    EXPECT_GT(r.mbs, 0);
+}
+
+TEST(IndexedKernels, RemoteIndexedRespectsLocality)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    IndexedParams p;
+    p.wsBytes = 256_KiB;
+    p.capBytes = 256_KiB;
+    p.pattern = IndexPattern::Random;
+    const double random =
+        indexedRemoteTransfer(m, p, 0, 1, 1ull << 33).mbs;
+    p.pattern = IndexPattern::MostlySequential;
+    const double mostly =
+        indexedRemoteTransfer(m, p, 0, 1, 1ull << 33).mbs;
+    EXPECT_GT(mostly, random);
+    EXPECT_GT(random, 0);
+}
+
+TEST(BlockedTranspose, TilingRescuesColumnOrderOnTheT3e)
+{
+    // The Section 6.1 / Section 9 hypothesis: without locality the
+    // transpose is dismal; blocking for the caches recovers it.  The
+    // T3E (no board cache) shows the effect clearly.
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    BlockedParams p;
+    p.n = 4096; // 128 MB matrix
+    p.capRows = 128;
+    p.traversal = Traversal::ColumnMajor;
+    const double column = blockedTranspose(m, 0, p).mbs;
+    p.traversal = Traversal::Tiled;
+    p.tile = 64;
+    // Power-of-two rows alias the destination columns to one cache
+    // set; the tiled code pads the leading dimension as real
+    // transposes do.
+    p.leadingDim = p.n + 8;
+    const double tiled = blockedTranspose(m, 0, p).mbs;
+    EXPECT_GT(tiled, 1.5 * column);
+}
+
+TEST(BlockedTranspose, PaddingAvoidsSetAliasing)
+{
+    // The classic power-of-two transpose problem, reproduced: all
+    // destination column lines land in one L2 set unless padded.
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    BlockedParams p;
+    p.n = 4096;
+    p.capRows = 128;
+    p.traversal = Traversal::Tiled;
+    p.tile = 64;
+    const double aliased = blockedTranspose(m, 0, p).mbs;
+    p.leadingDim = p.n + 8;
+    const double padded = blockedTranspose(m, 0, p).mbs;
+    EXPECT_GT(padded, 1.5 * aliased);
+}
+
+TEST(BlockedTranspose, Dec8400BoardCacheAbsorbsColumnOrder)
+{
+    // On the DEC 8400 the 4 MB L3 holds a whole per-pass line
+    // footprint for realistic matrices, so even the column-order
+    // loop stays within ~2x of the tiled one — the flip side of the
+    // paper's "large L3 caches may support blocking" remark: for
+    // moderate sizes the L3 blocks for you.
+    machine::Machine m(machine::SystemKind::Dec8400, 4);
+    BlockedParams p;
+    p.n = 512; // 2 MB matrix
+    p.traversal = Traversal::ColumnMajor;
+    const double column = blockedTranspose(m, 0, p).mbs;
+    p.traversal = Traversal::Tiled;
+    p.tile = 64;
+    const double tiled = blockedTranspose(m, 0, p).mbs;
+    EXPECT_LT(tiled, 2.0 * column);
+    EXPECT_GT(tiled, 0.5 * column);
+}
+
+TEST(BlockedTranspose, CapScalesLinearly)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    BlockedParams p;
+    p.n = 256;
+    p.traversal = Traversal::Tiled;
+    p.tile = 32;
+    const double full = blockedTranspose(m, 0, p).mbs;
+    p.capRows = 64;
+    const double capped = blockedTranspose(m, 0, p).mbs;
+    EXPECT_NEAR(capped, full, 0.25 * full);
+}
+
+class BlockedTileSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BlockedTileSweep, AnyTileSizeMovesTheWholeMatrix)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    BlockedParams p;
+    p.n = 128;
+    p.traversal =
+        GetParam() == 0 ? Traversal::RowMajor : Traversal::Tiled;
+    p.tile = GetParam();
+    auto r = blockedTranspose(m, 0, p);
+    EXPECT_EQ(r.bytes, 128u * 128 * 8);
+    EXPECT_GT(r.mbs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, BlockedTileSweep,
+                         ::testing::Values(0, 8, 16, 32, 64, 128));
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for machine composition and the calibrated node configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using machine::Machine;
+using machine::SystemKind;
+
+TEST(Configs, SystemNames)
+{
+    EXPECT_EQ(machine::systemName(SystemKind::Dec8400), "DEC 8400");
+    EXPECT_EQ(machine::systemName(SystemKind::CrayT3D), "Cray T3D");
+    EXPECT_EQ(machine::systemName(SystemKind::CrayT3E), "Cray T3E");
+}
+
+TEST(Configs, Dec8400HasThreeLevelHierarchyFromThePaper)
+{
+    auto h = machine::dec8400Node();
+    ASSERT_EQ(h.levels.size(), 3u);
+    EXPECT_EQ(h.cpu.clockMhz, 300);
+    EXPECT_EQ(h.levels[0].cache.sizeBytes, 8_KiB);
+    EXPECT_EQ(h.levels[0].cache.writePolicy,
+              mem::WritePolicy::WriteThrough);
+    EXPECT_EQ(h.levels[1].cache.sizeBytes, 96_KiB);
+    EXPECT_EQ(h.levels[1].cache.assoc, 3u);
+    EXPECT_EQ(h.levels[2].cache.sizeBytes, 4_MiB);
+    EXPECT_FALSE(h.wbq.has_value());
+    EXPECT_TRUE(h.dram.splitTransactionChannel);
+}
+
+TEST(Configs, T3dHasL1OnlyPlusWbqAndReadAhead)
+{
+    auto h = machine::crayT3dNode();
+    ASSERT_EQ(h.levels.size(), 1u);
+    EXPECT_EQ(h.cpu.clockMhz, 150);
+    EXPECT_EQ(h.levels[0].cache.sizeBytes, 8_KiB);
+    ASSERT_TRUE(h.wbq.has_value());
+    EXPECT_EQ(h.wbq->chunkBytes, 32u); // "32 bytes entities"
+    EXPECT_TRUE(h.stream.enabled);
+}
+
+TEST(Configs, T3eHasOnChipL1L2NoL3)
+{
+    auto h = machine::crayT3eNode();
+    ASSERT_EQ(h.levels.size(), 2u);
+    EXPECT_EQ(h.cpu.clockMhz, 300);
+    EXPECT_EQ(h.levels[1].cache.sizeBytes, 96_KiB);
+    EXPECT_FALSE(h.wbq.has_value());
+    EXPECT_EQ(h.stream.streams, 6u); // six stream buffers
+}
+
+TEST(Machine, ComposesPerKind)
+{
+    Machine dec(SystemKind::Dec8400, 4);
+    EXPECT_EQ(dec.numNodes(), 4);
+    EXPECT_NE(dec.sharedMemory(), nullptr);
+    EXPECT_EQ(dec.torus(), nullptr);
+
+    Machine t3d(SystemKind::CrayT3D, 4);
+    EXPECT_EQ(t3d.sharedMemory(), nullptr);
+    ASSERT_NE(t3d.torus(), nullptr);
+    EXPECT_EQ(t3d.torus()->numNodes(), 4);
+
+    Machine t3e(SystemKind::CrayT3E, 8);
+    ASSERT_NE(t3e.torus(), nullptr);
+    EXPECT_EQ(t3e.torus()->numNodes(), 8);
+}
+
+TEST(Machine, ProduceLeavesDataCachedAtProducer)
+{
+    Machine m(SystemKind::CrayT3E, 2);
+    m.produce(1, 0x8000, 64);
+    EXPECT_TRUE(m.node(1).level(1).contains(0x8000));
+}
+
+TEST(Machine, BarrierAlignsAllClocks)
+{
+    Machine m(SystemKind::CrayT3D, 4);
+    m.node(0).read(0x100000); // only node 0 does work
+    const Tick t = m.barrier();
+    EXPECT_GT(t, 0u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GE(m.node(i).now(), t);
+}
+
+TEST(Machine, ResetTimingZeroesClocksKeepsCaches)
+{
+    Machine m(SystemKind::CrayT3E, 2);
+    m.node(0).read(0x40);
+    m.resetTiming();
+    EXPECT_EQ(m.node(0).now(), 0u);
+    EXPECT_TRUE(m.node(0).level(0).contains(0x40));
+    m.resetAll();
+    EXPECT_FALSE(m.node(0).level(0).contains(0x40));
+}
+
+TEST(Machine, ScalesTo512Processors)
+{
+    Machine m(SystemKind::CrayT3D, 512);
+    EXPECT_EQ(m.numNodes(), 512);
+    EXPECT_EQ(m.torus()->numNodes(), 512);
+    // Exchange something across the machine.
+    remote::TransferRequest req;
+    req.src = 0;
+    req.dst = 511;
+    req.srcAddr = 0;
+    req.dstAddr = 1ull << 33;
+    req.words = 32;
+    EXPECT_GT(m.remote().transfer(
+                  req, remote::TransferMethod::Deposit, 0),
+              0u);
+}
+
+} // namespace
+
+namespace custom {
+
+using namespace gasnub;
+
+TEST(MachineCustom, CustomNodeConfigIsUsed)
+{
+    // A T3E-based machine whose nodes carry a huge L1: cacheable
+    // working sets grow accordingly.
+    mem::HierarchyConfig cfg = machine::crayT3eNode("fat");
+    cfg.levels[0].cache.sizeBytes = 1_MiB;
+    machine::Machine m(machine::SystemKind::CrayT3E, 2, cfg);
+    EXPECT_EQ(m.node(0).level(0).config().sizeBytes, 1_MiB);
+    EXPECT_EQ(m.node(1).config().name, "fat1");
+    // The interconnect still follows the base kind.
+    ASSERT_NE(m.torus(), nullptr);
+    EXPECT_TRUE(m.remote().supports(remote::TransferMethod::Fetch));
+}
+
+TEST(MachineCustom, StatNamesAreUniquePerNode)
+{
+    mem::HierarchyConfig cfg = machine::crayT3dNode("abl");
+    machine::Machine m(machine::SystemKind::CrayT3D, 2, cfg);
+    EXPECT_NE(m.node(0).config().dram.name,
+              m.node(1).config().dram.name);
+    ASSERT_TRUE(m.node(0).config().wbq.has_value());
+    EXPECT_NE(m.node(0).config().wbq->name,
+              m.node(1).config().wbq->name);
+}
+
+} // namespace custom

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the synchronization primitives of the direct-deposit
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/sync.hh"
+
+namespace {
+
+using namespace gasnub;
+using machine::Machine;
+using machine::SystemKind;
+
+TEST(Sync, SignalLatencyPositiveOnEveryMachine)
+{
+    for (auto kind : {SystemKind::Dec8400, SystemKind::CrayT3D,
+                      SystemKind::CrayT3E}) {
+        Machine m(kind, 4);
+        const NodeId dst =
+            kind == SystemKind::CrayT3D ? 2 : 1;
+        const auto r =
+            machine::signalLatency(m, 0, dst, 1ull << 33);
+        EXPECT_GT(r.latency, 0u) << machine::systemName(kind);
+        EXPECT_GE(r.consumerSees, r.producerDone);
+        // Signals are sub-10-microsecond affairs on all machines.
+        EXPECT_LT(r.latency, 10'000'000u);
+    }
+}
+
+TEST(Sync, T3eSignalsFasterThanT3d)
+{
+    Machine t3d(SystemKind::CrayT3D, 4);
+    Machine t3e(SystemKind::CrayT3E, 4);
+    const auto d = machine::signalLatency(t3d, 0, 2, 1ull << 33);
+    const auto e = machine::signalLatency(t3e, 0, 1, 1ull << 33);
+    EXPECT_LT(e.latency, d.latency);
+}
+
+TEST(Sync, BarrierCostsMatchMechanism)
+{
+    // Hardware barrier (T3D) < E-register atomics (T3E) < coherent
+    // flags (8400).
+    Machine dec(SystemKind::Dec8400, 4);
+    Machine t3d(SystemKind::CrayT3D, 4);
+    Machine t3e(SystemKind::CrayT3E, 4);
+    EXPECT_LT(t3d.barrierCost(), t3e.barrierCost());
+    EXPECT_LT(t3e.barrierCost(), dec.barrierCost());
+    EXPECT_EQ(machine::barrierAll(t3d, 1000), 1000 + t3d.barrierCost());
+}
+
+TEST(Sync, SyncLimitedBandwidthConverges)
+{
+    // Large blocks amortize the signal; tiny blocks are dominated by
+    // it. 100 MB/s raw, 1 us signal.
+    const double big =
+        machine::syncLimitedBandwidth(100, 1'000'000, 1 << 20);
+    const double small =
+        machine::syncLimitedBandwidth(100, 1'000'000, 64);
+    EXPECT_GT(big, 99);
+    // 64 B per (0.64 us transfer + 1 us signal) = ~39 MB/s.
+    EXPECT_LT(small, 45);
+    EXPECT_GT(small, 30);
+}
+
+TEST(Sync, FlagPostInvalidatesConsumerCopy)
+{
+    Machine m(SystemKind::Dec8400, 2);
+    const Addr flag = 1ull << 33;
+    m.node(1).read(flag);
+    ASSERT_TRUE(m.node(1).level(0).contains(flag));
+    machine::signalLatency(m, 0, 1, flag);
+    // After the signal the consumer re-cached the fresh value.
+    EXPECT_TRUE(m.node(1).level(0).contains(flag));
+}
+
+} // namespace

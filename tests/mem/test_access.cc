@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Property tests for the strided sweep generator: every word of the
+ * working set is visited exactly once, in per-pass strided order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mem/access.hh"
+
+namespace {
+
+using namespace gasnub;
+using gasnub::mem::StridedSweep;
+
+TEST(StridedSweep, Stride1IsSequential)
+{
+    StridedSweep s(0x1000, 8, 1);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(s[i], 0x1000 + i * 8);
+}
+
+TEST(StridedSweep, StridedPassesVisitOffsetsInOrder)
+{
+    // 8 words, stride 3: passes are {0,3,6}, {1,4,7}, {2,5}.
+    StridedSweep s(0, 8, 3);
+    std::vector<Addr> got;
+    for (std::uint64_t i = 0; i < s.size(); ++i)
+        got.push_back(s[i] / 8);
+    EXPECT_EQ(got, (std::vector<Addr>{0, 3, 6, 1, 4, 7, 2, 5}));
+}
+
+TEST(StridedSweep, StrideLargerThanSetDegeneratesToSequential)
+{
+    StridedSweep s(0, 5, 8);
+    std::vector<Addr> got;
+    for (std::uint64_t i = 0; i < s.size(); ++i)
+        got.push_back(s[i] / 8);
+    EXPECT_EQ(got, (std::vector<Addr>{0, 1, 2, 3, 4}));
+}
+
+class SweepPermutation
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t>>
+{
+};
+
+TEST_P(SweepPermutation, VisitsEveryWordExactlyOnce)
+{
+    const auto [words, stride] = GetParam();
+    StridedSweep s(0x8000, words, stride);
+    ASSERT_EQ(s.size(), words);
+    std::set<Addr> seen;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        const Addr a = s[i];
+        EXPECT_EQ(a % 8, 0u);
+        EXPECT_GE(a, 0x8000u);
+        EXPECT_LT(a, 0x8000 + words * 8);
+        EXPECT_TRUE(seen.insert(a).second)
+            << "duplicate address at index " << i;
+    }
+    EXPECT_EQ(seen.size(), words);
+}
+
+TEST_P(SweepPermutation, ConsecutiveInPassAccessesDifferByStride)
+{
+    const auto [words, stride] = GetParam();
+    StridedSweep s(0, words, stride);
+    std::uint64_t in_pass_steps = 0;
+    for (std::uint64_t i = 1; i < words; ++i) {
+        const Addr prev = s[i - 1];
+        const Addr cur = s[i];
+        if (cur > prev && cur - prev == stride * 8)
+            ++in_pass_steps;
+    }
+    // All but (#passes - 1) transitions step by exactly the stride.
+    const std::uint64_t passes =
+        std::min<std::uint64_t>(stride, words);
+    EXPECT_EQ(in_pass_steps, words - passes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperStrides, SweepPermutation,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 7, 8, 64, 255, 256, 1000),
+        ::testing::Values(1, 2, 3, 4, 5, 8, 16, 31, 32, 63, 64, 128,
+                          192)));
+
+} // namespace

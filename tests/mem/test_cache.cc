@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit and property tests for the functional cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::mem;
+
+CacheConfig
+smallDirectWT()
+{
+    CacheConfig c;
+    c.name = "l1";
+    c.sizeBytes = 256; // 8 lines of 32 B
+    c.lineBytes = 32;
+    c.assoc = 1;
+    c.writePolicy = WritePolicy::WriteThrough;
+    c.allocPolicy = AllocPolicy::ReadAllocate;
+    return c;
+}
+
+CacheConfig
+smallAssocWB()
+{
+    CacheConfig c;
+    c.name = "l2";
+    c.sizeBytes = 512; // 4 sets x 2 ways x 64 B
+    c.lineBytes = 64;
+    c.assoc = 2;
+    c.writePolicy = WritePolicy::WriteBack;
+    c.allocPolicy = AllocPolicy::ReadWriteAllocate;
+    return c;
+}
+
+TEST(Cache, ColdReadMissesThenHits)
+{
+    Cache c(smallDirectWT());
+    auto r1 = c.access(0x100, AccessType::Read);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_TRUE(r1.allocated);
+    auto r2 = c.access(0x108, AccessType::Read); // same 32 B line
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, WriteThroughDoesNotAllocateOnWriteMiss)
+{
+    Cache c(smallDirectWT());
+    auto r = c.access(0x200, AccessType::Write);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.allocated);
+    EXPECT_FALSE(c.contains(0x200));
+}
+
+TEST(Cache, WriteBackAllocatesAndDirties)
+{
+    Cache c(smallAssocWB());
+    auto r = c.access(0x1000, AccessType::Write);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.allocated);
+    EXPECT_TRUE(c.contains(0x1000));
+
+    // Evicting the dirty line must report a writeback. Fill the set:
+    // set index = (addr/64) % 4; 0x1000/64 = 64 -> set 0.
+    c.access(0x1000 + 4 * 64, AccessType::Read);  // same set, way 2
+    auto evict = c.access(0x1000 + 8 * 64, AccessType::Read);
+    EXPECT_TRUE(evict.allocated);
+    EXPECT_TRUE(evict.evictedDirty);
+    EXPECT_EQ(evict.victimAddr, 0x1000u);
+}
+
+TEST(Cache, LruReplacementInSet)
+{
+    Cache c(smallAssocWB());
+    const Addr a = 0x0, b = 4 * 64, d = 8 * 64; // all set 0
+    c.access(a, AccessType::Read);
+    c.access(b, AccessType::Read);
+    c.access(a, AccessType::Read);   // a is now MRU
+    c.access(d, AccessType::Read);   // evicts b (LRU)
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache c(smallDirectWT());
+    const Addr a = 0x0, b = 256; // same index (8 lines x 32 B)
+    c.access(a, AccessType::Read);
+    EXPECT_TRUE(c.contains(a));
+    c.access(b, AccessType::Read);
+    EXPECT_FALSE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(smallDirectWT());
+    c.access(0x40, AccessType::Read);
+    EXPECT_TRUE(c.contains(0x40));
+    c.invalidate(0x48); // same line
+    EXPECT_FALSE(c.contains(0x40));
+    c.invalidate(0x48); // idempotent
+}
+
+TEST(Cache, InvalidateAllEmptiesCache)
+{
+    Cache c(smallDirectWT());
+    for (Addr a = 0; a < 256; a += 32)
+        c.access(a, AccessType::Read);
+    c.invalidateAll();
+    for (Addr a = 0; a < 256; a += 32)
+        EXPECT_FALSE(c.contains(a));
+}
+
+TEST(Cache, CleanClearsDirtyBit)
+{
+    Cache c(smallAssocWB());
+    c.access(0x1000, AccessType::Write);
+    EXPECT_TRUE(c.clean(0x1000));
+    EXPECT_FALSE(c.clean(0x1000)); // already clean
+    // Eviction of a cleaned line must not report a writeback.
+    c.access(0x1000 + 4 * 64, AccessType::Read);
+    auto evict = c.access(0x1000 + 8 * 64, AccessType::Read);
+    EXPECT_FALSE(evict.evictedDirty);
+}
+
+TEST(Cache, InstallMarksLineDirtyWithoutReadingBelow)
+{
+    Cache c(smallAssocWB());
+    auto r = c.install(0x2000);
+    EXPECT_TRUE(r.allocated);
+    EXPECT_TRUE(c.contains(0x2000));
+    // A later eviction writes it back.
+    c.access(0x2000 + 4 * 64, AccessType::Read);
+    auto evict = c.access(0x2000 + 8 * 64, AccessType::Read);
+    EXPECT_TRUE(evict.evictedDirty);
+}
+
+TEST(Cache, InstallOnPresentLineJustDirties)
+{
+    Cache c(smallAssocWB());
+    c.access(0x3000, AccessType::Read);
+    auto r = c.install(0x3000);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.allocated);
+}
+
+/** Property: capacity is respected — never more lines than capacity. */
+class CacheCapacity
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheCapacity, WorkingSetWithinCapacityAlwaysHitsAfterPriming)
+{
+    const auto [assoc, line] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = 4_KiB;
+    cfg.lineBytes = static_cast<std::uint32_t>(line);
+    cfg.assoc = static_cast<std::uint32_t>(assoc);
+    cfg.writePolicy = WritePolicy::WriteBack;
+    cfg.allocPolicy = AllocPolicy::ReadWriteAllocate;
+    Cache c(cfg);
+
+    // Prime exactly the capacity, then touch it again: all hits.
+    for (Addr a = 0; a < cfg.sizeBytes; a += line)
+        c.access(a, AccessType::Read);
+    const auto misses_after_prime = c.misses();
+    for (Addr a = 0; a < cfg.sizeBytes; a += line)
+        EXPECT_TRUE(c.access(a, AccessType::Read).hit);
+    EXPECT_EQ(c.misses(), misses_after_prime);
+}
+
+TEST_P(CacheCapacity, RandomAccessesNeverCrash)
+{
+    const auto [assoc, line] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = 4_KiB;
+    cfg.lineBytes = static_cast<std::uint32_t>(line);
+    cfg.assoc = static_cast<std::uint32_t>(assoc);
+    cfg.writePolicy = WritePolicy::WriteBack;
+    cfg.allocPolicy = AllocPolicy::ReadWriteAllocate;
+    Cache c(cfg);
+    sim::Rng rng(42);
+    std::uint64_t hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.below(64_KiB) & ~7ull;
+        const auto t = rng.below(2) ? AccessType::Read
+                                    : AccessType::Write;
+        if (c.access(a, t).hit)
+            ++hits;
+        // The reported hit must agree with contains() afterwards.
+        EXPECT_TRUE(c.contains(a));
+    }
+    EXPECT_EQ(c.hits(), hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheCapacity,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(32, 64, 128)));
+
+} // namespace

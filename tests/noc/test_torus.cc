@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the 3D torus interconnect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "noc/torus.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::noc;
+
+TorusConfig
+smallTorus()
+{
+    TorusConfig t;
+    t.dimX = 4;
+    t.dimY = 2;
+    t.dimZ = 1;
+    t.linkMBs = 100; // 10 ns per byte
+    t.hopNs = 10;
+    t.nicNs = 20;
+    t.headerBytes = 8;
+    t.procsPerNic = 1;
+    t.partnerSwitchNs = 100;
+    return t;
+}
+
+TEST(Torus, CoordinatesRoundTrip)
+{
+    Torus t(smallTorus());
+    EXPECT_EQ(t.numNodes(), 8);
+    auto c = t.coordOf(5); // router 5: x=1, y=1, z=0
+    EXPECT_EQ(c.x, 1);
+    EXPECT_EQ(c.y, 1);
+    EXPECT_EQ(c.z, 0);
+}
+
+TEST(Torus, HopCountUsesShortestRingDirection)
+{
+    Torus t(smallTorus());
+    EXPECT_EQ(t.hopCount(0, 0), 0);
+    EXPECT_EQ(t.hopCount(0, 1), 1);
+    EXPECT_EQ(t.hopCount(0, 3), 1); // wraparound on the 4-ring
+    EXPECT_EQ(t.hopCount(0, 2), 2);
+    EXPECT_EQ(t.hopCount(0, 4), 1); // one Y hop
+    EXPECT_EQ(t.hopCount(0, 6), 3); // 2 in X + 1 in Y
+}
+
+TEST(Torus, PacketLatencyGrowsWithDistance)
+{
+    Torus t(smallTorus());
+    const Tick near = t.send(0, 1, 64, 0).arrived;
+    t.reset();
+    const Tick far = t.send(0, 2, 64, 0).arrived;
+    EXPECT_GT(far, near);
+}
+
+TEST(Torus, BandwidthBoundedByLink)
+{
+    Torus t(smallTorus());
+    // 100 packets of 64 B payload (72 B wire = 720 ns each).
+    Tick last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = t.send(0, 1, 64, 0).arrived;
+    const double mbs = 100.0 * 64 * 1e6 / static_cast<double>(last);
+    // Effective rate approaches payload/wire x link = 88.9 MB/s.
+    EXPECT_GT(mbs, 80);
+    EXPECT_LT(mbs, 90);
+}
+
+TEST(Torus, PartnerSwitchCharged)
+{
+    // On an idle NIC a packet to the same partner injects on request;
+    // switching partners costs the per-message overhead (100 ns).
+    Torus t(smallTorus());
+    t.send(0, 1, 8, 0);
+    const Tick same = t.send(0, 1, 8, 1000000).injected;
+    t.reset();
+    t.send(0, 1, 8, 0);
+    const Tick switched = t.send(0, 2, 8, 1000000).injected;
+    EXPECT_EQ(same, 1000000u);
+    EXPECT_EQ(switched, 1100000u);
+}
+
+TEST(Torus, SharedNicSerializesPairedProcessors)
+{
+    TorusConfig cfg = smallTorus();
+    cfg.procsPerNic = 2;
+    Torus t(cfg);
+    EXPECT_EQ(t.numNodes(), 16);
+    // Nodes 0 and 1 share NIC 0.
+    const Tick a = t.send(0, 4, 64, 0).injected;
+    const Tick b = t.send(1, 6, 64, 0).injected;
+    EXPECT_GT(b, a); // second injection waits for the shared NIC
+}
+
+TEST(Torus, DisjointRoutesDoNotInterfere)
+{
+    Torus t(smallTorus());
+    const Tick a = t.send(0, 1, 64, 0).injected;
+    const Tick b = t.send(2, 3, 64, 0).injected;
+    EXPECT_EQ(a, b); // different NICs, different links
+}
+
+TEST(Torus, ResetRestoresIdleState)
+{
+    Torus t(smallTorus());
+    t.send(0, 1, 64, 0);
+    const std::uint64_t packets = t.packets();
+    t.reset();
+    const Tick after = t.send(0, 1, 64, 0).injected;
+    EXPECT_EQ(after, 0u);
+    EXPECT_EQ(t.packets(), packets + 1);
+}
+
+TEST(Torus, MachineFactoriesMatchPaperTopology)
+{
+    // The T3D pairs two PEs per network node; the T3E does not.
+    auto t3d = machine::t3dTorusConfig(4);
+    EXPECT_EQ(t3d.procsPerNic, 2);
+    EXPECT_EQ(t3d.dimX * t3d.dimY * t3d.dimZ, 2);
+    auto t3e = machine::t3eTorusConfig(4);
+    EXPECT_EQ(t3e.procsPerNic, 1);
+    EXPECT_EQ(t3e.dimX * t3e.dimY * t3e.dimZ, 4);
+    // 512-processor machines factor into an 8x8x8-ish torus.
+    auto big = machine::t3eTorusConfig(512);
+    EXPECT_EQ(big.dimX * big.dimY * big.dimZ, 512);
+    EXPECT_LE(big.dimX, 16);
+}
+
+class TorusRouting : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TorusRouting, AllPairsDeliverWithBoundedHops)
+{
+    TorusConfig cfg = smallTorus();
+    cfg.dimX = GetParam();
+    cfg.dimY = 2;
+    Torus t(cfg);
+    const int diameter = cfg.dimX / 2 + cfg.dimY / 2 + cfg.dimZ / 2;
+    for (int s = 0; s < t.numNodes(); ++s) {
+        for (int d = 0; d < t.numNodes(); ++d) {
+            t.reset();
+            auto r = t.send(s, d, 8, 0);
+            EXPECT_LE(r.hops, diameter);
+            EXPECT_EQ(r.hops, t.hopCount(s, d));
+            EXPECT_GE(r.arrived, r.injected);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, TorusRouting,
+                         ::testing::Values(2, 3, 4, 8));
+
+} // namespace

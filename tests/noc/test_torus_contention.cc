@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Contention and backfill behaviour of the torus under multiple
+ * flows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "noc/torus.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::noc;
+
+TorusConfig
+ring8()
+{
+    TorusConfig t;
+    t.dimX = 8;
+    t.dimY = 1;
+    t.dimZ = 1;
+    t.linkMBs = 100;
+    t.hopNs = 10;
+    t.nicNs = 20;
+    t.headerBytes = 8;
+    t.partnerSwitchNs = 0;
+    return t;
+}
+
+TEST(TorusContention, TwoFlowsOnOneLinkHalveThroughput)
+{
+    // Flows 0->2 and 1->2 share the link 1->2.
+    Torus t(ring8());
+    Tick last_single = 0;
+    for (int i = 0; i < 64; ++i)
+        last_single = t.send(0, 2, 92, 0).arrived;
+
+    t.reset();
+    Tick last_shared = 0;
+    for (int i = 0; i < 64; ++i) {
+        t.send(0, 2, 92, 0);
+        last_shared =
+            std::max(last_shared, t.send(1, 2, 92, 0).arrived);
+    }
+    // 128 packets over the shared hop take about twice as long.
+    EXPECT_GT(last_shared, 1.8 * last_single);
+    EXPECT_LT(last_shared, 2.5 * last_single);
+}
+
+TEST(TorusContention, BackfillLetsLateCallsUseEarlierSlots)
+{
+    // A sparse flow books the link far into the future; a second
+    // flow presenting earlier timestamps afterwards must slot into
+    // the gaps rather than queue at the tail.
+    Torus t(ring8());
+    for (int i = 0; i < 16; ++i)
+        t.send(0, 1, 8, static_cast<Tick>(i) * 10'000'000); // 10 us
+    // Now a burst with early timestamps.
+    const Tick arr = t.send(7, 1, 8, 0).arrived; // different link
+    EXPECT_LT(arr, 5'000'000u);
+    // Same link as the sparse flow, early timestamp: fits in a gap.
+    const Tick arr2 = t.send(0, 1, 8, 1'000'000).injected;
+    EXPECT_LT(arr2, 10'000'000u);
+}
+
+TEST(TorusContention, OppositeDirectionsDoNotContend)
+{
+    Torus t(ring8());
+    Tick a = 0, b = 0;
+    for (int i = 0; i < 32; ++i) {
+        a = t.send(0, 1, 92, 0).arrived;
+        b = t.send(2, 1, 92, 0).arrived; // arrives over link 2->1
+    }
+    // Each direction uses its own directed link and its own NIC
+    // port; neither flow is doubled.
+    Torus solo(ring8());
+    Tick a_solo = 0;
+    for (int i = 0; i < 32; ++i)
+        a_solo = solo.send(0, 1, 92, 0).arrived;
+    EXPECT_LT(a, 1.3 * a_solo);
+    EXPECT_LT(b, 1.3 * a_solo);
+}
+
+TEST(TorusContention, BisectionLimitsAllToAll)
+{
+    // All nodes send across the ring: per-node throughput is bounded
+    // by the two bisection links.
+    Torus t(ring8());
+    Tick neighbour_last = 0;
+    for (int i = 0; i < 32; ++i)
+        for (NodeId p = 0; p < 8; ++p)
+            neighbour_last = std::max(
+                neighbour_last,
+                t.send(p, (p + 1) % 8, 92, 0).arrived);
+    t.reset();
+    Tick across_last = 0;
+    for (int i = 0; i < 32; ++i)
+        for (NodeId p = 0; p < 8; ++p)
+            across_last = std::max(
+                across_last, t.send(p, (p + 4) % 8, 92, 0).arrived);
+    EXPECT_GT(across_last, 2.0 * neighbour_last);
+}
+
+} // namespace

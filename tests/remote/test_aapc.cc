@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the AAPC scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "remote/aapc.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::remote;
+
+TEST(Aapc, ScheduleNames)
+{
+    EXPECT_STREQ(aapcScheduleName(AapcSchedule::ShiftRing),
+                 "shift-ring");
+    EXPECT_STREQ(aapcScheduleName(AapcSchedule::PairwiseXor),
+                 "pairwise-xor");
+    EXPECT_STREQ(aapcScheduleName(AapcSchedule::NaiveOrdered),
+                 "naive-ordered");
+}
+
+TEST(Aapc, MovesAllPairwiseBlocks)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    AapcConfig cfg;
+    cfg.method = TransferMethod::Fetch;
+    cfg.wordsPerPair = 128;
+    const AapcResult r = runAapc(m.remote(), 4, cfg,
+                                 defaultAapcPlacement());
+    EXPECT_EQ(r.bytesMoved, 4u * 3 * 128 * 8);
+    EXPECT_EQ(r.rounds, 3);
+    EXPECT_GT(r.mbs, 0);
+    EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(Aapc, ShiftRingNotSlowerThanNaive)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 8);
+    AapcConfig cfg;
+    cfg.method = TransferMethod::Fetch;
+    cfg.wordsPerPair = 512;
+    cfg.schedule = AapcSchedule::ShiftRing;
+    const double ring =
+        runAapc(m.remote(), 8, cfg, defaultAapcPlacement()).mbs;
+    m.resetAll();
+    cfg.schedule = AapcSchedule::NaiveOrdered;
+    const double naive =
+        runAapc(m.remote(), 8, cfg, defaultAapcPlacement()).mbs;
+    EXPECT_GE(ring, 0.95 * naive);
+}
+
+TEST(Aapc, PairwiseXorRequiresPow2)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 8);
+    AapcConfig cfg;
+    cfg.method = TransferMethod::Fetch;
+    cfg.schedule = AapcSchedule::PairwiseXor;
+    cfg.wordsPerPair = 64;
+    const AapcResult r = runAapc(m.remote(), 8, cfg,
+                                 defaultAapcPlacement());
+    EXPECT_EQ(r.rounds, 7);
+    EXPECT_GT(r.mbs, 0);
+}
+
+TEST(Aapc, DepositAndFetchBothWorkOnCrays)
+{
+    machine::Machine t3d(machine::SystemKind::CrayT3D, 4);
+    AapcConfig cfg;
+    cfg.wordsPerPair = 128;
+    cfg.method = TransferMethod::Deposit;
+    EXPECT_GT(runAapc(t3d.remote(), 4, cfg, defaultAapcPlacement())
+                  .mbs,
+              0);
+}
+
+TEST(Aapc, StridedBlocksSlowerThanContiguous)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    AapcConfig cfg;
+    cfg.method = TransferMethod::Deposit;
+    cfg.wordsPerPair = 1024;
+    const double contig =
+        runAapc(m.remote(), 4, cfg, defaultAapcPlacement()).mbs;
+    m.resetAll();
+    cfg.dstStride = 16;
+    const double strided =
+        runAapc(m.remote(), 4, cfg, defaultAapcPlacement()).mbs;
+    EXPECT_GT(contig, 1.5 * strided);
+}
+
+} // namespace

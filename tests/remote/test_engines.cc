@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit and property tests for the remote-transfer engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "remote/remote_ops.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using remote::TransferMethod;
+using remote::TransferRequest;
+
+TEST(RemoteOps, MethodNames)
+{
+    EXPECT_STREQ(remote::methodName(TransferMethod::Deposit),
+                 "deposit");
+    EXPECT_STREQ(remote::methodName(TransferMethod::Fetch), "fetch");
+    EXPECT_STREQ(remote::methodName(TransferMethod::CoherentPull),
+                 "coherent-pull");
+}
+
+TEST(RemoteOps, SupportMatrixMatchesPaper)
+{
+    machine::Machine dec(machine::SystemKind::Dec8400, 2);
+    machine::Machine t3d(machine::SystemKind::CrayT3D, 4);
+    machine::Machine t3e(machine::SystemKind::CrayT3E, 4);
+    // "The DEC 8400 does not have support for pushing data."
+    EXPECT_FALSE(dec.remote().supports(TransferMethod::Deposit));
+    EXPECT_FALSE(dec.remote().supports(TransferMethod::Fetch));
+    EXPECT_TRUE(dec.remote().supports(TransferMethod::CoherentPull));
+    EXPECT_TRUE(t3d.remote().supports(TransferMethod::Deposit));
+    EXPECT_TRUE(t3d.remote().supports(TransferMethod::Fetch));
+    EXPECT_FALSE(t3d.remote().supports(TransferMethod::CoherentPull));
+    EXPECT_TRUE(t3e.remote().supports(TransferMethod::Fetch));
+    // Native methods as chosen by the Fx back-ends (Section 9).
+    EXPECT_EQ(dec.nativeMethod(), TransferMethod::CoherentPull);
+    EXPECT_EQ(t3d.nativeMethod(), TransferMethod::Deposit);
+    EXPECT_EQ(t3e.nativeMethod(), TransferMethod::Fetch);
+}
+
+TEST(CrayEngine, DepositLandsDataAndInvalidatesDestinationCaches)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    // Destination caches the target line first.
+    m.node(2).read(1ull << 33);
+    ASSERT_TRUE(m.node(2).level(0).contains(1ull << 33));
+    TransferRequest req;
+    req.src = 0;
+    req.dst = 2;
+    req.srcAddr = 0;
+    req.dstAddr = 1ull << 33;
+    req.words = 64;
+    const Tick t =
+        m.remote().transfer(req, TransferMethod::Deposit, 0);
+    EXPECT_GT(t, 0u);
+    // The fetch/deposit circuitry invalidated the stale L1 line.
+    EXPECT_FALSE(m.node(2).level(0).contains(1ull << 33));
+}
+
+TEST(CrayEngine, ZeroWordTransferIsFree)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    TransferRequest req;
+    req.src = 0;
+    req.dst = 1;
+    req.words = 0;
+    EXPECT_EQ(m.remote().transfer(req, TransferMethod::Fetch, 123u),
+              123u);
+}
+
+TEST(CrayEngine, ContiguousBeatsStridedTransfers)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    auto run = [&](std::uint64_t dst_stride) {
+        m.resetAll();
+        TransferRequest req;
+        req.src = 0;
+        req.dst = 1;
+        req.srcAddr = 0;
+        req.dstAddr = 1ull << 33;
+        req.words = 4096;
+        req.dstStride = dst_stride;
+        return m.remote().transfer(req, TransferMethod::Deposit, 0);
+    };
+    EXPECT_LT(run(1), run(8));
+}
+
+TEST(CrayEngine, T3eEvenStrideScatterSlowerThanOdd)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    auto run = [&](std::uint64_t dst_stride) {
+        m.resetAll();
+        TransferRequest req;
+        req.src = 0;
+        req.dst = 1;
+        req.srcAddr = 0;
+        req.dstAddr = 1ull << 33;
+        req.words = 4096;
+        req.dstStride = dst_stride;
+        return m.remote().transfer(req, TransferMethod::Deposit, 0);
+    };
+    // Figure 8's ripples: even strides hit one bank parity.
+    const Tick even = run(8);
+    const Tick odd = run(7);
+    EXPECT_GT(static_cast<double>(even), 1.5 * static_cast<double>(odd));
+}
+
+TEST(CrayEngine, T3dFetchSlowerThanDeposit)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    auto run = [&](TransferMethod method) {
+        m.resetAll();
+        TransferRequest req;
+        req.src = 0;
+        req.dst = 2;
+        req.srcAddr = 0;
+        req.dstAddr = 1ull << 33;
+        req.words = 8192;
+        return m.remote().transfer(req, method, 0);
+    };
+    // "Pulling data proves to be consistently inferior to pushing."
+    EXPECT_GT(run(TransferMethod::Fetch),
+              run(TransferMethod::Deposit));
+}
+
+TEST(CrayEngine, T3eFetchAndDepositComparable)
+{
+    machine::Machine m(machine::SystemKind::CrayT3E, 4);
+    auto run = [&](TransferMethod method) {
+        m.resetAll();
+        TransferRequest req;
+        req.src = 0;
+        req.dst = 1;
+        req.srcAddr = 0;
+        req.dstAddr = 1ull << 33;
+        req.words = 16384;
+        return m.remote().transfer(req, method, 0);
+    };
+    const double f = static_cast<double>(run(TransferMethod::Fetch));
+    const double d =
+        static_cast<double>(run(TransferMethod::Deposit));
+    // "The deposit model enjoys no performance advantages over the
+    // fetch model" on the T3E (Section 5.6).
+    EXPECT_LT(std::abs(f - d) / d, 0.2);
+}
+
+TEST(CrayEngine, ElementRunsKeepWbqCoalescing)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    auto run = [&](std::uint64_t elem_words,
+                   std::uint64_t dst_stride) {
+        m.resetAll();
+        TransferRequest req;
+        req.src = 0;
+        req.dst = 2;
+        req.srcAddr = 0;
+        req.dstAddr = 1ull << 33;
+        req.words = 4096;
+        req.elemWords = elem_words;
+        req.srcStride = 64;
+        req.dstStride = dst_stride;
+        return m.remote().transfer(req, TransferMethod::Deposit, 0);
+    };
+    // Pair elements landing contiguously coalesce in the WBQ and beat
+    // the same data scattered word-by-word.
+    EXPECT_LT(run(2, 2), run(1, 16));
+}
+
+TEST(SmpPull, TransferEndsInConsumerCaches)
+{
+    machine::Machine m(machine::SystemKind::Dec8400, 2);
+    m.produce(1, 0x100000, 512);
+    m.resetTiming();
+    TransferRequest req;
+    req.src = 1;
+    req.dst = 0;
+    req.srcAddr = 0x100000;
+    req.words = 512;
+    const Tick t =
+        m.remote().transfer(req, TransferMethod::CoherentPull, 0);
+    EXPECT_GT(t, 0u);
+    EXPECT_TRUE(m.node(0).level(0).contains(0x100000 + 512 * 8 - 8));
+}
+
+class TransferMonotonicity
+    : public ::testing::TestWithParam<machine::SystemKind>
+{
+};
+
+TEST_P(TransferMonotonicity, TimeGrowsWithWordCount)
+{
+    machine::Machine m(GetParam(), 4);
+    const auto method = m.nativeMethod();
+    Tick prev = 0;
+    for (std::uint64_t words : {64, 256, 1024, 4096}) {
+        m.resetAll();
+        TransferRequest req;
+        req.src = GetParam() == machine::SystemKind::CrayT3D ? 0 : 1;
+        req.dst = GetParam() == machine::SystemKind::CrayT3D ? 2 : 0;
+        if (GetParam() == machine::SystemKind::Dec8400)
+            m.produce(req.src, 0, words);
+        req.srcAddr = 0;
+        req.dstAddr = 1ull << 33;
+        req.words = words;
+        const Tick t = m.remote().transfer(req, method, 0);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, TransferMonotonicity,
+                         ::testing::Values(
+                             machine::SystemKind::Dec8400,
+                             machine::SystemKind::CrayT3D,
+                             machine::SystemKind::CrayT3E));
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the deterministic discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using gasnub::Tick;
+using gasnub::sim::EventPriority;
+using gasnub::sim::EventQueue;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, EventPriority::Default);
+    q.schedule(5, [&] { order.push_back(3); }, EventPriority::Low);
+    q.schedule(5, [&] { order.push_back(1); }, EventPriority::High);
+    q.schedule(5, [&] { order.push_back(4); }, EventPriority::Low);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleIn(9, [&] { ++fired; });
+    });
+    Tick end = q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(end, 10u);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    auto h = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(q.deschedule(h));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DescheduleTwiceReturnsFalse)
+{
+    EventQueue q;
+    auto h = q.schedule(10, [] {});
+    EXPECT_TRUE(q.deschedule(h));
+    EXPECT_FALSE(q.deschedule(h));
+}
+
+TEST(EventQueue, DescheduleAfterExecutionReturnsFalse)
+{
+    EventQueue q;
+    auto h = q.schedule(10, [] {});
+    q.run();
+    EXPECT_FALSE(q.deschedule(h));
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeToLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    auto h = q.schedule(10, [&] { ++fired; });
+    q.deschedule(h);
+    q.runUntil(50);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, ResetDropsEverything)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.runUntil(5);
+    q.reset();
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, ManyEventsStressDeterministic)
+{
+    EventQueue q;
+    std::uint64_t sum1 = 0;
+    for (int i = 0; i < 10000; ++i)
+        q.schedule((i * 37) % 1000, [&sum1, i] { sum1 += i; });
+    q.run();
+
+    EventQueue q2;
+    std::uint64_t sum2 = 0;
+    for (int i = 0; i < 10000; ++i)
+        q2.schedule((i * 37) % 1000, [&sum2, i] { sum2 += i; });
+    q2.run();
+    EXPECT_EQ(sum1, sum2);
+    EXPECT_EQ(sum1, 10000ull * 9999 / 2);
+}
+
+} // namespace

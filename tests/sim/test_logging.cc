@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests for the logging/error machinery (gem5-style panic/fatal).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace gasnub;
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(GASNUB_FATAL("bad user input ", 42),
+                ::testing::ExitedWithCode(1), "bad user input 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(GASNUB_PANIC("internal bug: ", "details"),
+                 "internal bug: details");
+}
+
+TEST(LoggingDeath, AssertPassesOnTrue)
+{
+    GASNUB_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, AssertPanicsOnFalse)
+{
+    EXPECT_DEATH(GASNUB_ASSERT(false, "must not hold"),
+                 "assertion failed");
+}
+
+TEST(Logging, LevelsRoundTrip)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(old);
+}
+
+} // namespace

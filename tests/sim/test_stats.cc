@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace gasnub::stats;
+
+TEST(Scalar, CountsAndResets)
+{
+    Group g("test");
+    Scalar s(&g, "test.counter", "a counter");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    ++s;
+    s += 3.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+    s = 42;
+    EXPECT_EQ(s.value(), 42.0);
+}
+
+TEST(Average, ComputesMean)
+{
+    Group g("test");
+    Average a(&g, "test.avg", "an average");
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Distribution, BucketsSamplesCorrectly)
+{
+    Group g("test");
+    Distribution d(&g, "test.dist", "a distribution", 0, 100, 10);
+    d.sample(5);    // bucket 0
+    d.sample(15);   // bucket 1
+    d.sample(95);   // bucket 9
+    d.sample(-1);   // underflow
+    d.sample(100);  // overflow (max is exclusive)
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[9], 1u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(d.minSeen(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 100.0);
+}
+
+TEST(Distribution, MeanTracksAllSamples)
+{
+    Group g("test");
+    Distribution d(&g, "test.dist", "d", 0, 10, 5);
+    d.sample(2);
+    d.sample(4);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.underflow(), 0u);
+}
+
+TEST(Group, DumpContainsNamesValuesAndDescriptions)
+{
+    Group g("grp");
+    Scalar s(&g, "grp.hits", "hit count");
+    s += 7;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("grp.hits"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("hit count"), std::string::npos);
+}
+
+TEST(Group, NestedGroupsDumpAndReset)
+{
+    Group parent("parent");
+    Group child("child");
+    parent.addChild(&child);
+    Scalar s(&child, "child.n", "nested");
+    s += 3;
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("child.n"), std::string::npos);
+    parent.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Group, FindLocatesStatsRecursively)
+{
+    Group parent("parent");
+    Group child("child");
+    parent.addChild(&child);
+    Scalar a(&parent, "a", "top");
+    Scalar b(&child, "b", "nested");
+    EXPECT_EQ(parent.find("a"), &a);
+    EXPECT_EQ(parent.find("b"), &b);
+    EXPECT_EQ(parent.find("missing"), nullptr);
+}
+
+TEST(Group, RemoveDeregistersStat)
+{
+    Group g("g");
+    Scalar s(&g, "s", "d");
+    g.remove(&s);
+    EXPECT_EQ(g.find("s"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,28 @@
+// Scratch calibration: distributed 2D-FFT rates vs Figures 15-17.
+#include <cstdio>
+#include "fft/fft2d_dist.hh"
+
+using namespace gasnub;
+
+static void run(machine::SystemKind kind, const char* name) {
+    machine::Machine m(kind, 4);
+    fft::DistributedFft2d app(m);
+    std::printf("%-10s", name);
+    for (std::uint64_t n : {32, 64, 128, 256, 512, 1024}) {
+        fft::Fft2dConfig cfg; cfg.n = n;
+        auto r = app.run(cfg);
+        std::printf("  n=%4llu ov=%4.0f cp=%4.0f cm=%4.0f |",
+                    (unsigned long long)n, r.overallMFlops,
+                    r.computeMFlops, r.commMBs);
+    }
+    std::printf("\n");
+}
+
+int main() {
+    std::printf("targets @256: T3D ov 133, 8400 ov 220, T3E ov 330\n");
+    std::printf("fig16 @256 totals: T3D ~150, 8400 ~400-470, T3E ~800\n");
+    run(machine::SystemKind::CrayT3D, "T3D");
+    run(machine::SystemKind::Dec8400, "8400");
+    run(machine::SystemKind::CrayT3E, "T3E");
+    return 0;
+}

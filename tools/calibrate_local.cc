@@ -1,0 +1,92 @@
+// Scratch calibration harness: prints local load-bandwidth plateaus and
+// copy bandwidths for the three machines next to the paper's targets.
+#include <cstdio>
+#include "kernels/kernels.hh"
+#include "kernels/remote_kernels.hh"
+#include "machine/configs.hh"
+#include "sim/units.hh"
+
+using namespace gasnub;
+
+static void surface(const char* label, mem::HierarchyConfig cfg,
+                    std::initializer_list<std::uint64_t> wss,
+                    std::initializer_list<std::uint64_t> strides) {
+    mem::MemoryHierarchy h(cfg);
+    std::printf("== %s load-sum ==\n%10s", label, "ws\\stride");
+    for (auto s : strides) std::printf("%8llu", (unsigned long long)s);
+    std::printf("\n");
+    for (auto ws : wss) {
+        std::printf("%10s", formatSize(ws).c_str());
+        for (auto s : strides) {
+            kernels::KernelParams p; p.wsBytes = ws; p.stride = s;
+            auto r = kernels::loadSum(h, p);
+            std::printf("%8.0f", r.mbs);
+        }
+        std::printf("\n");
+    }
+}
+
+static void copies(const char* label, mem::HierarchyConfig cfg,
+                   std::initializer_list<std::uint64_t> strides) {
+    mem::MemoryHierarchy h(cfg);
+    std::printf("== %s copy (65M ws) ==\n%10s", label, "variant");
+    for (auto s : strides) std::printf("%8llu", (unsigned long long)s);
+    std::printf("\n%10s", "sload");
+    for (auto s : strides) {
+        kernels::KernelParams p; p.wsBytes = 65 * 1_MiB; p.stride = s;
+        auto r = kernels::copy(h, p, kernels::CopyVariant::StridedLoads,
+                               p.wsBytes);
+        std::printf("%8.0f", r.mbs);
+    }
+    std::printf("\n%10s", "sstore");
+    for (auto s : strides) {
+        kernels::KernelParams p; p.wsBytes = 65 * 1_MiB; p.stride = s;
+        auto r = kernels::copy(h, p, kernels::CopyVariant::StridedStores,
+                               p.wsBytes);
+        std::printf("%8.0f", r.mbs);
+    }
+    std::printf("\n");
+}
+
+static void surfaceMachine(const char* label, machine::SystemKind kind,
+                           std::initializer_list<std::uint64_t> wss,
+                           std::initializer_list<std::uint64_t> strides) {
+    machine::Machine m(kind, 4);
+    std::printf("== %s (machine path) ==\n%10s", label, "ws\\stride");
+    for (auto s : strides) std::printf("%8llu", (unsigned long long)s);
+    std::printf("\n");
+    for (auto ws : wss) {
+        std::printf("%10s", formatSize(ws).c_str());
+        for (auto s : strides) {
+            kernels::KernelParams p; p.wsBytes = ws; p.stride = s;
+            auto r = kernels::loadSumOn(m, 0, p);
+            std::printf("%8.0f", r.mbs);
+        }
+        std::printf("\n");
+    }
+}
+
+int main() {
+    using machine::dec8400Node; using machine::crayT3dNode;
+    using machine::crayT3eNode;
+    surface("DEC8400", dec8400Node(), {4_KiB, 64_KiB, 1_MiB, 16_MiB, 64_MiB},
+            {1,2,4,8,16,32,64,128});
+    std::printf("targets: L1 1100 | L2 700 | L3 600->120 | DRAM 150->28\n\n");
+    surface("T3D", crayT3dNode(), {4_KiB, 64_KiB, 16_MiB},
+            {1,2,4,8,16,32,64,128});
+    std::printf("targets: L1 ~600 | DRAM 195->43\n\n");
+    surface("T3E", crayT3eNode(), {4_KiB, 64_KiB, 1_MiB, 16_MiB},
+            {1,2,4,8,16,32,64,128});
+    std::printf("targets: L1 1100 | L2 700 | DRAM 430->42\n\n");
+    copies("DEC8400", dec8400Node(), {1,2,4,8,16,32,64});
+    std::printf("targets: contig 57, strided ~18 (both variants)\n\n");
+    copies("T3D", crayT3dNode(), {1,2,4,8,16,32,64});
+    std::printf("targets: contig 100, sload ->43, sstore ->70\n\n");
+    copies("T3E", crayT3eNode(), {1,2,4,8,16,32,64});
+    std::printf("targets: contig 200, strided ~20-40 (8400-like)\n\n");
+    surfaceMachine("DEC8400", machine::SystemKind::Dec8400,
+                   {4_KiB, 64_KiB, 1_MiB, 16_MiB},
+                   {1,2,4,8,16,32,64,128});
+    std::printf("targets: L1 1100 | L2 700 | L3 600->120 | DRAM 150->28\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Command-line characterizer: run any of the paper's micro-benchmark
+ * sweeps on any machine and print (or save) the resulting surface.
+ *
+ *   characterize <machine> <benchmark> [options]
+ *
+ *   machine    dec8400 | t3d | t3e
+ *   benchmark  loads | stores | copy-sload | copy-sstore |
+ *              pull | fetch-sload | deposit-sstore
+ *   options    --max-ws <size>   largest working set (default 8M)
+ *              --cap <size>      simulation cap (default 4M)
+ *              --out <file>      save the surface (gasnub format)
+ *              --procs <n>       machine size (default 4)
+ *
+ * Saved surfaces can be reloaded with core::loadSurfaceFile and fed
+ * to the TransferPlanner — the measure-once / decide-often split of
+ * the paper's compiler workflow.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/characterizer.hh"
+#include "core/surface_io.hh"
+#include "machine/machine.hh"
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+using namespace gasnub;
+
+namespace {
+
+void
+usage()
+{
+    std::cerr
+        << "usage: characterize <dec8400|t3d|t3e> <benchmark> "
+           "[--max-ws N] [--cap N]\n"
+           "                    [--out FILE] [--procs N]\n"
+           "benchmarks: loads stores copy-sload copy-sstore pull\n"
+           "            fetch-sload deposit-sstore\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+
+    machine::SystemKind kind;
+    const std::string mname = argv[1];
+    if (mname == "dec8400")
+        kind = machine::SystemKind::Dec8400;
+    else if (mname == "t3d")
+        kind = machine::SystemKind::CrayT3D;
+    else if (mname == "t3e")
+        kind = machine::SystemKind::CrayT3E;
+    else
+        usage();
+
+    const std::string benchmark = argv[2];
+    std::uint64_t max_ws = 8_MiB;
+    std::uint64_t cap = 4_MiB;
+    std::string out;
+    int procs = 4;
+    for (int i = 3; i < argc; ++i) {
+        const std::string opt = argv[i];
+        if (i + 1 >= argc)
+            usage();
+        const std::string val = argv[++i];
+        if (opt == "--max-ws")
+            max_ws = parseSize(val);
+        else if (opt == "--cap")
+            cap = parseSize(val);
+        else if (opt == "--out")
+            out = val;
+        else if (opt == "--procs")
+            procs = std::stoi(val);
+        else
+            usage();
+    }
+
+    machine::Machine m(kind, procs);
+    core::Characterizer c(m);
+    core::CharacterizeConfig cfg;
+    cfg.maxWorkingSet = max_ws;
+    cfg.capBytes = cap;
+
+    const NodeId src = kind == machine::SystemKind::CrayT3D ? 0 : 1;
+    const NodeId dst = kind == machine::SystemKind::CrayT3D ? 2 : 0;
+
+    core::Surface s("", {512}, {1});
+    if (benchmark == "loads") {
+        s = c.localLoads(0, cfg);
+    } else if (benchmark == "stores") {
+        s = c.localStores(0, cfg);
+    } else if (benchmark == "copy-sload") {
+        s = c.localCopy(0, kernels::CopyVariant::StridedLoads, cfg);
+    } else if (benchmark == "copy-sstore") {
+        s = c.localCopy(0, kernels::CopyVariant::StridedStores, cfg);
+    } else if (benchmark == "pull") {
+        s = c.remoteTransfer(remote::TransferMethod::CoherentPull,
+                             true, cfg, src, dst);
+    } else if (benchmark == "fetch-sload") {
+        s = c.remoteTransfer(remote::TransferMethod::Fetch, true,
+                             cfg, src, dst);
+    } else if (benchmark == "deposit-sstore") {
+        s = c.remoteTransfer(remote::TransferMethod::Deposit, false,
+                             cfg, src, dst);
+    } else {
+        usage();
+    }
+
+    s.print(std::cout);
+    if (!out.empty()) {
+        core::saveSurfaceFile(s, out);
+        std::cout << "saved to " << out << "\n";
+    }
+    return 0;
+}
