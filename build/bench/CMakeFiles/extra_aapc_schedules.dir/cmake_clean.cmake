@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_aapc_schedules.dir/extra_aapc_schedules.cc.o"
+  "CMakeFiles/extra_aapc_schedules.dir/extra_aapc_schedules.cc.o.d"
+  "extra_aapc_schedules"
+  "extra_aapc_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_aapc_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

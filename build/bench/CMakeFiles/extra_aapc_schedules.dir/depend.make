@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_aapc_schedules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_ablation_streams.dir/extra_ablation_streams.cc.o"
+  "CMakeFiles/extra_ablation_streams.dir/extra_ablation_streams.cc.o.d"
+  "extra_ablation_streams"
+  "extra_ablation_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_ablation_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_ablation_wbq.dir/extra_ablation_wbq.cc.o"
+  "CMakeFiles/extra_ablation_wbq.dir/extra_ablation_wbq.cc.o.d"
+  "extra_ablation_wbq"
+  "extra_ablation_wbq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_ablation_wbq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

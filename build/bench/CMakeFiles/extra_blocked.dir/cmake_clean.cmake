@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_blocked.dir/extra_blocked.cc.o"
+  "CMakeFiles/extra_blocked.dir/extra_blocked.cc.o.d"
+  "extra_blocked"
+  "extra_blocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_fft_methods.dir/extra_fft_methods.cc.o"
+  "CMakeFiles/extra_fft_methods.dir/extra_fft_methods.cc.o.d"
+  "extra_fft_methods"
+  "extra_fft_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_fft_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

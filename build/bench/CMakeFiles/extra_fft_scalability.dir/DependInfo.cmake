@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extra_fft_scalability.cc" "bench/CMakeFiles/extra_fft_scalability.dir/extra_fft_scalability.cc.o" "gcc" "bench/CMakeFiles/extra_fft_scalability.dir/extra_fft_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gasnub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/gasnub_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gasnub_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gasnub_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/gasnub_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/gasnub_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gasnub_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gasnub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gasnub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

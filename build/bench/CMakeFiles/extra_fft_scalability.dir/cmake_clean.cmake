@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_fft_scalability.dir/extra_fft_scalability.cc.o"
+  "CMakeFiles/extra_fft_scalability.dir/extra_fft_scalability.cc.o.d"
+  "extra_fft_scalability"
+  "extra_fft_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_fft_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

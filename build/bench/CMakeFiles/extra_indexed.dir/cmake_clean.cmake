@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_indexed.dir/extra_indexed.cc.o"
+  "CMakeFiles/extra_indexed.dir/extra_indexed.cc.o.d"
+  "extra_indexed"
+  "extra_indexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_indexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_loaded_dec8400.dir/extra_loaded_dec8400.cc.o"
+  "CMakeFiles/extra_loaded_dec8400.dir/extra_loaded_dec8400.cc.o.d"
+  "extra_loaded_dec8400"
+  "extra_loaded_dec8400.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_loaded_dec8400.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_loaded_dec8400.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_loaded_dec8400.
+# This may be replaced when dependencies are built.

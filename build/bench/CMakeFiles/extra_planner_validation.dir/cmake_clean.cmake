@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_planner_validation.dir/extra_planner_validation.cc.o"
+  "CMakeFiles/extra_planner_validation.dir/extra_planner_validation.cc.o.d"
+  "extra_planner_validation"
+  "extra_planner_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_planner_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_redistribution.dir/extra_redistribution.cc.o"
+  "CMakeFiles/extra_redistribution.dir/extra_redistribution.cc.o.d"
+  "extra_redistribution"
+  "extra_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

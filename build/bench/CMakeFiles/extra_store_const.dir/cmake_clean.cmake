@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_store_const.dir/extra_store_const.cc.o"
+  "CMakeFiles/extra_store_const.dir/extra_store_const.cc.o.d"
+  "extra_store_const"
+  "extra_store_const.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_store_const.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

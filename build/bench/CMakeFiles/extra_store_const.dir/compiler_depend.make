@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_store_const.
+# This may be replaced when dependencies are built.

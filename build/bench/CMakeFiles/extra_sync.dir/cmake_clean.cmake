@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_sync.dir/extra_sync.cc.o"
+  "CMakeFiles/extra_sync.dir/extra_sync.cc.o.d"
+  "extra_sync"
+  "extra_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_torus_congestion.dir/extra_torus_congestion.cc.o"
+  "CMakeFiles/extra_torus_congestion.dir/extra_torus_congestion.cc.o.d"
+  "extra_torus_congestion"
+  "extra_torus_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_torus_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

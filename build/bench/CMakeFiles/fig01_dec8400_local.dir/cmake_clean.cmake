@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_dec8400_local.dir/fig01_dec8400_local.cc.o"
+  "CMakeFiles/fig01_dec8400_local.dir/fig01_dec8400_local.cc.o.d"
+  "fig01_dec8400_local"
+  "fig01_dec8400_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dec8400_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

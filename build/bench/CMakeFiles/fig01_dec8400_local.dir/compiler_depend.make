@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_dec8400_local.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dec8400_remote.dir/fig02_dec8400_remote.cc.o"
+  "CMakeFiles/fig02_dec8400_remote.dir/fig02_dec8400_remote.cc.o.d"
+  "fig02_dec8400_remote"
+  "fig02_dec8400_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dec8400_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

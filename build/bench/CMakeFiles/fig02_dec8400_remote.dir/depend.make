@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_dec8400_remote.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_t3d_local.dir/fig03_t3d_local.cc.o"
+  "CMakeFiles/fig03_t3d_local.dir/fig03_t3d_local.cc.o.d"
+  "fig03_t3d_local"
+  "fig03_t3d_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_t3d_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_t3d_fetch.dir/fig04_t3d_fetch.cc.o"
+  "CMakeFiles/fig04_t3d_fetch.dir/fig04_t3d_fetch.cc.o.d"
+  "fig04_t3d_fetch"
+  "fig04_t3d_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_t3d_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_t3d_deposit.dir/fig05_t3d_deposit.cc.o"
+  "CMakeFiles/fig05_t3d_deposit.dir/fig05_t3d_deposit.cc.o.d"
+  "fig05_t3d_deposit"
+  "fig05_t3d_deposit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_t3d_deposit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_t3e_local.dir/fig06_t3e_local.cc.o"
+  "CMakeFiles/fig06_t3e_local.dir/fig06_t3e_local.cc.o.d"
+  "fig06_t3e_local"
+  "fig06_t3e_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_t3e_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

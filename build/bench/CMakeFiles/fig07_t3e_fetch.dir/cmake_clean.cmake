@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_t3e_fetch.dir/fig07_t3e_fetch.cc.o"
+  "CMakeFiles/fig07_t3e_fetch.dir/fig07_t3e_fetch.cc.o.d"
+  "fig07_t3e_fetch"
+  "fig07_t3e_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_t3e_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

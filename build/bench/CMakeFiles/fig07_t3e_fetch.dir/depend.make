@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_t3e_fetch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_t3e_deposit.dir/fig08_t3e_deposit.cc.o"
+  "CMakeFiles/fig08_t3e_deposit.dir/fig08_t3e_deposit.cc.o.d"
+  "fig08_t3e_deposit"
+  "fig08_t3e_deposit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_t3e_deposit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

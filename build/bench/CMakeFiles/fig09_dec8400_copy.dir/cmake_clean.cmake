@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dec8400_copy.dir/fig09_dec8400_copy.cc.o"
+  "CMakeFiles/fig09_dec8400_copy.dir/fig09_dec8400_copy.cc.o.d"
+  "fig09_dec8400_copy"
+  "fig09_dec8400_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dec8400_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

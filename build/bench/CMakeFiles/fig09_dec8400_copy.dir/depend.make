@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_dec8400_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_t3d_copy.dir/fig10_t3d_copy.cc.o"
+  "CMakeFiles/fig10_t3d_copy.dir/fig10_t3d_copy.cc.o.d"
+  "fig10_t3d_copy"
+  "fig10_t3d_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_t3d_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_t3d_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dec8400_remote_copy.dir/fig12_dec8400_remote_copy.cc.o"
+  "CMakeFiles/fig12_dec8400_remote_copy.dir/fig12_dec8400_remote_copy.cc.o.d"
+  "fig12_dec8400_remote_copy"
+  "fig12_dec8400_remote_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dec8400_remote_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_dec8400_remote_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_t3d_remote_copy.dir/fig13_t3d_remote_copy.cc.o"
+  "CMakeFiles/fig13_t3d_remote_copy.dir/fig13_t3d_remote_copy.cc.o.d"
+  "fig13_t3d_remote_copy"
+  "fig13_t3d_remote_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_t3d_remote_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_t3d_remote_copy.
+# This may be replaced when dependencies are built.

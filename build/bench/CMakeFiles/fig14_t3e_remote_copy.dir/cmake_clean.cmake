@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_t3e_remote_copy.dir/fig14_t3e_remote_copy.cc.o"
+  "CMakeFiles/fig14_t3e_remote_copy.dir/fig14_t3e_remote_copy.cc.o.d"
+  "fig14_t3e_remote_copy"
+  "fig14_t3e_remote_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_t3e_remote_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

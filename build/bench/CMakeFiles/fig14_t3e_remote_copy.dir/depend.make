@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_t3e_remote_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fft_overall.dir/fig15_fft_overall.cc.o"
+  "CMakeFiles/fig15_fft_overall.dir/fig15_fft_overall.cc.o.d"
+  "fig15_fft_overall"
+  "fig15_fft_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fft_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_fft_compute.dir/fig16_fft_compute.cc.o"
+  "CMakeFiles/fig16_fft_compute.dir/fig16_fft_compute.cc.o.d"
+  "fig16_fft_compute"
+  "fig16_fft_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_fft_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

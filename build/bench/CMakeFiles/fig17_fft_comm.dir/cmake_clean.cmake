@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_fft_comm.dir/fig17_fft_comm.cc.o"
+  "CMakeFiles/fig17_fft_comm.dir/fig17_fft_comm.cc.o.d"
+  "fig17_fft_comm"
+  "fig17_fft_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_fft_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d_app.dir/fft2d_app.cpp.o"
+  "CMakeFiles/fft2d_app.dir/fft2d_app.cpp.o.d"
+  "fft2d_app"
+  "fft2d_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_planner.dir/transfer_planner.cpp.o"
+  "CMakeFiles/transfer_planner.dir/transfer_planner.cpp.o.d"
+  "transfer_planner"
+  "transfer_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_bus.dir/dec8400_memory.cc.o"
+  "CMakeFiles/gasnub_bus.dir/dec8400_memory.cc.o.d"
+  "libgasnub_bus.a"
+  "libgasnub_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

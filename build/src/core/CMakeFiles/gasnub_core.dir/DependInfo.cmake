@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterizer.cc" "src/core/CMakeFiles/gasnub_core.dir/characterizer.cc.o" "gcc" "src/core/CMakeFiles/gasnub_core.dir/characterizer.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/gasnub_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/gasnub_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/redistribution.cc" "src/core/CMakeFiles/gasnub_core.dir/redistribution.cc.o" "gcc" "src/core/CMakeFiles/gasnub_core.dir/redistribution.cc.o.d"
+  "/root/repo/src/core/redistribution2d.cc" "src/core/CMakeFiles/gasnub_core.dir/redistribution2d.cc.o" "gcc" "src/core/CMakeFiles/gasnub_core.dir/redistribution2d.cc.o.d"
+  "/root/repo/src/core/surface.cc" "src/core/CMakeFiles/gasnub_core.dir/surface.cc.o" "gcc" "src/core/CMakeFiles/gasnub_core.dir/surface.cc.o.d"
+  "/root/repo/src/core/surface_io.cc" "src/core/CMakeFiles/gasnub_core.dir/surface_io.cc.o" "gcc" "src/core/CMakeFiles/gasnub_core.dir/surface_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/gasnub_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gasnub_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/gasnub_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/gasnub_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gasnub_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gasnub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gasnub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_core.dir/characterizer.cc.o"
+  "CMakeFiles/gasnub_core.dir/characterizer.cc.o.d"
+  "CMakeFiles/gasnub_core.dir/planner.cc.o"
+  "CMakeFiles/gasnub_core.dir/planner.cc.o.d"
+  "CMakeFiles/gasnub_core.dir/redistribution.cc.o"
+  "CMakeFiles/gasnub_core.dir/redistribution.cc.o.d"
+  "CMakeFiles/gasnub_core.dir/redistribution2d.cc.o"
+  "CMakeFiles/gasnub_core.dir/redistribution2d.cc.o.d"
+  "CMakeFiles/gasnub_core.dir/surface.cc.o"
+  "CMakeFiles/gasnub_core.dir/surface.cc.o.d"
+  "CMakeFiles/gasnub_core.dir/surface_io.cc.o"
+  "CMakeFiles/gasnub_core.dir/surface_io.cc.o.d"
+  "libgasnub_core.a"
+  "libgasnub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

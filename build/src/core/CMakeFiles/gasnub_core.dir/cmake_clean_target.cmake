@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgasnub_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/fft1d.cc" "src/fft/CMakeFiles/gasnub_fft.dir/fft1d.cc.o" "gcc" "src/fft/CMakeFiles/gasnub_fft.dir/fft1d.cc.o.d"
+  "/root/repo/src/fft/fft2d_dist.cc" "src/fft/CMakeFiles/gasnub_fft.dir/fft2d_dist.cc.o" "gcc" "src/fft/CMakeFiles/gasnub_fft.dir/fft2d_dist.cc.o.d"
+  "/root/repo/src/fft/vendor_model.cc" "src/fft/CMakeFiles/gasnub_fft.dir/vendor_model.cc.o" "gcc" "src/fft/CMakeFiles/gasnub_fft.dir/vendor_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/gasnub_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/gasnub_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/gasnub_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gasnub_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gasnub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gasnub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

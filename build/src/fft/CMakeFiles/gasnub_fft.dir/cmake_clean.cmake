@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_fft.dir/fft1d.cc.o"
+  "CMakeFiles/gasnub_fft.dir/fft1d.cc.o.d"
+  "CMakeFiles/gasnub_fft.dir/fft2d_dist.cc.o"
+  "CMakeFiles/gasnub_fft.dir/fft2d_dist.cc.o.d"
+  "CMakeFiles/gasnub_fft.dir/vendor_model.cc.o"
+  "CMakeFiles/gasnub_fft.dir/vendor_model.cc.o.d"
+  "libgasnub_fft.a"
+  "libgasnub_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

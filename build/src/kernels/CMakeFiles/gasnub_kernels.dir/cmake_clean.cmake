@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_kernels.dir/blocked.cc.o"
+  "CMakeFiles/gasnub_kernels.dir/blocked.cc.o.d"
+  "CMakeFiles/gasnub_kernels.dir/indexed.cc.o"
+  "CMakeFiles/gasnub_kernels.dir/indexed.cc.o.d"
+  "CMakeFiles/gasnub_kernels.dir/kernels.cc.o"
+  "CMakeFiles/gasnub_kernels.dir/kernels.cc.o.d"
+  "CMakeFiles/gasnub_kernels.dir/remote_kernels.cc.o"
+  "CMakeFiles/gasnub_kernels.dir/remote_kernels.cc.o.d"
+  "libgasnub_kernels.a"
+  "libgasnub_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_machine.dir/configs.cc.o"
+  "CMakeFiles/gasnub_machine.dir/configs.cc.o.d"
+  "CMakeFiles/gasnub_machine.dir/machine.cc.o"
+  "CMakeFiles/gasnub_machine.dir/machine.cc.o.d"
+  "CMakeFiles/gasnub_machine.dir/sync.cc.o"
+  "CMakeFiles/gasnub_machine.dir/sync.cc.o.d"
+  "libgasnub_machine.a"
+  "libgasnub_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

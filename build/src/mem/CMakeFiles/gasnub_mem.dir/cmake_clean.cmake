@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_mem.dir/cache.cc.o"
+  "CMakeFiles/gasnub_mem.dir/cache.cc.o.d"
+  "CMakeFiles/gasnub_mem.dir/dram.cc.o"
+  "CMakeFiles/gasnub_mem.dir/dram.cc.o.d"
+  "CMakeFiles/gasnub_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/gasnub_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/gasnub_mem.dir/stream.cc.o"
+  "CMakeFiles/gasnub_mem.dir/stream.cc.o.d"
+  "CMakeFiles/gasnub_mem.dir/wbq.cc.o"
+  "CMakeFiles/gasnub_mem.dir/wbq.cc.o.d"
+  "libgasnub_mem.a"
+  "libgasnub_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_noc.dir/torus.cc.o"
+  "CMakeFiles/gasnub_noc.dir/torus.cc.o.d"
+  "libgasnub_noc.a"
+  "libgasnub_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remote/aapc.cc" "src/remote/CMakeFiles/gasnub_remote.dir/aapc.cc.o" "gcc" "src/remote/CMakeFiles/gasnub_remote.dir/aapc.cc.o.d"
+  "/root/repo/src/remote/cray_engine.cc" "src/remote/CMakeFiles/gasnub_remote.dir/cray_engine.cc.o" "gcc" "src/remote/CMakeFiles/gasnub_remote.dir/cray_engine.cc.o.d"
+  "/root/repo/src/remote/smp_pull.cc" "src/remote/CMakeFiles/gasnub_remote.dir/smp_pull.cc.o" "gcc" "src/remote/CMakeFiles/gasnub_remote.dir/smp_pull.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gasnub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gasnub_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gasnub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_remote.dir/aapc.cc.o"
+  "CMakeFiles/gasnub_remote.dir/aapc.cc.o.d"
+  "CMakeFiles/gasnub_remote.dir/cray_engine.cc.o"
+  "CMakeFiles/gasnub_remote.dir/cray_engine.cc.o.d"
+  "CMakeFiles/gasnub_remote.dir/smp_pull.cc.o"
+  "CMakeFiles/gasnub_remote.dir/smp_pull.cc.o.d"
+  "libgasnub_remote.a"
+  "libgasnub_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gasnub_sim.dir/event_queue.cc.o"
+  "CMakeFiles/gasnub_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/gasnub_sim.dir/logging.cc.o"
+  "CMakeFiles/gasnub_sim.dir/logging.cc.o.d"
+  "CMakeFiles/gasnub_sim.dir/rng.cc.o"
+  "CMakeFiles/gasnub_sim.dir/rng.cc.o.d"
+  "CMakeFiles/gasnub_sim.dir/stats.cc.o"
+  "CMakeFiles/gasnub_sim.dir/stats.cc.o.d"
+  "CMakeFiles/gasnub_sim.dir/units.cc.o"
+  "CMakeFiles/gasnub_sim.dir/units.cc.o.d"
+  "libgasnub_sim.a"
+  "libgasnub_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gasnub_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_characterizer.cc" "tests/CMakeFiles/test_core.dir/core/test_characterizer.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_characterizer.cc.o.d"
+  "/root/repo/tests/core/test_redistribution.cc" "tests/CMakeFiles/test_core.dir/core/test_redistribution.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_redistribution.cc.o.d"
+  "/root/repo/tests/core/test_redistribution2d.cc" "tests/CMakeFiles/test_core.dir/core/test_redistribution2d.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_redistribution2d.cc.o.d"
+  "/root/repo/tests/core/test_surface_io.cc" "tests/CMakeFiles/test_core.dir/core/test_surface_io.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_surface_io.cc.o.d"
+  "/root/repo/tests/core/test_surface_planner.cc" "tests/CMakeFiles/test_core.dir/core/test_surface_planner.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_surface_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gasnub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/gasnub_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gasnub_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gasnub_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/gasnub_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/gasnub_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gasnub_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gasnub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gasnub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

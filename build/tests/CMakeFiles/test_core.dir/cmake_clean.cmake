@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_characterizer.cc.o"
+  "CMakeFiles/test_core.dir/core/test_characterizer.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_redistribution.cc.o"
+  "CMakeFiles/test_core.dir/core/test_redistribution.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_redistribution2d.cc.o"
+  "CMakeFiles/test_core.dir/core/test_redistribution2d.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_surface_io.cc.o"
+  "CMakeFiles/test_core.dir/core/test_surface_io.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_surface_planner.cc.o"
+  "CMakeFiles/test_core.dir/core/test_surface_planner.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft.dir/fft/test_fft.cc.o"
+  "CMakeFiles/test_fft.dir/fft/test_fft.cc.o.d"
+  "CMakeFiles/test_fft.dir/fft/test_fft2d_dist.cc.o"
+  "CMakeFiles/test_fft.dir/fft/test_fft2d_dist.cc.o.d"
+  "CMakeFiles/test_fft.dir/fft/test_fft_methods.cc.o"
+  "CMakeFiles/test_fft.dir/fft/test_fft_methods.cc.o.d"
+  "test_fft"
+  "test_fft.pdb"
+  "test_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

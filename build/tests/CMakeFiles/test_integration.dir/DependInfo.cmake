@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_model_properties.cc" "tests/CMakeFiles/test_integration.dir/integration/test_model_properties.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_model_properties.cc.o.d"
+  "/root/repo/tests/integration/test_paper_calibration.cc" "tests/CMakeFiles/test_integration.dir/integration/test_paper_calibration.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_paper_calibration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gasnub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/gasnub_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gasnub_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gasnub_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/gasnub_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/gasnub_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gasnub_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gasnub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gasnub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_access.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_access.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_hierarchy.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_resource.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_resource.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_stream_wbq.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_stream_wbq.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote.dir/remote/test_aapc.cc.o"
+  "CMakeFiles/test_remote.dir/remote/test_aapc.cc.o.d"
+  "CMakeFiles/test_remote.dir/remote/test_engines.cc.o"
+  "CMakeFiles/test_remote.dir/remote/test_engines.cc.o.d"
+  "test_remote"
+  "test_remote.pdb"
+  "test_remote[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

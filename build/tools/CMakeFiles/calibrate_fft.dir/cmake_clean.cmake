@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_fft.dir/calibrate_fft.cc.o"
+  "CMakeFiles/calibrate_fft.dir/calibrate_fft.cc.o.d"
+  "calibrate_fft"
+  "calibrate_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

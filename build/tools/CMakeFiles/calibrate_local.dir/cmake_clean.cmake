@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_local.dir/calibrate_local.cc.o"
+  "CMakeFiles/calibrate_local.dir/calibrate_local.cc.o.d"
+  "calibrate_local"
+  "calibrate_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

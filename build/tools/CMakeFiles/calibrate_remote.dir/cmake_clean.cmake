@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_remote.dir/calibrate_remote.cc.o"
+  "CMakeFiles/calibrate_remote.dir/calibrate_remote.cc.o.d"
+  "calibrate_remote"
+  "calibrate_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
