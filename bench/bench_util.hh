@@ -19,12 +19,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/characterizer.hh"
 #include "machine/machine.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/units.hh"
 
 namespace gasnub::bench {
@@ -35,6 +38,70 @@ fullRun(int argc, char **argv)
 {
     return argc > 1 && std::strcmp(argv[1], "full") == 0;
 }
+
+/**
+ * Observability options shared by the figure benches:
+ *
+ *   --trace-out=FILE         write an event trace (Chrome trace JSON,
+ *                            or CSV when FILE ends in .csv)
+ *   --trace-categories=LIST  comma-separated subset of
+ *                            mem,noc,remote,kernel,sim (default all)
+ *   --stats-json=FILE        dump the machine's stats tree as JSON
+ *
+ * Construct at the top of main (enables tracing before the machine is
+ * built) and call finish() with the machine's stats group at the end.
+ */
+struct Observability
+{
+    std::string traceOut;
+    std::string statsJson;
+
+    Observability(int argc, char **argv)
+    {
+        std::uint32_t mask = trace::allCategories;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a.rfind("--trace-out=", 0) == 0)
+                traceOut = a.substr(12);
+            else if (a.rfind("--trace-categories=", 0) == 0)
+                mask = trace::parseCategories(a.substr(19));
+            else if (a.rfind("--stats-json=", 0) == 0)
+                statsJson = a.substr(13);
+        }
+        if (!traceOut.empty())
+            trace::Tracer::instance().setMask(mask);
+    }
+
+    /** Write the requested outputs; call at the end of main. */
+    void
+    finish(stats::Group &root) const
+    {
+        trace::Tracer &tracer = trace::Tracer::instance();
+        if (!traceOut.empty()) {
+            std::ofstream os(traceOut);
+            const bool csv =
+                traceOut.size() > 4 &&
+                traceOut.compare(traceOut.size() - 4, 4, ".csv") == 0;
+            if (csv)
+                tracer.exportCsv(os);
+            else
+                tracer.exportChromeJson(os);
+            std::fprintf(stderr, "trace: %zu events to %s",
+                         tracer.size(), traceOut.c_str());
+            if (tracer.dropped())
+                std::fprintf(stderr, " (%llu dropped)",
+                             static_cast<unsigned long long>(
+                                 tracer.dropped()));
+            std::fprintf(stderr, "\n");
+        }
+        if (!statsJson.empty()) {
+            std::ofstream os(statsJson);
+            root.dumpJson(os);
+            os << "\n";
+            std::fprintf(stderr, "stats: %s\n", statsJson.c_str());
+        }
+    }
+};
 
 /** Header line for a figure bench. */
 inline void

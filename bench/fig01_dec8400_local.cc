@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 1",
                   "DEC 8400 local load bandwidth (stride x working "
                   "set), one processor");
@@ -27,5 +28,6 @@ main(int argc, char **argv)
         {"DRAM contiguous", 150, s.at(16_MiB, 1)},
         {"DRAM strided", 28, s.at(16_MiB, 32)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 2",
                   "DEC 8400 remote pull bandwidth (P0 <- pull <- P1)");
     machine::Machine m(machine::SystemKind::Dec8400, 4);
@@ -24,5 +25,6 @@ main(int argc, char **argv)
         {"remote strided from DRAM", 22, s.at(16_MiB, 32)},
         {"cached working set, strided", 75, s.at(2_MiB, 16)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 3",
                   "Cray T3D local load bandwidth (stride x working "
                   "set), one processor");
@@ -24,5 +25,6 @@ main(int argc, char **argv)
         {"DRAM contiguous (read-ahead)", 195, s.at(16_MiB, 1)},
         {"DRAM strided", 43, s.at(16_MiB, 16)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

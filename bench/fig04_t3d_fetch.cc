@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 4",
                   "Cray T3D fetch (remote loads) transfer bandwidth");
     machine::Machine m(machine::SystemKind::CrayT3D, 4);
@@ -28,5 +29,6 @@ main(int argc, char **argv)
         {"fetch stride 2", 20, s.at(8_MiB, 2)},
         {"fetch large strides", 43, s.at(8_MiB, 32)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 5",
                   "Cray T3D deposit (remote stores) transfer "
                   "bandwidth, p0,1 -> push -> p2,3");
@@ -24,5 +25,6 @@ main(int argc, char **argv)
         {"deposit contiguous (MB/s)", 120, s.at(8_MiB, 1)},
         {"deposit strided stores", 55, s.at(8_MiB, 16)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

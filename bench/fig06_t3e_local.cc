@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 6",
                   "Cray T3E local load bandwidth (stride x working "
                   "set), one processor");
@@ -25,5 +26,6 @@ main(int argc, char **argv)
         {"DRAM contiguous (streams)", 430, s.at(8_MiB, 1)},
         {"DRAM strided", 42, s.at(8_MiB, 32)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

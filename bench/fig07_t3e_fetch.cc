@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 7",
                   "Cray T3E fetch (shmem_iget) transfer bandwidth");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
@@ -23,5 +24,6 @@ main(int argc, char **argv)
         {"iget contiguous (MB/s)", 350, s.at(8_MiB, 1)},
         {"iget strided (flat)", 140, s.at(8_MiB, 16)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

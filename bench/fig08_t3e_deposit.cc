@@ -11,6 +11,7 @@ int
 main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 8",
                   "Cray T3E deposit (shmem_iput) transfer bandwidth");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
@@ -28,5 +29,6 @@ main(int argc, char **argv)
         {"iput even stride", 70, s.at(8_MiB, 16)},
         {"iput odd stride", 140, s.at(8_MiB, 15)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 9",
                   "DEC 8400 local copy, 65 MB working set: strided "
                   "loads vs strided stores");
@@ -27,5 +28,6 @@ main(int, char **)
         {"strided loads @16", 18, sl.at(65 * 1_MiB, 16)},
         {"strided stores @16", 18, ss.at(65 * 1_MiB, 16)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 10",
                   "Cray T3D local copy, 65 MB working set: strided "
                   "loads vs strided stores");
@@ -28,5 +29,6 @@ main(int, char **)
          sl.at(65 * 1_MiB, 16)},
         {"strided stores @16 (WBQ)", 70, ss.at(65 * 1_MiB, 16)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 12",
                   "DEC 8400 remote copy transfer p1 -> p0, 65 MB");
     machine::Machine m(machine::SystemKind::Dec8400, 4);
@@ -23,5 +24,6 @@ main(int, char **)
         {"strided @16", 22, s.at(65 * 1_MiB, 16)},
         {"strided @64", 22, s.at(65 * 1_MiB, 64)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 13",
                   "Cray T3D remote copy transfer p0 -> p2, 65 MB");
     machine::Machine m(machine::SystemKind::CrayT3D, 4);
@@ -27,5 +28,6 @@ main(int, char **)
          sl.at(65 * 1_MiB, 16)},
         {"strided remote stores @16", 55, ss.at(65 * 1_MiB, 16)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

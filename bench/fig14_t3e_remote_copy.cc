@@ -8,9 +8,10 @@
 #include "bench_util.hh"
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 14",
                   "Cray T3E remote copy transfer p0 -> p1, 65 MB");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
@@ -32,5 +33,6 @@ main(int, char **)
         {"strided stores @16 (even)", 70, ss.at(65 * 1_MiB, 16)},
         {"strided stores @15 (odd)", 140, ss.at(65 * 1_MiB, 15)},
     });
+    obs.finish(m.statsGroup());
     return 0;
 }

@@ -36,7 +36,10 @@ Dec8400Memory::Dec8400Memory(const BusConfig &bus_config,
       _memoryReads(&_stats, bus_config.name + ".memoryReads",
                    "lines served from shared DRAM"),
       _memoryWrites(&_stats, bus_config.name + ".memoryWrites",
-                    "writes to shared DRAM")
+                    "writes to shared DRAM"),
+      _bandwidth(&_stats, bus_config.name + ".bandwidth",
+                 "bytes over the system bus per time bucket"),
+      _traceTrack(trace::Tracer::instance().track(bus_config.name))
 {
     GASNUB_ASSERT(dram_config.splitTransactionChannel,
                   "the 8400 bus expects a split-transaction DRAM");
@@ -121,6 +124,11 @@ Dec8400Memory::access(NodeId requester, Addr addr,
             st.dirtyOwner = invalidNode;
         st.sharers &= ~me;
         st.lastWriter = requester;
+        _bandwidth.addBytes(res.dataReady, bytes);
+        GASNUB_TRACE(trace::Category::Mem, _traceTrack, "bus.write",
+                     addr_start, res.dataReady, "node",
+                     static_cast<std::uint64_t>(requester), "bytes",
+                     bytes);
         return res;
     }
 
@@ -147,6 +155,11 @@ Dec8400Memory::access(NodeId requester, Addr addr,
         res.start = addr_start;
         res.dataReady = data_ready;
         res.rowHit = false;
+        _bandwidth.addBytes(data_ready, bytes);
+        GASNUB_TRACE(trace::Category::Mem, _traceTrack,
+                     "bus.intervention", addr_start, data_ready,
+                     "node", static_cast<std::uint64_t>(requester),
+                     "owner", static_cast<std::uint64_t>(owner));
     } else {
         // Served by shared memory.  The pipeline timestamp handed to
         // the requester's stream engine is the transaction start, so
@@ -157,6 +170,11 @@ Dec8400Memory::access(NodeId requester, Addr addr,
         if (st.lastWriter != invalidNode && st.lastWriter != requester)
             res.dataReady += _sharedLineTicks;
         st.sharers |= me;
+        _bandwidth.addBytes(res.dataReady, bytes);
+        GASNUB_TRACE(trace::Category::Mem, _traceTrack, "bus.read",
+                     addr_start, res.dataReady, "node",
+                     static_cast<std::uint64_t>(requester), "bytes",
+                     bytes);
     }
 
     if (intent == mem::FetchIntent::ReadExclusive) {

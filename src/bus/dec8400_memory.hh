@@ -25,6 +25,7 @@
 #include "mem/hierarchy.hh"
 #include "mem/resource.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace gasnub::bus {
@@ -133,6 +134,8 @@ class Dec8400Memory
     stats::Scalar _invalidationsSent;
     stats::Scalar _memoryReads;
     stats::Scalar _memoryWrites;
+    stats::IntervalBandwidth _bandwidth;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::bus

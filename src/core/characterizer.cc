@@ -37,7 +37,11 @@ resolveGrid(const CharacterizeConfig &cfg,
 
 } // namespace
 
-Characterizer::Characterizer(machine::Machine &m) : _machine(m) {}
+Characterizer::Characterizer(machine::Machine &m)
+    : _machine(m),
+      _traceTrack(trace::Tracer::instance().track("characterizer"))
+{
+}
 
 Surface
 Characterizer::localLoads(NodeId node, const CharacterizeConfig &cfg)
@@ -52,7 +56,14 @@ Characterizer::localLoads(NodeId node, const CharacterizeConfig &cfg)
             p.wsBytes = w;
             p.stride = st;
             p.capBytes = cfg.capBytes;
-            s.set(w, st, kernels::loadSumOn(_machine, node, p).mbs);
+            const kernels::KernelResult r =
+                kernels::loadSumOn(_machine, node, p);
+            s.set(w, st, r.mbs);
+            // Each grid point runs with simulated time reset to 0, so
+            // point events all start at t=0 (see docs/observability.md).
+            GASNUB_TRACE(trace::Category::Sim, _traceTrack,
+                         "point.loads", Tick(0), r.elapsed, "ws", w,
+                         "stride", st);
         }
     }
     return s;
@@ -71,8 +82,12 @@ Characterizer::localStores(NodeId node, const CharacterizeConfig &cfg)
             p.wsBytes = w;
             p.stride = st;
             p.capBytes = cfg.capBytes;
-            s.set(w, st,
-                  kernels::storeConstantOn(_machine, node, p).mbs);
+            const kernels::KernelResult r =
+                kernels::storeConstantOn(_machine, node, p);
+            s.set(w, st, r.mbs);
+            GASNUB_TRACE(trace::Category::Sim, _traceTrack,
+                         "point.stores", Tick(0), r.elapsed, "ws", w,
+                         "stride", st);
         }
     }
     return s;
@@ -98,9 +113,12 @@ Characterizer::localCopy(NodeId node, kernels::CopyVariant variant,
             // Destination region directly after the source.
             const std::uint64_t eff =
                 kernels::effectiveWorkingSet(_machine.node(node), p);
-            s.set(w, st,
-                  kernels::copyOn(_machine, node, p, variant, eff)
-                      .mbs);
+            const kernels::KernelResult r =
+                kernels::copyOn(_machine, node, p, variant, eff);
+            s.set(w, st, r.mbs);
+            GASNUB_TRACE(trace::Category::Sim, _traceTrack,
+                         "point.copy", Tick(0), r.elapsed, "ws", w,
+                         "stride", st);
         }
     }
     return s;
@@ -131,7 +149,12 @@ Characterizer::remoteTransfer(remote::TransferMethod method,
             p.capBytes = cfg.capBytes;
             p.srcBase = 0;
             p.dstBase = 1ull << 33;
-            s.set(w, st, kernels::remoteTransfer(_machine, p).mbs);
+            const kernels::KernelResult r =
+                kernels::remoteTransfer(_machine, p);
+            s.set(w, st, r.mbs);
+            GASNUB_TRACE(trace::Category::Sim, _traceTrack,
+                         "point.remote", Tick(0), r.elapsed, "ws", w,
+                         "stride", st);
         }
     }
     return s;

@@ -18,6 +18,7 @@
 #include "kernels/remote_kernels.hh"
 #include "machine/machine.hh"
 #include "remote/remote_ops.hh"
+#include "sim/trace.hh"
 
 namespace gasnub::core {
 
@@ -84,6 +85,7 @@ class Characterizer
 
   private:
     machine::Machine &_machine;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 #include <vector>
 
 #include "fft/fft1d.hh"
@@ -27,8 +28,23 @@ localTransposeMBs(machine::SystemKind kind)
 } // namespace
 
 DistributedFft2d::DistributedFft2d(machine::Machine &m)
-    : _machine(m), _vendor(vendorFftParams(m.kind()))
+    : _machine(m), _vendor(vendorFftParams(m.kind())),
+      _traceTrack(trace::Tracer::instance().track("fft2d"))
 {
+}
+
+void
+DistributedFft2d::phaseSnapshot(std::ostream &os, const char *phase,
+                                Tick start, Tick end, bool first)
+{
+    if (!first)
+        os << ",";
+    os << "{\"phase\":\"" << phase << "\",\"startTicks\":" << start
+       << ",\"endTicks\":" << end << ",\"stats\":";
+    _machine.statsGroup().dumpJson(os);
+    os << "}";
+    // Reset-and-delta: the next phase starts from zeroed counters.
+    _machine.statsGroup().resetAll();
 }
 
 Addr
@@ -194,14 +210,41 @@ DistributedFft2d::run(const Fft2dConfig &cfg)
             ? remote::TransferMethod::Deposit
             : remote::TransferMethod::Fetch);
 
+    const bool snap = cfg.phaseStats != nullptr;
+    if (snap) {
+        *cfg.phaseStats << "[";
+        _machine.statsGroup().resetAll();
+    }
+
     const Tick t0 = 0;
     const Tick t1 = computePhase(t0, n);
+    GASNUB_TRACE(trace::Category::Kernel, _traceTrack, "fft.rows", t0,
+                 t1, "n", n);
+    if (snap)
+        phaseSnapshot(*cfg.phaseStats, "fft1d-rows", t0, t1, true);
+
     std::uint64_t remote_bytes = 0;
     const Tick t2 = transposePhase(t1, n, cfg.rowCapWords,
                                    remote_bytes);
+    GASNUB_TRACE(trace::Category::Kernel, _traceTrack,
+                 "fft.transpose", t1, t2, "n", n);
+    if (snap)
+        phaseSnapshot(*cfg.phaseStats, "transpose-1", t1, t2, false);
+
     const Tick t3 = computePhase(t2, n);
+    GASNUB_TRACE(trace::Category::Kernel, _traceTrack, "fft.cols", t2,
+                 t3, "n", n);
+    if (snap)
+        phaseSnapshot(*cfg.phaseStats, "fft1d-cols", t2, t3, false);
+
     const Tick t4 = transposePhase(t3, n, cfg.rowCapWords,
                                    remote_bytes);
+    GASNUB_TRACE(trace::Category::Kernel, _traceTrack,
+                 "fft.transpose", t3, t4, "n", n);
+    if (snap) {
+        phaseSnapshot(*cfg.phaseStats, "transpose-2", t3, t4, false);
+        *cfg.phaseStats << "]\n";
+    }
 
     Fft2dResult res;
     res.totalTicks = t4;

@@ -27,10 +27,12 @@
 #define GASNUB_FFT_FFT2D_DIST_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 
 #include "fft/vendor_model.hh"
 #include "machine/machine.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace gasnub::fft {
@@ -53,6 +55,13 @@ struct Fft2dConfig
      * (used only by the very large scalability runs).
      */
     std::uint64_t rowCapWords = 0;
+    /**
+     * When set, the machine's stats are reset before each of the four
+     * phases (1D-FFT / transpose / 1D-FFT / transpose) and a JSON
+     * snapshot of the per-phase delta is written here, as one array
+     * of {"phase", "startTicks", "endTicks", "stats"} objects.
+     */
+    std::ostream *phaseStats = nullptr;
 };
 
 /** Results of one run, in the units of Figures 15-17. */
@@ -103,10 +112,15 @@ class DistributedFft2d
     Addr regionA(NodeId p) const;
     Addr regionB(NodeId p) const;
 
+    /** Append one per-phase stats snapshot to @p os. */
+    void phaseSnapshot(std::ostream &os, const char *phase, Tick start,
+                       Tick end, bool first);
+
     machine::Machine &_machine;
     VendorFftParams _vendor;
     remote::TransferMethod _method =
         remote::TransferMethod::Deposit;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::fft

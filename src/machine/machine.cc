@@ -149,7 +149,8 @@ renameNode(mem::HierarchyConfig cfg, int i)
 
 Machine::Machine(SystemKind kind, int num_nodes,
                  const mem::HierarchyConfig &node_cfg)
-    : _kind(kind), _stats(systemName(kind))
+    : _kind(kind), _stats(systemName(kind)),
+      _traceTrack(trace::Tracer::instance().track(systemName(kind)))
 {
     GASNUB_ASSERT(num_nodes >= 1, "need at least one node");
 
@@ -251,9 +252,12 @@ Machine::barrier()
     Tick t = 0;
     for (auto &n : _nodes)
         t = std::max({t, n->now(), n->lastComplete()});
+    const Tick entered = t;
     t += barrierCost();
     for (auto &n : _nodes)
         n->stallUntil(t);
+    GASNUB_TRACE(trace::Category::Sim, _traceTrack, "barrier", entered,
+                 t);
     return t;
 }
 

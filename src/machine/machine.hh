@@ -22,6 +22,7 @@
 #include "noc/torus.hh"
 #include "remote/remote_ops.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace gasnub::machine {
 
@@ -121,6 +122,7 @@ class Machine
   private:
     SystemKind _kind;
     stats::Group _stats;
+    trace::TrackId _traceTrack;
     std::vector<std::unique_ptr<mem::MemoryHierarchy>> _nodes;
     std::unique_ptr<noc::Torus> _torus;
     std::unique_ptr<bus::Dec8400Memory> _sharedMem;

@@ -24,7 +24,13 @@ Cache::Cache(const CacheConfig &config, stats::Group *parent)
       _writebacks(&_stats, config.name + ".writebacks",
                   "dirty lines evicted"),
       _invalidations(&_stats, config.name + ".invalidations",
-                     "lines invalidated")
+                     "lines invalidated"),
+      _hitRate(&_stats, config.name + ".hitRate",
+               "fraction of accesses that hit",
+               [this] {
+                   const double n = _hits.value() + _misses.value();
+                   return n > 0 ? _hits.value() / n : 0.0;
+               })
 {
     GASNUB_ASSERT(isPow2(config.lineBytes), "line size must be pow2: ",
                   config.name);

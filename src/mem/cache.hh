@@ -151,6 +151,7 @@ class Cache
     stats::Scalar _misses;
     stats::Scalar _writebacks;
     stats::Scalar _invalidations;
+    stats::Formula _hitRate;
 };
 
 } // namespace gasnub::mem

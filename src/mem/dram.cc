@@ -37,7 +37,21 @@ Dram::Dram(const DramConfig &config, stats::Group *parent)
       _rowMisses(&_stats, config.name + ".rowMisses",
                  "accesses opening a new row"),
       _bankConflicts(&_stats, config.name + ".bankConflicts",
-                     "accesses delayed by a busy bank")
+                     "accesses delayed by a busy bank"),
+      _bankAccesses(&_stats, config.name + ".bankAccesses",
+                    "accesses per bank", config.banks),
+      _bankOccupancy(&_stats, config.name + ".bankBusyTicks",
+                     "bank occupancy in ticks per bank", config.banks),
+      _bandwidth(&_stats, config.name + ".bandwidth",
+                 "bytes transferred per time bucket"),
+      _rowHitRate(&_stats, config.name + ".rowHitRate",
+                  "fraction of accesses hitting the open row",
+                  [this] {
+                      const double n =
+                          _rowHits.value() + _rowMisses.value();
+                      return n > 0 ? _rowHits.value() / n : 0.0;
+                  }),
+      _traceTrack(trace::Tracer::instance().track(config.name))
 {
     GASNUB_ASSERT(isPow2(config.banks), "banks must be pow2");
     GASNUB_ASSERT(isPow2(config.interleaveBytes),
@@ -102,10 +116,16 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
             res.start = cs;
             res.dataReady = cs + _rowHitTicks + transfer_t;
         }
+        _bandwidth.addBytes(res.dataReady, bytes);
+        GASNUB_TRACE(trace::Category::Mem, _traceTrack,
+                     type == AccessType::Read ? "dram.read"
+                                              : "dram.write",
+                     res.start, res.dataReady, "bytes", bytes);
         return res;
     }
 
-    Bank &bank = _banks[bankOf(addr)];
+    const std::uint32_t bank_idx = bankOf(addr);
+    Bank &bank = _banks[bank_idx];
     const std::uint64_t row = rowOf(addr);
 
     const bool row_hit = bank.hasOpenRow && bank.openRow == row;
@@ -130,6 +150,8 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
     // load bandwidth — paper Section 6.1).
     const Tick bank_start = bank.busy.acquire(earliest,
                                               service + recovery);
+    _bankAccesses[bank_idx] += 1;
+    _bankOccupancy[bank_idx] += static_cast<double>(service + recovery);
     DramResult res;
     res.rowHit = row_hit;
     if (_config.splitTransactionChannel) {
@@ -143,6 +165,11 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
         res.start = chan_start;
         res.dataReady = chan_start + service + transfer;
     }
+    _bandwidth.addBytes(res.dataReady, bytes);
+    GASNUB_TRACE(trace::Category::Mem, _traceTrack,
+                 type == AccessType::Read ? "dram.read" : "dram.write",
+                 res.start, res.dataReady, "bank",
+                 static_cast<std::uint64_t>(bank_idx), "bytes", bytes);
     return res;
 }
 

@@ -20,6 +20,7 @@
 #include "mem/access.hh"
 #include "mem/resource.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace gasnub::mem {
@@ -138,6 +139,11 @@ class Dram
     stats::Scalar _rowHits;
     stats::Scalar _rowMisses;
     stats::Scalar _bankConflicts;
+    stats::Vector _bankAccesses;  ///< accesses per bank
+    stats::Vector _bankOccupancy; ///< busy ticks per bank
+    stats::IntervalBandwidth _bandwidth;
+    stats::Formula _rowHitRate;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::mem

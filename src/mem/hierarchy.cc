@@ -17,7 +17,10 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
       _reads(&_stats, config.name + ".reads", "word loads issued"),
       _writes(&_stats, config.name + ".writes", "word stores issued"),
       _dramLineFills(&_stats, config.name + ".dramLineFills",
-                     "cache lines filled from DRAM")
+                     "cache lines filled from DRAM"),
+      _fillBandwidth(&_stats, config.name + ".fillBandwidth",
+                     "line-fill bytes per time bucket"),
+      _traceTrack(trace::Tracer::instance().track(config.name))
 {
     GASNUB_ASSERT(!config.levels.empty(),
                   "hierarchy needs at least one cache level");
@@ -114,7 +117,13 @@ MemoryHierarchy::dramLineRead(Addr line_addr, std::uint32_t line_bytes,
 
     Tick ready = dr.dataReady + _dramBackTicks;
     const Tick min_use = issue + cyclesToTicks(1);
-    return std::max(ready, min_use);
+    ready = std::max(ready, min_use);
+    _fillBandwidth.addBytes(ready, line_bytes);
+    GASNUB_TRACE(trace::Category::Mem, _traceTrack,
+                 sh.covered ? "fill.stream" : "fill.demand", issue,
+                 ready, "bytes",
+                 static_cast<std::uint64_t>(line_bytes));
+    return ready;
 }
 
 Tick

@@ -38,6 +38,7 @@
 #include "mem/stream.hh"
 #include "mem/wbq.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace gasnub::mem {
@@ -296,6 +297,8 @@ class MemoryHierarchy
     stats::Scalar _reads;
     stats::Scalar _writes;
     stats::Scalar _dramLineFills;
+    stats::IntervalBandwidth _fillBandwidth;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::mem

@@ -13,7 +13,13 @@ ReadAhead::ReadAhead(const StreamConfig &config, stats::Group *parent)
       _stats(config.name),
       _fills(&_stats, config.name + ".fills", "line fills observed"),
       _covered(&_stats, config.name + ".covered",
-               "fills covered by an active stream")
+               "fills covered by an active stream"),
+      _coverage(&_stats, config.name + ".coverage",
+                "fraction of fills covered by a stream",
+                [this] {
+                    const double n = _fills.value();
+                    return n > 0 ? _covered.value() / n : 0.0;
+                })
 {
     GASNUB_ASSERT(config.streams >= 1, "need at least one stream slot");
     GASNUB_ASSERT(config.threshold >= 1, "threshold must be >= 1");

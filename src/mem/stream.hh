@@ -126,6 +126,7 @@ class ReadAhead
     stats::Group _stats;
     stats::Scalar _fills;
     stats::Scalar _covered;
+    stats::Formula _coverage;
 };
 
 } // namespace gasnub::mem

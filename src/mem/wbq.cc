@@ -17,15 +17,25 @@ WriteBackQueue::WriteBackQueue(const WbqConfig &config, DrainFn drain,
       _entriesCreated(&_stats, config.name + ".entries",
                       "queue entries created"),
       _fullStalls(&_stats, config.name + ".fullStalls",
-                  "stores stalled on a full queue")
+                  "stores stalled on a full queue"),
+      // Remote engines construct short-lived capture queues on the
+      // transfer path; only pay for track interning when tracing is
+      // on (harnesses enable it before building the machine).
+      _traceTrack(trace::enabled(trace::Category::Mem)
+                      ? trace::Tracer::instance().track(config.name)
+                      : trace::TrackId(0))
 {
     GASNUB_ASSERT(_drain, "write-back queue needs a drain function");
     GASNUB_ASSERT(config.depth >= 1, "queue depth must be >= 1");
     GASNUB_ASSERT(config.chunkBytes >= wordBytes &&
                       config.chunkBytes % wordBytes == 0,
                   "chunk size must be a multiple of the word size");
-    if (parent)
+    if (parent) {
         parent->addChild(&_stats);
+        _drainBandwidth.emplace(&_stats,
+                                config.name + ".drainBandwidth",
+                                "bytes drained per time bucket");
+    }
 }
 
 void
@@ -37,6 +47,11 @@ WriteBackQueue::closeOpenEntry()
     // DRAM channel, the network links) provide the serialization, so
     // independent entries pipeline.
     const Tick done = _drain(_openChunk, _openBytes, _openIssue);
+    if (_drainBandwidth)
+        _drainBandwidth->addBytes(done, _openBytes);
+    GASNUB_TRACE(trace::Category::Mem, _traceTrack, "wbq.drain",
+                 _openIssue, done, "bytes",
+                 static_cast<std::uint64_t>(_openBytes));
     if (done > _lastDrainComplete)
         _lastDrainComplete = done;
     // Keep the in-flight list sorted so full-queue stalls pick the
@@ -74,6 +89,8 @@ WriteBackQueue::store(Addr addr, Tick issue)
         const std::size_t excess = _inflight.size() - _config.depth;
         proceed = _inflight[excess];
         ++_fullStalls;
+        GASNUB_TRACE(trace::Category::Mem, _traceTrack, "wbq.stall",
+                     issue, proceed);
         while (!_inflight.empty() && _inflight.front() <= proceed)
             _inflight.pop_front();
     }

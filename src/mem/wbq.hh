@@ -16,10 +16,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "mem/access.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace gasnub::mem {
@@ -116,6 +118,14 @@ class WriteBackQueue
     stats::Scalar _coalesced;
     stats::Scalar _entriesCreated;
     stats::Scalar _fullStalls;
+    /**
+     * Drain-bandwidth timeline; only kept for persistent queues (a
+     * parent stats group was given).  The remote engines construct
+     * short-lived capture queues on the transfer path, where the
+     * series would be pure overhead and is never dumped.
+     */
+    std::optional<stats::IntervalBandwidth> _drainBandwidth;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::mem

@@ -30,7 +30,14 @@ Torus::Torus(const TorusConfig &config, stats::Group *parent)
       _payloadBytes(&_stats, config.name + ".payloadBytes",
                     "payload bytes carried"),
       _partnerSwitches(&_stats, config.name + ".partnerSwitches",
-                       "per-message partner switches")
+                       "per-message partner switches"),
+      _linkBusyTicks(&_stats, config.name + ".linkBusyTicks",
+                     "occupancy in ticks per directed link",
+                     static_cast<std::size_t>(config.dimX) *
+                         config.dimY * config.dimZ * 6),
+      _bandwidth(&_stats, config.name + ".bandwidth",
+                 "payload bytes delivered per time bucket"),
+      _traceTrack(trace::Tracer::instance().track(config.name))
 {
     GASNUB_ASSERT(config.dimX >= 1 && config.dimY >= 1 &&
                       config.dimZ >= 1,
@@ -48,6 +55,15 @@ Torus::Torus(const TorusConfig &config, stats::Group *parent)
         p.enableBackfill();
     for (auto &p : _nicsIn)
         p.enableBackfill();
+    // Stable per-link subnames for the human dump: router index plus
+    // outgoing direction ("r3.+x").
+    static const char *const dir_names[6] = {"+x", "-x", "+y",
+                                             "-y", "+z", "-z"};
+    for (int r = 0; r < _nicCount; ++r)
+        for (int d = 0; d < 6; ++d)
+            _linkBusyTicks.subname(static_cast<std::size_t>(r) * 6 + d,
+                                   "r" + std::to_string(r) +
+                                       dir_names[d]);
     if (parent)
         parent->addChild(&_stats);
 }
@@ -163,6 +179,11 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
             injected + _nicTicks + wire_ticks, _nicTicks);
         res.arrived = eject + _nicTicks;
         res.hops = 0;
+        _bandwidth.addBytes(res.arrived, payload_bytes);
+        GASNUB_TRACE(trace::Category::Noc, _traceTrack, "packet",
+                     res.injected, res.arrived, "dst",
+                     static_cast<std::uint64_t>(dst), "bytes",
+                     static_cast<std::uint64_t>(payload_bytes));
         return res;
     }
 
@@ -174,6 +195,7 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
     Tick head = injected + _nicTicks;
     for (const std::size_t l : _routeScratch) {
         const Tick start = _links[l].acquire(head, wire_ticks);
+        _linkBusyTicks[l] += static_cast<double>(wire_ticks);
         head = start + _hopTicks;
     }
     // Tail arrives one wire time after the head clears the last link;
@@ -181,6 +203,11 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
     const Tick eject =
         _nicsIn[dst_nic].acquire(head + wire_ticks, _nicTicks);
     res.arrived = eject + _nicTicks;
+    _bandwidth.addBytes(res.arrived, payload_bytes);
+    GASNUB_TRACE(trace::Category::Noc, _traceTrack, "packet",
+                 res.injected, res.arrived, "dst",
+                 static_cast<std::uint64_t>(dst), "bytes",
+                 static_cast<std::uint64_t>(payload_bytes));
     return res;
 }
 

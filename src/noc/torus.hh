@@ -22,6 +22,7 @@
 
 #include "mem/resource.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace gasnub::noc {
@@ -141,6 +142,9 @@ class Torus
     stats::Scalar _packets;
     stats::Scalar _payloadBytes;
     stats::Scalar _partnerSwitches;
+    stats::Vector _linkBusyTicks; ///< occupancy per directed link
+    stats::IntervalBandwidth _bandwidth;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::noc

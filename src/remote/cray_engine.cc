@@ -35,7 +35,10 @@ CrayEngine::CrayEngine(const CrayEngineConfig &config,
       _fetches(&_stats, config.name + ".fetches",
                "fetch transfers performed"),
       _wordsMoved(&_stats, config.name + ".wordsMoved",
-                  "64-bit words moved")
+                  "64-bit words moved"),
+      _bandwidth(&_stats, config.name + ".bandwidth",
+                 "bytes delivered per time bucket"),
+      _traceTrack(trace::Tracer::instance().track(config.name))
 {
     GASNUB_ASSERT(torus != nullptr, "engine needs a torus");
     GASNUB_ASSERT(config.window >= 1, "window must be >= 1");
@@ -115,10 +118,21 @@ CrayEngine::transfer(const TransferRequest &req, TransferMethod method,
                                : fetch(part, start);
             end = std::max(end, t);
         }
+        _bandwidth.addBytes(end, req.words * wordBytes);
+        GASNUB_TRACE(trace::Category::Remote, _traceTrack,
+                     methodName(method), start, end, "words",
+                     req.words, "dst",
+                     static_cast<std::uint64_t>(req.dst));
         return end;
     }
-    return method == TransferMethod::Deposit ? deposit(req, start)
-                                             : fetch(req, start);
+    const Tick end = method == TransferMethod::Deposit
+                         ? deposit(req, start)
+                         : fetch(req, start);
+    _bandwidth.addBytes(end, req.words * wordBytes);
+    GASNUB_TRACE(trace::Category::Remote, _traceTrack,
+                 methodName(method), start, end, "words", req.words,
+                 "dst", static_cast<std::uint64_t>(req.dst));
+    return end;
 }
 
 Tick

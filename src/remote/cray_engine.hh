@@ -25,6 +25,7 @@
 #include "noc/torus.hh"
 #include "remote/remote_ops.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace gasnub::remote {
 
@@ -97,6 +98,8 @@ class CrayEngine : public RemoteOps
     stats::Scalar _deposits;
     stats::Scalar _fetches;
     stats::Scalar _wordsMoved;
+    stats::IntervalBandwidth _bandwidth;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::remote

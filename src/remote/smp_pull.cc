@@ -11,7 +11,10 @@ SmpPull::SmpPull(std::vector<mem::MemoryHierarchy *> nodes,
     : _nodes(std::move(nodes)),
       _stats("smpPull"),
       _pulls(&_stats, "smpPull.transfers", "pull transfers performed"),
-      _wordsMoved(&_stats, "smpPull.wordsMoved", "64-bit words pulled")
+      _wordsMoved(&_stats, "smpPull.wordsMoved", "64-bit words pulled"),
+      _bandwidth(&_stats, "smpPull.bandwidth",
+                 "bytes pulled per time bucket"),
+      _traceTrack(trace::Tracer::instance().track("smpPull"))
 {
     if (parent)
         parent->addChild(&_stats);
@@ -43,7 +46,12 @@ SmpPull::transfer(const TransferRequest &req, TransferMethod method,
     for (std::uint64_t i = 0; i < req.words; ++i) {
         last = dst->read(req.srcAddr + i * req.srcStride * wordBytes);
     }
-    return std::max(last, dst->drain());
+    const Tick end = std::max(last, dst->drain());
+    _bandwidth.addBytes(end, req.words * wordBytes);
+    GASNUB_TRACE(trace::Category::Remote, _traceTrack, "pull", start,
+                 end, "words", req.words, "dst",
+                 static_cast<std::uint64_t>(req.dst));
+    return end;
 }
 
 void

@@ -19,6 +19,7 @@
 #include "mem/hierarchy.hh"
 #include "remote/remote_ops.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace gasnub::remote {
 
@@ -44,6 +45,8 @@ class SmpPull : public RemoteOps
     stats::Group _stats;
     stats::Scalar _pulls;
     stats::Scalar _wordsMoved;
+    stats::IntervalBandwidth _bandwidth;
+    trace::TrackId _traceTrack;
 };
 
 } // namespace gasnub::remote

@@ -3,11 +3,82 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 
 #include "sim/logging.hh"
 
 namespace gasnub::stats {
+
+namespace {
+
+/** JSON-escape @p s into @p os (quotes not included). */
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/** A JSON string literal. */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    jsonEscape(os, s);
+    os << '"';
+}
+
+/**
+ * Print a double as a JSON number: integral values (the common case
+ * for counters) print without a fraction; everything else with
+ * round-trip precision.  NaN/inf (possible in formulas) become null,
+ * which JSON requires.
+ */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    const auto flags = os.flags();
+    const auto prec = os.precision();
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << v;
+    os.flags(flags);
+    os.precision(prec);
+}
+
+/** Common {"name":...,"type":...,"desc":... prefix of a stat. */
+void
+jsonHead(std::ostream &os, const StatBase &s, const char *type)
+{
+    os << "{\"name\":";
+    jsonString(os, s.name());
+    os << ",\"type\":\"" << type << "\",\"desc\":";
+    jsonString(os, s.desc());
+}
+
+} // namespace
 
 StatBase::StatBase(Group *group, std::string name, std::string desc)
     : _name(std::move(name)), _desc(std::move(desc))
@@ -24,11 +95,29 @@ Scalar::print(std::ostream &os) const
 }
 
 void
+Scalar::printJson(std::ostream &os) const
+{
+    jsonHead(os, *this, "scalar");
+    os << ",\"value\":";
+    jsonNumber(os, _value);
+    os << "}";
+}
+
+void
 Average::print(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << " "
        << std::setw(16) << mean() << " # " << desc()
        << " (n=" << _count << ")\n";
+}
+
+void
+Average::printJson(std::ostream &os) const
+{
+    jsonHead(os, *this, "average");
+    os << ",\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"count\":" << _count << "}";
 }
 
 Distribution::Distribution(Group *group, std::string name,
@@ -85,6 +174,30 @@ Distribution::print(std::ostream &os) const
 }
 
 void
+Distribution::printJson(std::ostream &os) const
+{
+    jsonHead(os, *this, "distribution");
+    os << ",\"min\":";
+    jsonNumber(os, _min);
+    os << ",\"max\":";
+    jsonNumber(os, _max);
+    os << ",\"count\":" << _count << ",\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"minSeen\":";
+    jsonNumber(os, _minSeen);
+    os << ",\"maxSeen\":";
+    jsonNumber(os, _maxSeen);
+    os << ",\"underflow\":" << _underflow
+       << ",\"overflow\":" << _overflow << ",\"buckets\":[";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (i)
+            os << ',';
+        os << _buckets[i];
+    }
+    os << "]}";
+}
+
+void
 Distribution::reset()
 {
     std::fill(_buckets.begin(), _buckets.end(), 0);
@@ -94,6 +207,168 @@ Distribution::reset()
     _sum = 0;
     _minSeen = 0;
     _maxSeen = 0;
+}
+
+Vector::Vector(Group *group, std::string name, std::string desc,
+               std::size_t size)
+    : StatBase(group, std::move(name), std::move(desc)),
+      _values(size, 0.0), _subnames(size)
+{
+    GASNUB_ASSERT(size >= 1, "vector stat needs >= 1 element");
+}
+
+double
+Vector::total() const
+{
+    double sum = 0;
+    for (const double v : _values)
+        sum += v;
+    return sum;
+}
+
+void
+Vector::subname(std::size_t i, std::string label)
+{
+    GASNUB_ASSERT(i < _subnames.size(), "bad vector subname index");
+    _subnames[i] = std::move(label);
+}
+
+void
+Vector::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << total() << " # " << desc() << " (total)\n";
+    for (std::size_t i = 0; i < _values.size(); ++i) {
+        if (_values[i] == 0)
+            continue;
+        os << "  " << name() << '[';
+        if (_subnames[i].empty())
+            os << i;
+        else
+            os << _subnames[i];
+        os << "] " << _values[i] << "\n";
+    }
+}
+
+void
+Vector::printJson(std::ostream &os) const
+{
+    jsonHead(os, *this, "vector");
+    os << ",\"total\":";
+    jsonNumber(os, total());
+    os << ",\"values\":[";
+    for (std::size_t i = 0; i < _values.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonNumber(os, _values[i]);
+    }
+    os << "],\"subnames\":[";
+    for (std::size_t i = 0; i < _subnames.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonString(os, _subnames[i]);
+    }
+    os << "]}";
+}
+
+void
+Vector::reset()
+{
+    std::fill(_values.begin(), _values.end(), 0.0);
+}
+
+Formula::Formula(Group *group, std::string name, std::string desc,
+                 Fn fn)
+    : StatBase(group, std::move(name), std::move(desc)),
+      _fn(std::move(fn))
+{
+    GASNUB_ASSERT(_fn, "formula needs an evaluation function");
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << value() << " # " << desc() << "\n";
+}
+
+void
+Formula::printJson(std::ostream &os) const
+{
+    jsonHead(os, *this, "formula");
+    os << ",\"value\":";
+    jsonNumber(os, value());
+    os << "}";
+}
+
+namespace {
+
+/** Smallest shift with (1 << shift) >= ticks (shift >= 1). */
+unsigned
+shiftFor(Tick ticks)
+{
+    unsigned s = 1;
+    while ((Tick(1) << s) < ticks && s < 62)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+IntervalBandwidth::IntervalBandwidth(Group *group, std::string name,
+                                     std::string desc, Tick bucketTicks,
+                                     std::size_t maxBuckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      _bucketShift(shiftFor(bucketTicks)),
+      _maxBuckets(std::max<std::size_t>(maxBuckets, 1))
+{
+    GASNUB_ASSERT(bucketTicks >= 1, "bucket width must be >= 1 tick");
+}
+
+double
+IntervalBandwidth::peakMBs() const
+{
+    std::uint64_t peak = 0;
+    for (const std::uint64_t b : _buckets)
+        peak = std::max(peak, b);
+    // ticks are picoseconds: bytes / s = bytes * 1e12 / ticks.
+    const double seconds =
+        static_cast<double>(bucketTicks()) * 1e-12;
+    return static_cast<double>(peak) / seconds / 1e6;
+}
+
+void
+IntervalBandwidth::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << _totalBytes << " # " << desc()
+       << " (bytes; " << _buckets.size() << " buckets of "
+       << bucketTicks() << " ticks, peak " << peakMBs() << " MB/s)\n";
+}
+
+void
+IntervalBandwidth::printJson(std::ostream &os) const
+{
+    jsonHead(os, *this, "intervalBandwidth");
+    os << ",\"bucketTicks\":" << bucketTicks()
+       << ",\"totalBytes\":" << _totalBytes
+       << ",\"clamped\":" << _clamped << ",\"peakMBs\":";
+    jsonNumber(os, peakMBs());
+    os << ",\"bucketBytes\":[";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (i)
+            os << ',';
+        os << _buckets[i];
+    }
+    os << "]}";
+}
+
+void
+IntervalBandwidth::reset()
+{
+    _buckets.clear();
+    _totalBytes = 0;
+    _clamped = 0;
 }
 
 Group::Group(std::string name) : _name(std::move(name)) {}
@@ -130,6 +405,26 @@ Group::dump(std::ostream &os) const
         s->print(os);
     for (const Group *g : _children)
         g->dump(os);
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":";
+    jsonString(os, _name);
+    os << ",\"stats\":[";
+    for (std::size_t i = 0; i < _stats.size(); ++i) {
+        if (i)
+            os << ',';
+        _stats[i]->printJson(os);
+    }
+    os << "],\"groups\":[";
+    for (std::size_t i = 0; i < _children.size(); ++i) {
+        if (i)
+            os << ',';
+        _children[i]->dumpJson(os);
+    }
+    os << "]}";
 }
 
 void

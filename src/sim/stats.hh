@@ -11,9 +11,12 @@
 #define GASNUB_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "sim/types.hh"
 
 namespace gasnub::stats {
 
@@ -40,6 +43,13 @@ class StatBase
     /** Print one or more "name value # desc" lines. */
     virtual void print(std::ostream &os) const = 0;
 
+    /**
+     * Emit this stat as one JSON object
+     * ({"name":...,"type":...,"desc":...,...}); used by
+     * Group::dumpJson.
+     */
+    virtual void printJson(std::ostream &os) const = 0;
+
     /** Reset to the initial (zero) state. */
     virtual void reset() = 0;
 
@@ -61,6 +71,7 @@ class Scalar : public StatBase
     double value() const { return _value; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -85,6 +96,7 @@ class Average : public StatBase
     std::uint64_t count() const { return _count; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { _sum = 0; _count = 0; }
 
   private:
@@ -122,6 +134,7 @@ class Distribution : public StatBase
     std::uint64_t overflow() const { return _overflow; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -135,6 +148,143 @@ class Distribution : public StatBase
     double _sum = 0;
     double _minSeen = 0;
     double _maxSeen = 0;
+};
+
+/**
+ * A fixed-size vector of counters, e.g.\ per-DRAM-bank accesses or
+ * per-torus-link busy time.  Elements may be given subnames for the
+ * human dump; unnamed elements print their index.
+ */
+class Vector : public StatBase
+{
+  public:
+    /**
+     * @param group Owning group.
+     * @param name  Stat name.
+     * @param desc  Description.
+     * @param size  Number of elements (fixed).
+     */
+    Vector(Group *group, std::string name, std::string desc,
+           std::size_t size);
+
+    std::size_t size() const { return _values.size(); }
+
+    /** Mutable element access (hot path: plain double add). */
+    double &operator[](std::size_t i) { return _values[i]; }
+
+    double value(std::size_t i) const { return _values[i]; }
+
+    /** Sum over all elements. */
+    double total() const;
+
+    /** Label element @p i for the human dump ("bank3", "link+x"). */
+    void subname(std::size_t i, std::string label);
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::vector<double> _values;
+    std::vector<std::string> _subnames;
+};
+
+/**
+ * A derived statistic evaluated lazily at dump time from other stats
+ * (e.g.\ hit rate = hits / (hits + misses)).  Zero cost on the hot
+ * path.
+ */
+class Formula : public StatBase
+{
+  public:
+    using Fn = std::function<double()>;
+
+    /**
+     * @param group Owning group.
+     * @param name  Stat name.
+     * @param desc  Description.
+     * @param fn    Evaluation function; must be valid whenever the
+     *              group is dumped.
+     */
+    Formula(Group *group, std::string name, std::string desc, Fn fn);
+
+    double value() const { return _fn ? _fn() : 0.0; }
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override {} ///< formulas have no state of their own
+
+  private:
+    Fn _fn;
+};
+
+/**
+ * Bytes moved per simulated-time bucket — the bandwidth timeline of
+ * one component.  Buckets are a power-of-two number of ticks wide so
+ * the hot-path update is a shift, an index, and an add.  The series
+ * is bounded: samples past maxBuckets accumulate into the last
+ * bucket (counted in clamped()).
+ */
+class IntervalBandwidth : public StatBase
+{
+  public:
+    /**
+     * @param group       Owning group.
+     * @param name        Stat name.
+     * @param desc        Description.
+     * @param bucketTicks Requested bucket width in ticks; rounded up
+     *                    to a power of two (default ~8.4 us).
+     * @param maxBuckets  Series length bound.
+     */
+    IntervalBandwidth(Group *group, std::string name, std::string desc,
+                      Tick bucketTicks = Tick(1) << 23,
+                      std::size_t maxBuckets = 4096);
+
+    /** Account @p bytes to the bucket containing @p when. */
+    void
+    addBytes(Tick when, std::uint64_t bytes)
+    {
+        std::size_t idx =
+            static_cast<std::size_t>(when >> _bucketShift);
+        if (idx >= _maxBuckets) {
+            idx = _maxBuckets - 1;
+            ++_clamped;
+        }
+        if (idx >= _buckets.size())
+            _buckets.resize(idx + 1, 0);
+        _buckets[idx] += bytes;
+        _totalBytes += bytes;
+    }
+
+    /** Actual bucket width in ticks (power of two). */
+    Tick bucketTicks() const { return Tick(1) << _bucketShift; }
+
+    /** Number of buckets with data so far (trailing zeros trimmed). */
+    std::size_t buckets() const { return _buckets.size(); }
+
+    std::uint64_t bucketBytes(std::size_t i) const
+    {
+        return i < _buckets.size() ? _buckets[i] : 0;
+    }
+
+    std::uint64_t totalBytes() const { return _totalBytes; }
+
+    /** Samples folded into the last bucket by the series bound. */
+    std::uint64_t clamped() const { return _clamped; }
+
+    /** Peak single-bucket bandwidth in MByte/s (decimal). */
+    double peakMBs() const;
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    unsigned _bucketShift;
+    std::size_t _maxBuckets;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _totalBytes = 0;
+    std::uint64_t _clamped = 0;
 };
 
 /**
@@ -163,6 +313,14 @@ class Group
 
     /** Dump all stats, prefixed with the group name. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump this group recursively as one JSON object:
+     * {"name":...,"stats":[...],"groups":[...]}. Stats appear in
+     * registration order (deterministic); output is machine-readable
+     * and byte-stable across identical runs.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Reset all registered stats (recursively). */
     void resetAll();

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 #include "fft/fft2d_dist.hh"
 
 namespace {
@@ -98,6 +101,37 @@ TEST(Fft2dDist, RowCapApproximatesFullSimulation)
     // runs underestimate; they must stay within a reasonable band.
     EXPECT_LT(c, 1.05 * f);
     EXPECT_GT(c, 0.7 * f);
+}
+
+TEST(Fft2dDist, PhaseStatsSnapshotsAreWellFormed)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    DistributedFft2d app(m);
+    Fft2dConfig cfg;
+    cfg.n = 64;
+
+    auto run = [&] {
+        std::ostringstream os;
+        cfg.phaseStats = &os;
+        app.run(cfg);
+        return os.str();
+    };
+    const std::string out = run();
+    // One snapshot per phase, in order, bracketed as one JSON array.
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+    const auto p1 = out.find("\"phase\":\"fft1d-rows\"");
+    const auto p2 = out.find("\"phase\":\"transpose-1\"");
+    const auto p3 = out.find("\"phase\":\"fft1d-cols\"");
+    const auto p4 = out.find("\"phase\":\"transpose-2\"");
+    ASSERT_NE(p4, std::string::npos);
+    EXPECT_LT(p1, p2);
+    EXPECT_LT(p2, p3);
+    EXPECT_LT(p3, p4);
+    EXPECT_NE(out.find("\"startTicks\":"), std::string::npos);
+    // Deterministic: a second identical run snapshots identically.
+    EXPECT_EQ(out, run());
 }
 
 TEST(Fft2dDist, ScalesToManyProcessors)

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -118,6 +119,116 @@ TEST(Group, RemoveDeregistersStat)
     Scalar s(&g, "s", "d");
     g.remove(&s);
     EXPECT_EQ(g.find("s"), nullptr);
+}
+
+TEST(Vector, ElementsSubnamesAndTotal)
+{
+    Group g("g");
+    Vector v(&g, "g.banks", "per-bank accesses", 4);
+    EXPECT_EQ(v.size(), 4u);
+    v[0] += 1;
+    v[2] += 2.5;
+    v[3] += 1;
+    EXPECT_DOUBLE_EQ(v.value(2), 2.5);
+    EXPECT_DOUBLE_EQ(v.total(), 4.5);
+    v.subname(2, "bank2");
+    std::ostringstream os;
+    v.print(os);
+    EXPECT_NE(os.str().find("bank2"), std::string::npos);
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    Group g("g");
+    Scalar hits(&g, "g.hits", "hits");
+    Scalar misses(&g, "g.misses", "misses");
+    Formula rate(&g, "g.hitRate", "hit rate", [&] {
+        const double n = hits.value() + misses.value();
+        return n > 0 ? hits.value() / n : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(rate.value(), 0.0);
+    hits += 3;
+    misses += 1;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+    // reset() on a formula is a no-op; the inputs carry the state.
+    rate.reset();
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+}
+
+TEST(IntervalBandwidth, BucketsByTime)
+{
+    Group g("g");
+    // 1024-tick buckets (already a power of two).
+    IntervalBandwidth bw(&g, "g.bw", "bytes per bucket", 1024, 16);
+    EXPECT_EQ(bw.bucketTicks(), 1024u);
+    bw.addBytes(0, 100);
+    bw.addBytes(1023, 28);
+    bw.addBytes(1024, 64);
+    EXPECT_EQ(bw.buckets(), 2u);
+    EXPECT_EQ(bw.bucketBytes(0), 128u);
+    EXPECT_EQ(bw.bucketBytes(1), 64u);
+    EXPECT_EQ(bw.bucketBytes(5), 0u);
+    EXPECT_EQ(bw.totalBytes(), 192u);
+    EXPECT_EQ(bw.clamped(), 0u);
+}
+
+TEST(IntervalBandwidth, RoundsBucketWidthUpToPow2)
+{
+    Group g("g");
+    IntervalBandwidth bw(&g, "g.bw", "d", 1000, 16);
+    EXPECT_EQ(bw.bucketTicks(), 1024u);
+}
+
+TEST(IntervalBandwidth, ClampsToSeriesBound)
+{
+    Group g("g");
+    IntervalBandwidth bw(&g, "g.bw", "d", 1024, 4);
+    bw.addBytes(100 * 1024, 8); // far past the last bucket
+    bw.addBytes(200 * 1024, 8);
+    EXPECT_EQ(bw.buckets(), 4u);
+    EXPECT_EQ(bw.bucketBytes(3), 16u);
+    EXPECT_EQ(bw.clamped(), 2u);
+    bw.reset();
+    EXPECT_EQ(bw.totalBytes(), 0u);
+    EXPECT_EQ(bw.clamped(), 0u);
+    EXPECT_EQ(bw.buckets(), 0u);
+}
+
+TEST(Group, DumpJsonIsWellFormedAndStable)
+{
+    Group parent("machine");
+    Group child("node0");
+    parent.addChild(&child);
+    Scalar s(&parent, "machine.runs", "runs");
+    s += 2;
+    Vector v(&child, "node0.banks", "banks", 2);
+    v[1] += 5;
+    Formula f(&child, "node0.ratio", "ratio", [] { return 0.5; });
+    IntervalBandwidth bw(&child, "node0.bw", "bw", 1024, 8);
+    bw.addBytes(10, 64);
+
+    auto dump = [&] {
+        std::ostringstream os;
+        parent.dumpJson(os);
+        return os.str();
+    };
+    const std::string out = dump();
+    EXPECT_NE(out.find("\"name\":\"machine\""), std::string::npos);
+    EXPECT_NE(out.find("\"machine.runs\""), std::string::npos);
+    EXPECT_NE(out.find("\"node0.banks\""), std::string::npos);
+    EXPECT_NE(out.find("\"node0.ratio\""), std::string::npos);
+    EXPECT_NE(out.find("\"node0.bw\""), std::string::npos);
+    EXPECT_NE(out.find("\"groups\""), std::string::npos);
+    // Balanced braces and brackets (cheap well-formedness check —
+    // the exporter emits no strings containing these characters here).
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+    // Byte-stable across identical dumps.
+    EXPECT_EQ(out, dump());
 }
 
 } // namespace

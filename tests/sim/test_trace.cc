@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the event tracer.
+ *
+ * The tracer is a process-wide singleton, so every test starts from
+ * clear() + an explicit mask and restores mask 0 on exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::trace;
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer &t = Tracer::instance();
+        t.clear();
+        t.setCapacity(1u << 20);
+        t.setMask(allCategories);
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer &t = Tracer::instance();
+        t.setMask(0);
+        t.clear();
+    }
+};
+
+TEST_F(TraceTest, CategoryNamesRoundTrip)
+{
+    EXPECT_STREQ(categoryName(Category::Mem), "mem");
+    EXPECT_STREQ(categoryName(Category::Noc), "noc");
+    EXPECT_STREQ(categoryName(Category::Remote), "remote");
+    EXPECT_STREQ(categoryName(Category::Kernel), "kernel");
+    EXPECT_STREQ(categoryName(Category::Sim), "sim");
+}
+
+TEST_F(TraceTest, ParseCategories)
+{
+    EXPECT_EQ(parseCategories("all"), allCategories);
+    EXPECT_EQ(parseCategories(""), allCategories);
+    EXPECT_EQ(parseCategories("mem"),
+              static_cast<std::uint32_t>(Category::Mem));
+    EXPECT_EQ(parseCategories("mem,noc"),
+              static_cast<std::uint32_t>(Category::Mem) |
+                  static_cast<std::uint32_t>(Category::Noc));
+    EXPECT_EQ(parseCategories("sim,remote"),
+              static_cast<std::uint32_t>(Category::Sim) |
+                  static_cast<std::uint32_t>(Category::Remote));
+}
+
+TEST_F(TraceTest, MaskGatesRecording)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId tr = t.track("test");
+
+    t.setMask(static_cast<std::uint32_t>(Category::Mem));
+    EXPECT_TRUE(enabled(Category::Mem));
+    EXPECT_FALSE(enabled(Category::Noc));
+
+    GASNUB_TRACE(Category::Mem, tr, "kept", 0, 10);
+    GASNUB_TRACE(Category::Noc, tr, "masked", 0, 10);
+    // record() re-checks the mask for direct callers too.
+    t.record(Category::Noc, tr, "masked-direct", 0, 10);
+
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_STREQ(t.events()[0].name, "kept");
+}
+
+TEST_F(TraceTest, DisabledMacroDoesNotEvaluateArguments)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId tr = t.track("test");
+    t.setMask(0);
+    int evaluations = 0;
+    auto touch = [&evaluations] { return Tick(++evaluations); };
+    GASNUB_TRACE(Category::Mem, tr, "off", touch(), touch());
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST_F(TraceTest, TrackInterning)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId a = t.track("alpha-track");
+    const TrackId b = t.track("beta-track");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.track("alpha-track"), a);
+    EXPECT_EQ(t.trackName(a), "alpha-track");
+    EXPECT_EQ(t.trackName(b), "beta-track");
+}
+
+TEST_F(TraceTest, BufferOverflowDropsAndCounts)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId tr = t.track("test");
+    t.setCapacity(4);
+    for (Tick i = 0; i < 10; ++i)
+        t.record(Category::Sim, tr, "e", i, i + 1);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 6u);
+    // The oldest events are the ones kept.
+    EXPECT_EQ(t.events()[0].start, 0u);
+    EXPECT_EQ(t.events()[3].start, 3u);
+
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST_F(TraceTest, RecordedArgumentsAreKept)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId tr = t.track("test");
+    t.record(Category::Mem, tr, "xfer", 100, 250, "bytes", 64, "bank",
+             3);
+    ASSERT_EQ(t.size(), 1u);
+    const Event &e = t.events()[0];
+    EXPECT_EQ(e.start, 100u);
+    EXPECT_EQ(e.dur, 150u);
+    EXPECT_STREQ(e.key0, "bytes");
+    EXPECT_EQ(e.val0, 64u);
+    EXPECT_STREQ(e.key1, "bank");
+    EXPECT_EQ(e.val1, 3u);
+    EXPECT_EQ(e.cat, Category::Mem);
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidishAndSorted)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId tr = t.track("test");
+    // Insert out of start order; export must sort by start tick.
+    t.record(Category::Sim, tr, "second", 2'000'000, 3'000'000);
+    t.record(Category::Sim, tr, "first", 1'000'000, 1'500'000);
+    std::ostringstream os;
+    t.exportChromeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_LT(out.find("\"first\""), out.find("\"second\""));
+}
+
+TEST_F(TraceTest, ExportIsDeterministic)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId tr = t.track("test");
+
+    auto run = [&] {
+        t.clear();
+        for (Tick i = 0; i < 100; ++i)
+            t.record(i % 2 ? Category::Mem : Category::Noc, tr, "e",
+                     i * 17, i * 17 + 5, "i", i);
+        std::ostringstream json, csv;
+        t.exportChromeJson(json);
+        t.exportCsv(csv);
+        return json.str() + "\x1f" + csv.str();
+    };
+
+    const std::string first = run();
+    const std::string second = run();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+}
+
+TEST_F(TraceTest, CsvHasHeaderAndRows)
+{
+    Tracer &t = Tracer::instance();
+    const TrackId tr = t.track("csv-track");
+    t.record(Category::Remote, tr, "pull", 10, 20, "words", 8);
+    std::ostringstream os;
+    t.exportCsv(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.find("category"), 0u);
+    EXPECT_NE(out.find("remote"), std::string::npos);
+    EXPECT_NE(out.find("pull"), std::string::npos);
+}
+
+} // namespace

@@ -12,6 +12,14 @@
  *              --cap <size>      simulation cap (default 4M)
  *              --out <file>      save the surface (gasnub format)
  *              --procs <n>       machine size (default 4)
+ *              --trace-out <file>        event trace (Chrome trace
+ *                                        JSON; CSV if <file> ends in
+ *                                        .csv)
+ *              --trace-categories <list> comma-separated subset of
+ *                                        mem,noc,remote,kernel,sim
+ *              --stats-json <file>       stats tree as JSON
+ *
+ * Options accept both "--opt value" and "--opt=value".
  *
  * Saved surfaces can be reloaded with core::loadSurfaceFile and fed
  * to the TransferPlanner — the measure-once / decide-often split of
@@ -19,6 +27,7 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -26,6 +35,7 @@
 #include "core/surface_io.hh"
 #include "machine/machine.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "sim/units.hh"
 
 using namespace gasnub;
@@ -38,7 +48,10 @@ usage()
     std::cerr
         << "usage: characterize <dec8400|t3d|t3e> <benchmark> "
            "[--max-ws N] [--cap N]\n"
-           "                    [--out FILE] [--procs N]\n"
+           "                    [--out FILE] [--procs N] "
+           "[--trace-out FILE]\n"
+           "                    [--trace-categories LIST] "
+           "[--stats-json FILE]\n"
            "benchmarks: loads stores copy-sload copy-sstore pull\n"
            "            fetch-sload deposit-sstore\n";
     std::exit(2);
@@ -68,11 +81,22 @@ main(int argc, char **argv)
     std::uint64_t cap = 4_MiB;
     std::string out;
     int procs = 4;
+    std::string trace_out;
+    std::string trace_categories = "all";
+    std::string stats_json;
     for (int i = 3; i < argc; ++i) {
-        const std::string opt = argv[i];
-        if (i + 1 >= argc)
-            usage();
-        const std::string val = argv[++i];
+        std::string opt = argv[i];
+        std::string val;
+        // Accept both "--opt value" and "--opt=value".
+        const std::size_t eq = opt.find('=');
+        if (eq != std::string::npos) {
+            val = opt.substr(eq + 1);
+            opt = opt.substr(0, eq);
+        } else {
+            if (i + 1 >= argc)
+                usage();
+            val = argv[++i];
+        }
         if (opt == "--max-ws")
             max_ws = parseSize(val);
         else if (opt == "--cap")
@@ -81,9 +105,19 @@ main(int argc, char **argv)
             out = val;
         else if (opt == "--procs")
             procs = std::stoi(val);
+        else if (opt == "--trace-out")
+            trace_out = val;
+        else if (opt == "--trace-categories")
+            trace_categories = val;
+        else if (opt == "--stats-json")
+            stats_json = val;
         else
             usage();
     }
+
+    if (!trace_out.empty())
+        trace::Tracer::instance().setMask(
+            trace::parseCategories(trace_categories));
 
     machine::Machine m(kind, procs);
     core::Characterizer c(m);
@@ -120,6 +154,32 @@ main(int argc, char **argv)
     if (!out.empty()) {
         core::saveSurfaceFile(s, out);
         std::cout << "saved to " << out << "\n";
+    }
+    if (!trace_out.empty()) {
+        trace::Tracer &tracer = trace::Tracer::instance();
+        std::ofstream os(trace_out);
+        if (!os)
+            GASNUB_FATAL("cannot open ", trace_out);
+        const bool csv =
+            trace_out.size() > 4 &&
+            trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
+        if (csv)
+            tracer.exportCsv(os);
+        else
+            tracer.exportChromeJson(os);
+        std::cerr << "trace: " << tracer.size() << " events to "
+                  << trace_out;
+        if (tracer.dropped())
+            std::cerr << " (" << tracer.dropped() << " dropped)";
+        std::cerr << "\n";
+    }
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os)
+            GASNUB_FATAL("cannot open ", stats_json);
+        m.statsGroup().dumpJson(os);
+        os << "\n";
+        std::cerr << "stats: " << stats_json << "\n";
     }
     return 0;
 }
