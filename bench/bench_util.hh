@@ -18,6 +18,7 @@
 #define GASNUB_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,7 +26,9 @@
 #include <vector>
 
 #include "core/characterizer.hh"
+#include "core/sweep_runner.hh"
 #include "machine/machine.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/units.hh"
@@ -47,6 +50,10 @@ fullRun(int argc, char **argv)
  *   --trace-categories=LIST  comma-separated subset of
  *                            mem,noc,remote,kernel,sim (default all)
  *   --stats-json=FILE        dump the machine's stats tree as JSON
+ *   --jobs=N                 worker threads for the sweeps (default:
+ *                            GASNUB_JOBS, then hardware concurrency;
+ *                            1 = serial; output is byte-identical
+ *                            either way)
  *
  * Construct at the top of main (enables tracing before the machine is
  * built) and call finish() with the machine's stats group at the end.
@@ -55,10 +62,12 @@ struct Observability
 {
     std::string traceOut;
     std::string statsJson;
+    int jobs = 1;
 
     Observability(int argc, char **argv)
     {
         std::uint32_t mask = trace::allCategories;
+        int jobs_arg = 0;
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             if (a.rfind("--trace-out=", 0) == 0)
@@ -67,7 +76,10 @@ struct Observability
                 mask = trace::parseCategories(a.substr(19));
             else if (a.rfind("--stats-json=", 0) == 0)
                 statsJson = a.substr(13);
+            else if (a.rfind("--jobs=", 0) == 0)
+                jobs_arg = std::atoi(a.c_str() + 7);
         }
+        jobs = sim::defaultJobs(jobs_arg);
         if (!traceOut.empty())
             trace::Tracer::instance().setMask(mask);
     }
@@ -102,6 +114,27 @@ struct Observability
         }
     }
 };
+
+/**
+ * Run one characterization sweep on @p m, distributing grid points
+ * over @p jobs workers when > 1.  Per-worker machine replicas are
+ * built from m.systemConfig(); the surface, trace events, and stats
+ * merge back deterministically, so every output is byte-identical to
+ * a serial run (see docs/parallel_sweeps.md).
+ */
+inline core::Surface
+sweep(machine::Machine &m, const core::SweepSpec &spec,
+      const core::CharacterizeConfig &cfg, int jobs)
+{
+    if (jobs <= 1) {
+        core::Characterizer c(m);
+        return c.run(spec, cfg);
+    }
+    core::SweepRunner runner(m.systemConfig(), jobs);
+    core::Surface s = runner.run(spec, cfg);
+    runner.mergeStatsInto(m.statsGroup());
+    return s;
+}
 
 /** Header line for a figure bench. */
 inline void

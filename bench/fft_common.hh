@@ -26,25 +26,34 @@ fftSizes()
     return {32, 64, 128, 256, 512, 1024};
 }
 
-/** Run the 4-processor 2D-FFT sweep on all three machines. */
+/**
+ * Run the 4-processor 2D-FFT sweep on all three machines; with
+ * @p jobs > 1 the machine rows run concurrently on private replicas
+ * (results are identical to a serial run — every row computes on its
+ * own machine in size order either way).
+ */
 inline std::vector<FftSeries>
-runFftSweep()
+runFftSweep(int jobs = 1)
 {
-    std::vector<FftSeries> out;
-    for (auto kind :
-         {machine::SystemKind::CrayT3D, machine::SystemKind::Dec8400,
-          machine::SystemKind::CrayT3E}) {
-        machine::Machine m(kind, 4);
+    const machine::SystemKind kinds[] = {machine::SystemKind::CrayT3D,
+                                         machine::SystemKind::Dec8400,
+                                         machine::SystemKind::CrayT3E};
+    std::vector<FftSeries> out(3);
+    sim::ThreadPool pool(jobs);
+    std::vector<trace::Tracer> tracers(pool.workers());
+    pool.parallelFor(3, [&](int w, std::size_t j) {
+        // Worker threads build machines, which register trace tracks:
+        // route them to a private tracer.
+        trace::ScopedThreadTracer scoped(tracers[w], 0);
+        machine::Machine m(kinds[j], 4);
         fft::DistributedFft2d app(m);
-        FftSeries series;
-        series.kind = kind;
+        out[j].kind = kinds[j];
         for (std::uint64_t n : fftSizes()) {
             fft::Fft2dConfig cfg;
             cfg.n = n;
-            series.results.push_back(app.run(cfg));
+            out[j].results.push_back(app.run(cfg));
         }
-        out.push_back(std::move(series));
-    }
+    });
     return out;
 }
 

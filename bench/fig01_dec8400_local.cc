@@ -15,10 +15,11 @@ main(int argc, char **argv)
                   "DEC 8400 local load bandwidth (stride x working "
                   "set), one processor");
     machine::Machine m(machine::SystemKind::Dec8400, 4);
-    core::Characterizer c(m);
-    core::Surface s = c.localLoads(
-        0, bench::surfaceGrid(bench::fullRun(argc, argv), 128_MiB,
-                              12_MiB));
+    core::Surface s = bench::sweep(
+        m, core::SweepSpec::localLoads(0),
+        bench::surfaceGrid(bench::fullRun(argc, argv), 128_MiB,
+                              12_MiB),
+        obs.jobs);
     s.print(std::cout);
     bench::compare({
         {"L1 plateau (MB/s)", 1100, s.at(4_KiB, 1)},

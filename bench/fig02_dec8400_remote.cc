@@ -14,11 +14,13 @@ main(int argc, char **argv)
     bench::banner("Figure 2",
                   "DEC 8400 remote pull bandwidth (P0 <- pull <- P1)");
     machine::Machine m(machine::SystemKind::Dec8400, 4);
-    core::Characterizer c(m);
     auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 32_MiB,
                                  12_MiB);
-    core::Surface s = c.remoteTransfer(
-        remote::TransferMethod::CoherentPull, true, cfg, 1, 0);
+    core::Surface s = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::CoherentPull,
+                                true, 1, 0),
+        cfg, obs.jobs);
     s.print(std::cout);
     bench::compare({
         {"remote contiguous max (MB/s)", 140, s.at(16_MiB, 1)},

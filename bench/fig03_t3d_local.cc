@@ -15,10 +15,11 @@ main(int argc, char **argv)
                   "Cray T3D local load bandwidth (stride x working "
                   "set), one processor");
     machine::Machine m(machine::SystemKind::CrayT3D, 4);
-    core::Characterizer c(m);
-    core::Surface s = c.localLoads(
-        0, bench::surfaceGrid(bench::fullRun(argc, argv), 16_MiB,
-                              4_MiB));
+    core::Surface s = bench::sweep(
+        m, core::SweepSpec::localLoads(0),
+        bench::surfaceGrid(bench::fullRun(argc, argv), 16_MiB,
+                              4_MiB),
+        obs.jobs);
     s.print(std::cout);
     bench::compare({
         {"L1 plateau (MB/s)", 600, s.at(4_KiB, 1)},

@@ -14,11 +14,13 @@ main(int argc, char **argv)
     bench::banner("Figure 4",
                   "Cray T3D fetch (remote loads) transfer bandwidth");
     machine::Machine m(machine::SystemKind::CrayT3D, 4);
-    core::Characterizer c(m);
     auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
                                  512_KiB);
-    core::Surface s = c.remoteTransfer(remote::TransferMethod::Fetch,
-                                       true, cfg, 0, 2);
+    core::Surface s = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Fetch,
+                                true, 0, 2),
+        cfg, obs.jobs);
     s.print(std::cout);
     std::printf("The paper: naive remote loads run an order of "
                 "magnitude below the\nnetwork bandwidth; the "

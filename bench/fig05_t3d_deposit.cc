@@ -15,11 +15,13 @@ main(int argc, char **argv)
                   "Cray T3D deposit (remote stores) transfer "
                   "bandwidth, p0,1 -> push -> p2,3");
     machine::Machine m(machine::SystemKind::CrayT3D, 4);
-    core::Characterizer c(m);
     auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
                                  512_KiB);
-    core::Surface s = c.remoteTransfer(
-        remote::TransferMethod::Deposit, false, cfg, 0, 2);
+    core::Surface s = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Deposit,
+                                false, 0, 2),
+        cfg, obs.jobs);
     s.print(std::cout);
     bench::compare({
         {"deposit contiguous (MB/s)", 120, s.at(8_MiB, 1)},

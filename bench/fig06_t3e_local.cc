@@ -15,10 +15,11 @@ main(int argc, char **argv)
                   "Cray T3E local load bandwidth (stride x working "
                   "set), one processor");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
-    core::Characterizer c(m);
-    core::Surface s = c.localLoads(
-        0, bench::surfaceGrid(bench::fullRun(argc, argv), 8_MiB,
-                              4_MiB));
+    core::Surface s = bench::sweep(
+        m, core::SweepSpec::localLoads(0),
+        bench::surfaceGrid(bench::fullRun(argc, argv), 8_MiB,
+                              4_MiB),
+        obs.jobs);
     s.print(std::cout);
     bench::compare({
         {"L1 plateau (MB/s)", 1100, s.at(4_KiB, 1)},

@@ -14,11 +14,13 @@ main(int argc, char **argv)
     bench::banner("Figure 7",
                   "Cray T3E fetch (shmem_iget) transfer bandwidth");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
-    core::Characterizer c(m);
     auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
                                  1_MiB);
-    core::Surface s = c.remoteTransfer(remote::TransferMethod::Fetch,
-                                       true, cfg, 0, 1);
+    core::Surface s = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Fetch,
+                                true, 0, 1),
+        cfg, obs.jobs);
     s.print(std::cout);
     bench::compare({
         {"iget contiguous (MB/s)", 350, s.at(8_MiB, 1)},

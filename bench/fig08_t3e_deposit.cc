@@ -15,11 +15,13 @@ main(int argc, char **argv)
     bench::banner("Figure 8",
                   "Cray T3E deposit (shmem_iput) transfer bandwidth");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
-    core::Characterizer c(m);
     auto cfg = bench::remoteGrid(bench::fullRun(argc, argv), 16_MiB,
                                  1_MiB);
-    core::Surface s = c.remoteTransfer(
-        remote::TransferMethod::Deposit, false, cfg, 0, 1);
+    core::Surface s = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Deposit,
+                                false, 0, 1),
+        cfg, obs.jobs);
     s.print(std::cout);
     std::printf("Ripples: even strides hit the same destination bank "
                 "parity in\nconsecutive receives (paper Section "

@@ -15,12 +15,19 @@ main(int argc, char **argv)
                   "Cray T3D local copy, 65 MB working set: strided "
                   "loads vs strided stores");
     machine::Machine m(machine::SystemKind::CrayT3D, 4);
-    core::Characterizer c(m);
     auto cfg = bench::copySliceGrid(4_MiB);
     core::Surface sl =
-        c.localCopy(0, kernels::CopyVariant::StridedLoads, cfg);
+        bench::sweep(
+            m,
+            core::SweepSpec::localCopy(
+                kernels::CopyVariant::StridedLoads, 0),
+            cfg, obs.jobs);
     core::Surface ss =
-        c.localCopy(0, kernels::CopyVariant::StridedStores, cfg);
+        bench::sweep(
+            m,
+            core::SweepSpec::localCopy(
+                kernels::CopyVariant::StridedStores, 0),
+            cfg, obs.jobs);
     sl.print(std::cout);
     ss.print(std::cout);
     bench::compare({

@@ -15,12 +15,19 @@ main(int argc, char **argv)
                   "Cray T3E local copy, 65 MB working set: strided "
                   "loads vs strided stores");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
-    core::Characterizer c(m);
     auto cfg = bench::copySliceGrid(4_MiB);
     core::Surface sl =
-        c.localCopy(0, kernels::CopyVariant::StridedLoads, cfg);
+        bench::sweep(
+            m,
+            core::SweepSpec::localCopy(
+                kernels::CopyVariant::StridedLoads, 0),
+            cfg, obs.jobs);
     core::Surface ss =
-        c.localCopy(0, kernels::CopyVariant::StridedStores, cfg);
+        bench::sweep(
+            m,
+            core::SweepSpec::localCopy(
+                kernels::CopyVariant::StridedStores, 0),
+            cfg, obs.jobs);
     sl.print(std::cout);
     ss.print(std::cout);
     std::printf("\"The write-back caches prohibit efficient strided "

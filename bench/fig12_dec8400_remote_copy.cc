@@ -14,10 +14,12 @@ main(int argc, char **argv)
     bench::banner("Figure 12",
                   "DEC 8400 remote copy transfer p1 -> p0, 65 MB");
     machine::Machine m(machine::SystemKind::Dec8400, 4);
-    core::Characterizer c(m);
     auto cfg = bench::copySliceGrid(12_MiB);
-    core::Surface s = c.remoteTransfer(
-        remote::TransferMethod::CoherentPull, true, cfg, 1, 0);
+    core::Surface s = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::CoherentPull,
+                                true, 1, 0),
+        cfg, obs.jobs);
     s.print(std::cout);
     bench::compare({
         {"contiguous (MB/s)", 140, s.at(65 * 1_MiB, 1)},

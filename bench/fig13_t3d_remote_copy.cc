@@ -14,12 +14,17 @@ main(int argc, char **argv)
     bench::banner("Figure 13",
                   "Cray T3D remote copy transfer p0 -> p2, 65 MB");
     machine::Machine m(machine::SystemKind::CrayT3D, 4);
-    core::Characterizer c(m);
     auto cfg = bench::copySliceGrid(4_MiB);
-    core::Surface sl = c.remoteTransfer(
-        remote::TransferMethod::Deposit, true, cfg, 0, 2);
-    core::Surface ss = c.remoteTransfer(
-        remote::TransferMethod::Deposit, false, cfg, 0, 2);
+    core::Surface sl = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Deposit,
+                                true, 0, 2),
+        cfg, obs.jobs);
+    core::Surface ss = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Deposit,
+                                false, 0, 2),
+        cfg, obs.jobs);
     sl.print(std::cout);
     ss.print(std::cout);
     bench::compare({

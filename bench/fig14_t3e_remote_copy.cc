@@ -15,12 +15,17 @@ main(int argc, char **argv)
     bench::banner("Figure 14",
                   "Cray T3E remote copy transfer p0 -> p1, 65 MB");
     machine::Machine m(machine::SystemKind::CrayT3E, 4);
-    core::Characterizer c(m);
     auto cfg = bench::copySliceGrid(4_MiB);
-    core::Surface sl = c.remoteTransfer(
-        remote::TransferMethod::Fetch, true, cfg, 0, 1);
-    core::Surface ss = c.remoteTransfer(
-        remote::TransferMethod::Deposit, false, cfg, 0, 1);
+    core::Surface sl = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Fetch,
+                                true, 0, 1),
+        cfg, obs.jobs);
+    core::Surface ss = bench::sweep(
+        m,
+        core::SweepSpec::remote(remote::TransferMethod::Deposit,
+                                false, 0, 1),
+        cfg, obs.jobs);
     sl.print(std::cout);
     ss.print(std::cout);
     std::printf("Fetch (strided gathers) is flat ~140; deposit "

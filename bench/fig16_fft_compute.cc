@@ -7,13 +7,14 @@
 #include "fft_common.hh"
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gasnub;
+    bench::Observability obs(argc, argv);
     bench::banner("Figure 16",
                   "2D-FFT local computation performance, 4 "
                   "processors");
-    auto sweep = bench::runFftSweep();
+    auto sweep = bench::runFftSweep(obs.jobs);
     bench::printFftTable(sweep, "MFlop/s total",
                          [](const fft::Fft2dResult &r) {
                              return r.computeMFlops;

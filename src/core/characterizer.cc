@@ -22,9 +22,6 @@ paperWorkingSets(std::uint64_t max_bytes)
     return ws;
 }
 
-namespace {
-
-/** Resolve the grid of a config. */
 void
 resolveGrid(const CharacterizeConfig &cfg,
             std::vector<std::uint64_t> &ws,
@@ -35,11 +32,75 @@ resolveGrid(const CharacterizeConfig &cfg,
     strides = cfg.strides.empty() ? paperStrides() : cfg.strides;
 }
 
-} // namespace
+SweepSpec
+SweepSpec::localLoads(NodeId node)
+{
+    SweepSpec s;
+    s.kind = Kind::LocalLoads;
+    s.node = node;
+    return s;
+}
+
+SweepSpec
+SweepSpec::localStores(NodeId node)
+{
+    SweepSpec s;
+    s.kind = Kind::LocalStores;
+    s.node = node;
+    return s;
+}
+
+SweepSpec
+SweepSpec::localCopy(kernels::CopyVariant variant, NodeId node)
+{
+    SweepSpec s;
+    s.kind = Kind::LocalCopy;
+    s.variant = variant;
+    s.node = node;
+    return s;
+}
+
+SweepSpec
+SweepSpec::remote(remote::TransferMethod method, bool stride_on_source,
+                  NodeId src, NodeId dst)
+{
+    SweepSpec s;
+    s.kind = Kind::Remote;
+    s.method = method;
+    s.strideOnSource = stride_on_source;
+    s.src = src;
+    s.dst = dst;
+    return s;
+}
+
+std::string
+sweepName(machine::SystemKind kind, const SweepSpec &spec)
+{
+    std::string name = machine::systemName(kind);
+    switch (spec.kind) {
+      case SweepSpec::Kind::LocalLoads:
+        return name + " local loads";
+      case SweepSpec::Kind::LocalStores:
+        return name + " local stores";
+      case SweepSpec::Kind::LocalCopy:
+        return name +
+               (spec.variant == kernels::CopyVariant::StridedLoads
+                    ? " local copy (strided loads/contiguous stores)"
+                    : " local copy (contiguous loads/strided stores)");
+      case SweepSpec::Kind::Remote:
+        name += " remote ";
+        name += remote::methodName(spec.method);
+        name += spec.strideOnSource ? " (strided loads)"
+                                    : " (strided stores)";
+        return name;
+    }
+    GASNUB_PANIC("bad SweepSpec::Kind");
+}
 
 Characterizer::Characterizer(machine::Machine &m)
     : _machine(m),
-      _traceTrack(trace::Tracer::instance().track("characterizer"))
+      _traceTrack(
+          trace::Tracer::instance().track(characterizerTrackName))
 {
 }
 
@@ -48,7 +109,7 @@ Characterizer::localLoads(NodeId node, const CharacterizeConfig &cfg)
 {
     std::vector<std::uint64_t> ws, strides;
     resolveGrid(cfg, ws, strides);
-    Surface s(machine::systemName(_machine.kind()) + " local loads",
+    Surface s(sweepName(_machine.kind(), SweepSpec::localLoads(node)),
               ws, strides);
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
@@ -74,7 +135,7 @@ Characterizer::localStores(NodeId node, const CharacterizeConfig &cfg)
 {
     std::vector<std::uint64_t> ws, strides;
     resolveGrid(cfg, ws, strides);
-    Surface s(machine::systemName(_machine.kind()) + " local stores",
+    Surface s(sweepName(_machine.kind(), SweepSpec::localStores(node)),
               ws, strides);
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
@@ -99,11 +160,9 @@ Characterizer::localCopy(NodeId node, kernels::CopyVariant variant,
 {
     std::vector<std::uint64_t> ws, strides;
     resolveGrid(cfg, ws, strides);
-    const char *v =
-        variant == kernels::CopyVariant::StridedLoads
-            ? " local copy (strided loads/contiguous stores)"
-            : " local copy (contiguous loads/strided stores)";
-    Surface s(machine::systemName(_machine.kind()) + v, ws, strides);
+    Surface s(sweepName(_machine.kind(),
+                        SweepSpec::localCopy(variant, node)),
+              ws, strides);
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
             kernels::KernelParams p;
@@ -132,11 +191,10 @@ Characterizer::remoteTransfer(remote::TransferMethod method,
 {
     std::vector<std::uint64_t> ws, strides;
     resolveGrid(cfg, ws, strides);
-    std::string name = machine::systemName(_machine.kind());
-    name += " remote ";
-    name += remote::methodName(method);
-    name += stride_on_source ? " (strided loads)" : " (strided stores)";
-    Surface s(name, ws, strides);
+    Surface s(sweepName(_machine.kind(),
+                        SweepSpec::remote(method, stride_on_source,
+                                          src, dst)),
+              ws, strides);
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
             kernels::RemoteParams p;
@@ -158,6 +216,23 @@ Characterizer::remoteTransfer(remote::TransferMethod method,
         }
     }
     return s;
+}
+
+Surface
+Characterizer::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
+{
+    switch (spec.kind) {
+      case SweepSpec::Kind::LocalLoads:
+        return localLoads(spec.node, cfg);
+      case SweepSpec::Kind::LocalStores:
+        return localStores(spec.node, cfg);
+      case SweepSpec::Kind::LocalCopy:
+        return localCopy(spec.node, spec.variant, cfg);
+      case SweepSpec::Kind::Remote:
+        return remoteTransfer(spec.method, spec.strideOnSource, cfg,
+                              spec.src, spec.dst);
+    }
+    GASNUB_PANIC("bad SweepSpec::Kind");
 }
 
 } // namespace gasnub::core

@@ -42,6 +42,56 @@ std::vector<std::uint64_t> paperStrides();
 std::vector<std::uint64_t> paperWorkingSets(std::uint64_t max_bytes);
 
 /**
+ * Resolve the (working set, stride) axes of @p cfg, substituting the
+ * paper's default grids for empty axes.  Exposed so parallel drivers
+ * can partition the exact grid a serial run would sweep.
+ */
+void resolveGrid(const CharacterizeConfig &cfg,
+                 std::vector<std::uint64_t> &ws,
+                 std::vector<std::uint64_t> &strides);
+
+/**
+ * Names one characterization sweep — which kernel family, on which
+ * node(s), with which variant or transfer method — independent of the
+ * grid.  A (SweepSpec, CharacterizeConfig) pair fully determines a
+ * Surface, which lets serial (Characterizer::run) and parallel
+ * (SweepRunner) drivers execute the same measurement.
+ */
+struct SweepSpec
+{
+    enum class Kind { LocalLoads, LocalStores, LocalCopy, Remote };
+
+    Kind kind = Kind::LocalLoads;
+    /** Measuring node of the local sweeps. */
+    NodeId node = 0;
+    /** Copy direction (LocalCopy only). */
+    kernels::CopyVariant variant = kernels::CopyVariant::StridedLoads;
+    /** Transfer method (Remote only). */
+    remote::TransferMethod method = remote::TransferMethod::Fetch;
+    bool strideOnSource = true; ///< Remote: strided loads vs stores
+    NodeId src = 1;             ///< Remote: producer node
+    NodeId dst = 0;             ///< Remote: consumer node
+
+    static SweepSpec localLoads(NodeId node = 0);
+    static SweepSpec localStores(NodeId node = 0);
+    static SweepSpec localCopy(kernels::CopyVariant variant,
+                               NodeId node = 0);
+    static SweepSpec remote(remote::TransferMethod method,
+                            bool stride_on_source, NodeId src = 1,
+                            NodeId dst = 0);
+};
+
+/** Surface name of sweep @p spec on a machine of kind @p kind. */
+std::string sweepName(machine::SystemKind kind, const SweepSpec &spec);
+
+/**
+ * Trace-track name of the characterizer's per-grid-point events.
+ * Registered at Characterizer construction; SweepRunner registers it
+ * too so serial and parallel runs intern tracks in the same order.
+ */
+inline constexpr const char *characterizerTrackName = "characterizer";
+
+/**
  * Benchmark driver producing surfaces for one machine.
  */
 class Characterizer
@@ -80,6 +130,9 @@ class Characterizer
                            bool stride_on_source,
                            const CharacterizeConfig &cfg,
                            NodeId src = 1, NodeId dst = 0);
+
+    /** Run the sweep described by @p spec (dispatches to the above). */
+    Surface run(const SweepSpec &spec, const CharacterizeConfig &cfg);
 
     machine::Machine &machine() { return _machine; }
 

@@ -1,5 +1,6 @@
 #include "machine/configs.hh"
 
+#include "machine/machine.hh"
 #include "sim/logging.hh"
 #include "sim/units.hh"
 
@@ -224,6 +225,12 @@ nodeConfig(SystemKind kind, const std::string &name)
       case SystemKind::CrayT3E: return crayT3eNode(name);
     }
     GASNUB_PANIC("bad SystemKind");
+}
+
+std::unique_ptr<Machine>
+makeMachine(const SystemConfig &cfg)
+{
+    return std::make_unique<Machine>(cfg);
 }
 
 } // namespace gasnub::machine

@@ -13,11 +13,15 @@
 #ifndef GASNUB_MACHINE_CONFIGS_HH
 #define GASNUB_MACHINE_CONFIGS_HH
 
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "mem/hierarchy.hh"
 
 namespace gasnub::machine {
+
+class Machine;
 
 /** The three systems evaluated in the paper. */
 enum class SystemKind { Dec8400, CrayT3D, CrayT3E };
@@ -62,6 +66,30 @@ mem::HierarchyConfig crayT3eNode(const std::string &name = "t3e");
 /** Node configuration by system kind. */
 mem::HierarchyConfig nodeConfig(SystemKind kind,
                                 const std::string &name);
+
+/**
+ * A complete, value-semantic recipe for building a Machine.
+ *
+ * Machine instances themselves are stateful simulators and cannot be
+ * copied; a SystemConfig can, so independent replicas — one per
+ * parallel sweep worker, for example — are built by handing the same
+ * config to makeMachine().  A default-constructed node field means
+ * "the calibrated nodeConfig() of @a kind".
+ */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::Dec8400;
+    int numNodes = 4; ///< the paper's configurations use 4 processors
+    /** Node memory system override; nullopt = nodeConfig(kind, "node"). */
+    std::optional<mem::HierarchyConfig> node;
+};
+
+/**
+ * Build a fresh Machine from @p cfg.  Every call returns a fully
+ * independent instance (own nodes, interconnect, engines, stats); two
+ * machines built from the same config never share mutable state.
+ */
+std::unique_ptr<Machine> makeMachine(const SystemConfig &cfg);
 
 } // namespace gasnub::machine
 

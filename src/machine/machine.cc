@@ -122,7 +122,13 @@ t3eEngineConfig()
 }
 
 Machine::Machine(SystemKind kind, int num_nodes)
-    : Machine(kind, num_nodes, nodeConfig(kind, "node"))
+    : Machine(SystemConfig{kind, num_nodes, std::nullopt})
+{
+}
+
+Machine::Machine(SystemKind kind, int num_nodes,
+                 const mem::HierarchyConfig &node_cfg)
+    : Machine(SystemConfig{kind, num_nodes, node_cfg})
 {
 }
 
@@ -147,11 +153,15 @@ renameNode(mem::HierarchyConfig cfg, int i)
 
 } // namespace
 
-Machine::Machine(SystemKind kind, int num_nodes,
-                 const mem::HierarchyConfig &node_cfg)
-    : _kind(kind), _stats(systemName(kind)),
-      _traceTrack(trace::Tracer::instance().track(systemName(kind)))
+Machine::Machine(const SystemConfig &cfg)
+    : _sysConfig(cfg), _kind(cfg.kind), _stats(systemName(cfg.kind)),
+      _traceTrack(trace::Tracer::instance().track(systemName(cfg.kind)))
 {
+    const SystemKind kind = cfg.kind;
+    const int num_nodes = cfg.numNodes;
+    const mem::HierarchyConfig node_cfg =
+        cfg.node ? *cfg.node : nodeConfig(kind, "node");
+
     GASNUB_ASSERT(num_nodes >= 1, "need at least one node");
 
     for (int i = 0; i < num_nodes; ++i) {

@@ -68,6 +68,13 @@ class Machine
      */
     Machine(SystemKind kind, int num_nodes,
             const mem::HierarchyConfig &node_cfg);
+
+    /**
+     * Build from a value-semantic SystemConfig; the recipe is kept and
+     * exposed via systemConfig() so replicas of this machine can be
+     * built elsewhere (sweep workers).
+     */
+    explicit Machine(const SystemConfig &cfg);
     ~Machine();
 
     Machine(const Machine &) = delete;
@@ -119,7 +126,11 @@ class Machine
 
     stats::Group &statsGroup() { return _stats; }
 
+    /** The recipe this machine was built from. */
+    const SystemConfig &systemConfig() const { return _sysConfig; }
+
   private:
+    SystemConfig _sysConfig;
     SystemKind _kind;
     stats::Group _stats;
     trace::TrackId _traceTrack;

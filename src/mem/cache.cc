@@ -24,7 +24,7 @@ Cache::Cache(const CacheConfig &config, stats::Group *parent)
       _writebacks(&_stats, config.name + ".writebacks",
                   "dirty lines evicted"),
       _invalidations(&_stats, config.name + ".invalidations",
-                     "lines invalidated"),
+                     "lines invalidated by coherence"),
       _hitRate(&_stats, config.name + ".hitRate",
                "fraction of accesses that hit",
                [this] {
@@ -185,9 +185,11 @@ Cache::invalidate(Addr addr)
 void
 Cache::invalidateAll()
 {
+    // A bulk invalidation is a harness-level experiment reset (or the
+    // T3D's whole-L1 flush), not a coherence event: it is not counted
+    // in the invalidations stat, which would otherwise depend on what
+    // the *previous* experiment happened to leave cached.
     for (Line &l : _lines) {
-        if (l.valid)
-            ++_invalidations;
         l.valid = false;
         l.dirty = false;
     }

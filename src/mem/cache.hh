@@ -97,7 +97,9 @@ class Cache
 
     /**
      * Invalidate everything (the T3D invalidates the whole L1 at
-     * synchronization points; see paper Section 3.2).
+     * synchronization points; see paper Section 3.2).  Unlike
+     * invalidate(), this bulk flush does not count into the
+     * invalidations stat — that stat tracks per-line coherence events.
      */
     void invalidateAll();
 

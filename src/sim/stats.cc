@@ -78,6 +78,20 @@ jsonHead(std::ostream &os, const StatBase &s, const char *type)
     jsonString(os, s.desc());
 }
 
+/**
+ * Downcast @p other for a merge; fatal when the concrete types differ
+ * (merging is only defined between stats of identical declaration).
+ */
+template <typename T>
+const T &
+mergePeer(const StatBase &self, const StatBase &other)
+{
+    const T *peer = dynamic_cast<const T *>(&other);
+    GASNUB_ASSERT(peer != nullptr, "stat merge type mismatch at '",
+                  self.name(), "' / '", other.name(), "'");
+    return *peer;
+}
+
 } // namespace
 
 StatBase::StatBase(Group *group, std::string name, std::string desc)
@@ -104,6 +118,12 @@ Scalar::printJson(std::ostream &os) const
 }
 
 void
+Scalar::mergeFrom(const StatBase &other)
+{
+    _value += mergePeer<Scalar>(*this, other)._value;
+}
+
+void
 Average::print(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << " "
@@ -118,6 +138,14 @@ Average::printJson(std::ostream &os) const
     os << ",\"mean\":";
     jsonNumber(os, mean());
     os << ",\"count\":" << _count << "}";
+}
+
+void
+Average::mergeFrom(const StatBase &other)
+{
+    const Average &peer = mergePeer<Average>(*this, other);
+    _sum += peer._sum;
+    _count += peer._count;
 }
 
 Distribution::Distribution(Group *group, std::string name,
@@ -195,6 +223,31 @@ Distribution::printJson(std::ostream &os) const
         os << _buckets[i];
     }
     os << "]}";
+}
+
+void
+Distribution::mergeFrom(const StatBase &other)
+{
+    const Distribution &peer = mergePeer<Distribution>(*this, other);
+    GASNUB_ASSERT(peer._buckets.size() == _buckets.size() &&
+                      peer._min == _min && peer._max == _max,
+                  "distribution merge shape mismatch at '", name(),
+                  "'");
+    if (peer._count == 0)
+        return;
+    if (_count == 0) {
+        _minSeen = peer._minSeen;
+        _maxSeen = peer._maxSeen;
+    } else {
+        _minSeen = std::min(_minSeen, peer._minSeen);
+        _maxSeen = std::max(_maxSeen, peer._maxSeen);
+    }
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        _buckets[i] += peer._buckets[i];
+    _underflow += peer._underflow;
+    _overflow += peer._overflow;
+    _count += peer._count;
+    _sum += peer._sum;
 }
 
 void
@@ -277,6 +330,16 @@ Vector::reset()
     std::fill(_values.begin(), _values.end(), 0.0);
 }
 
+void
+Vector::mergeFrom(const StatBase &other)
+{
+    const Vector &peer = mergePeer<Vector>(*this, other);
+    GASNUB_ASSERT(peer._values.size() == _values.size(),
+                  "vector merge size mismatch at '", name(), "'");
+    for (std::size_t i = 0; i < _values.size(); ++i)
+        _values[i] += peer._values[i];
+}
+
 Formula::Formula(Group *group, std::string name, std::string desc,
                  Fn fn)
     : StatBase(group, std::move(name), std::move(desc)),
@@ -299,6 +362,14 @@ Formula::printJson(std::ostream &os) const
     os << ",\"value\":";
     jsonNumber(os, value());
     os << "}";
+}
+
+void
+Formula::mergeFrom(const StatBase &other)
+{
+    // Formulas recompute from the stats they reference; nothing to
+    // merge, but the peer must at least be a formula too.
+    mergePeer<Formula>(*this, other);
 }
 
 namespace {
@@ -371,6 +442,23 @@ IntervalBandwidth::reset()
     _clamped = 0;
 }
 
+void
+IntervalBandwidth::mergeFrom(const StatBase &other)
+{
+    const IntervalBandwidth &peer =
+        mergePeer<IntervalBandwidth>(*this, other);
+    GASNUB_ASSERT(peer._bucketShift == _bucketShift &&
+                      peer._maxBuckets == _maxBuckets,
+                  "interval bandwidth merge shape mismatch at '",
+                  name(), "'");
+    if (peer._buckets.size() > _buckets.size())
+        _buckets.resize(peer._buckets.size(), 0);
+    for (std::size_t i = 0; i < peer._buckets.size(); ++i)
+        _buckets[i] += peer._buckets[i];
+    _totalBytes += peer._totalBytes;
+    _clamped += peer._clamped;
+}
+
 Group::Group(std::string name) : _name(std::move(name)) {}
 
 Group::~Group() = default;
@@ -434,6 +522,24 @@ Group::resetAll()
         s->reset();
     for (Group *g : _children)
         g->resetAll();
+}
+
+void
+Group::mergeFrom(const Group &other)
+{
+    GASNUB_ASSERT(other._stats.size() == _stats.size() &&
+                      other._children.size() == _children.size(),
+                  "stats group structure mismatch merging '",
+                  other._name, "' into '", _name, "'");
+    for (std::size_t i = 0; i < _stats.size(); ++i) {
+        GASNUB_ASSERT(_stats[i]->name() == other._stats[i]->name(),
+                      "stat order mismatch merging group '", _name,
+                      "': '", _stats[i]->name(), "' vs '",
+                      other._stats[i]->name(), "'");
+        _stats[i]->mergeFrom(*other._stats[i]);
+    }
+    for (std::size_t i = 0; i < _children.size(); ++i)
+        _children[i]->mergeFrom(*other._children[i]);
 }
 
 const StatBase *

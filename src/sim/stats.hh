@@ -53,6 +53,16 @@ class StatBase
     /** Reset to the initial (zero) state. */
     virtual void reset() = 0;
 
+    /**
+     * Fold @p other (a stat of the same concrete type and shape) into
+     * this one, as if every event accounted to @p other had been
+     * accounted here.  Used to merge per-worker stats after a parallel
+     * sweep; all hot-path updates are integer-valued, so merged totals
+     * equal serial accumulation exactly.  Fatal on a type or shape
+     * mismatch.  Formulas have no state and merge as a no-op.
+     */
+    virtual void mergeFrom(const StatBase &other) = 0;
+
   private:
     std::string _name;
     std::string _desc;
@@ -73,6 +83,7 @@ class Scalar : public StatBase
     void print(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
     void reset() override { _value = 0; }
+    void mergeFrom(const StatBase &other) override;
 
   private:
     double _value = 0;
@@ -98,6 +109,7 @@ class Average : public StatBase
     void print(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
     void reset() override { _sum = 0; _count = 0; }
+    void mergeFrom(const StatBase &other) override;
 
   private:
     double _sum = 0;
@@ -136,6 +148,7 @@ class Distribution : public StatBase
     void print(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
     void reset() override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     double _min;
@@ -183,6 +196,7 @@ class Vector : public StatBase
     void print(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
     void reset() override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     std::vector<double> _values;
@@ -213,6 +227,7 @@ class Formula : public StatBase
     void print(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
     void reset() override {} ///< formulas have no state of their own
+    void mergeFrom(const StatBase &other) override;
 
   private:
     Fn _fn;
@@ -278,6 +293,7 @@ class IntervalBandwidth : public StatBase
     void print(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
     void reset() override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     unsigned _bucketShift;
@@ -324,6 +340,17 @@ class Group
 
     /** Reset all registered stats (recursively). */
     void resetAll();
+
+    /**
+     * Fold @p other — a group of identical structure (same stats and
+     * child groups in the same registration order, checked by name) —
+     * into this one.  Used to merge a parallel sweep worker's machine
+     * stats into the main machine's after join; because all updates
+     * are additive integer counts, the merged totals are exactly what
+     * a serial run accumulates, independent of worker count or
+     * scheduling.
+     */
+    void mergeFrom(const Group &other);
 
     /** Find a stat by exact name; nullptr if absent. */
     const StatBase *find(const std::string &name) const;

@@ -9,8 +9,13 @@
 namespace gasnub::trace {
 
 namespace detail {
-std::uint32_t activeMask = 0;
+thread_local std::uint32_t activeMask = 0;
 } // namespace detail
+
+namespace {
+/** Per-thread override of Tracer::instance(); null = global tracer. */
+thread_local Tracer *threadTracer = nullptr;
+} // namespace
 
 const char *
 categoryName(Category c)
@@ -60,7 +65,21 @@ Tracer &
 Tracer::instance()
 {
     static Tracer tracer;
-    return tracer;
+    return threadTracer ? *threadTracer : tracer;
+}
+
+ScopedThreadTracer::ScopedThreadTracer(Tracer &tracer,
+                                       std::uint32_t mask)
+    : _prev(threadTracer), _prevMask(detail::activeMask)
+{
+    threadTracer = &tracer;
+    detail::activeMask = mask & allCategories;
+}
+
+ScopedThreadTracer::~ScopedThreadTracer()
+{
+    threadTracer = _prev;
+    detail::activeMask = _prevMask;
 }
 
 void

@@ -17,9 +17,15 @@
  *  - bounded: the buffer holds at most capacity() events; further
  *    events are counted in dropped() and discarded.
  *
- * The tracer is a process-wide singleton (the simulator is
- * single-threaded); names passed to record() must be string literals
- * or otherwise outlive the tracer.
+ * Tracer::instance() names the *calling thread's* tracer: by default
+ * every thread resolves to one process-wide tracer, but a worker
+ * thread of a parallel sweep can install its own private Tracer with
+ * ScopedThreadTracer (the category mask is thread-local as well), so
+ * concurrent workers never share a buffer.  Per-worker events are
+ * merged back into the main tracer in deterministic job order by the
+ * sweep engine (see core::SweepRunner and docs/parallel_sweeps.md).
+ * Names passed to record() must be string literals or otherwise
+ * outlive the tracer.
  */
 
 #ifndef GASNUB_SIM_TRACE_HH
@@ -56,8 +62,13 @@ const char *categoryName(Category c);
 std::uint32_t parseCategories(const std::string &list);
 
 namespace detail {
-/** The active category mask; read inline by every trace point. */
-extern std::uint32_t activeMask;
+/**
+ * The calling thread's active category mask; read inline by every
+ * trace point.  Thread-local so parallel sweep workers can trace into
+ * private buffers (or run with tracing off) without touching the main
+ * thread's setting.
+ */
+extern thread_local std::uint32_t activeMask;
 } // namespace detail
 
 /** @return true if category @p c is currently being recorded. */
@@ -85,19 +96,29 @@ struct Event
 };
 
 /**
- * The process-wide event recorder.
+ * An event recorder.
  *
- * Not thread-safe; the simulator is single-threaded by construction.
+ * A single Tracer instance is not thread-safe; isolation comes from
+ * giving each thread its own instance.  Tracer::instance() resolves to
+ * the process-wide tracer unless the calling thread installed a
+ * private one with ScopedThreadTracer.
  */
 class Tracer
 {
   public:
+    /** The calling thread's tracer (the global one by default). */
     static Tracer &instance();
+
+    /** A standalone tracer, e.g.\ one per sweep worker thread. */
+    Tracer() = default;
 
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
 
-    /** Enable recording for the categories in @p mask (0 = off). */
+    /**
+     * Enable recording for the categories in @p mask (0 = off) on the
+     * calling thread.
+     */
     void setMask(std::uint32_t mask);
     std::uint32_t mask() const { return detail::activeMask; }
 
@@ -172,8 +193,6 @@ class Tracer
     void exportCsv(std::ostream &os) const;
 
   private:
-    Tracer() = default;
-
     /** Indices of _events ordered by (start, insertion order). */
     std::vector<std::size_t> sortedOrder() const;
 
@@ -181,6 +200,33 @@ class Tracer
     std::uint64_t _dropped = 0;
     std::vector<Event> _events;
     std::vector<std::string> _tracks;
+};
+
+/**
+ * RAII: route the calling thread's Tracer::instance() (and category
+ * mask) to a private tracer for the lifetime of this object.  Used by
+ * sweep workers so every component they build or drive records into
+ * the worker's own buffer; the previous tracer and mask are restored
+ * on destruction.
+ */
+class ScopedThreadTracer
+{
+  public:
+    /**
+     * @param tracer This thread's tracer until destruction.
+     * @param mask   Category mask for this thread (normally the main
+     *               thread's mask, so workers record what serial code
+     *               would).
+     */
+    ScopedThreadTracer(Tracer &tracer, std::uint32_t mask);
+    ~ScopedThreadTracer();
+
+    ScopedThreadTracer(const ScopedThreadTracer &) = delete;
+    ScopedThreadTracer &operator=(const ScopedThreadTracer &) = delete;
+
+  private:
+    Tracer *_prev;
+    std::uint32_t _prevMask;
 };
 
 } // namespace gasnub::trace

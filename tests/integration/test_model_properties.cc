@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "kernels/kernels.hh"
 #include "kernels/remote_kernels.hh"
 #include "machine/configs.hh"
@@ -109,6 +111,46 @@ TEST_P(AllMachines, BandwidthScalesDownWithStride)
     }
 }
 
+TEST_P(AllMachines, StrideMonotoneBeyondReuseWindow)
+{
+    // Past the reuse window — a stride clearing both the largest line
+    // size (no spatial reuse) and the DRAM interleave granularity
+    // (each access on its own bank) — widening the stride further can
+    // only add row misses and bank conflicts, never recover bandwidth
+    // (Section 5.1: the surfaces are flat or falling out there).
+    // Below the interleave granularity strides *can* recover: on the
+    // 8400, stride 64 B hammers one 256 B-interleaved bank while
+    // stride 256 B rotates over all eight.
+    const mem::HierarchyConfig c = cfg();
+    std::uint64_t window_bytes = c.dram.interleaveBytes;
+    for (const auto &lvl : c.levels)
+        window_bytes = std::max<std::uint64_t>(window_bytes,
+                                               lvl.cache.lineBytes);
+    const std::uint64_t base = window_bytes / 8; // words
+    double prev = loadMbs(c, 8_MiB, base);
+    for (std::uint64_t mult : {2ull, 4ull, 8ull, 16ull}) {
+        const std::uint64_t stride = base * mult;
+        const double cur = loadMbs(c, 8_MiB, stride);
+        EXPECT_LE(cur, prev * 1.02) << "stride " << stride;
+        prev = cur;
+    }
+}
+
+TEST_P(AllMachines, CachePlateausOrdered)
+{
+    // The bandwidth plateaus of Figures 1/3/6 are ordered: working
+    // sets resident in a closer level never run slower than those
+    // resident further out (L1 >= L2 >= ... >= memory).
+    const mem::HierarchyConfig c = cfg();
+    std::vector<double> plateaus;
+    for (const auto &lvl : c.levels)
+        plateaus.push_back(loadMbs(c, lvl.cache.sizeBytes / 2, 2));
+    plateaus.push_back(loadMbs(c, 8_MiB, 2)); // memory plateau
+    for (std::size_t i = 1; i < plateaus.size(); ++i)
+        EXPECT_GE(plateaus[i - 1] * 1.02, plateaus[i])
+            << "level " << i - 1 << " vs " << i;
+}
+
 TEST_P(AllMachines, PrimingNeverHurtsCacheableSets)
 {
     mem::MemoryHierarchy h(cfg());
@@ -188,6 +230,51 @@ TEST(ModelProperties, MoreProcessorsNeverSpeedUpASingleTransfer)
     const double mbs_small = kernels::remoteTransfer(small, p).mbs;
     const double mbs_big = kernels::remoteTransfer(big, p).mbs;
     EXPECT_LE(mbs_big, mbs_small * 1.05);
+}
+
+TEST(ModelProperties, RemoteBandwidthBoundedByInterconnectPeak)
+{
+    // No transfer method or stride can move data faster than the
+    // narrowest pipe it crosses: a torus link on the Crays, the shared
+    // memory bus on the 8400 (Section 5.3: measured remote bandwidth
+    // is a fraction of the link peak).
+    struct Case
+    {
+        machine::SystemKind kind;
+        remote::TransferMethod method;
+        bool stride_on_source;
+        int src, dst;
+        double peak;
+    };
+    const Case cases[] = {
+        {machine::SystemKind::Dec8400,
+         remote::TransferMethod::CoherentPull, true, 1, 0,
+         machine::dec8400Node().dram.busMBs},
+        {machine::SystemKind::CrayT3D, remote::TransferMethod::Deposit,
+         false, 0, 2, machine::t3dTorusConfig(4).linkMBs},
+        {machine::SystemKind::CrayT3D, remote::TransferMethod::Fetch,
+         true, 0, 2, machine::t3dTorusConfig(4).linkMBs},
+        {machine::SystemKind::CrayT3E, remote::TransferMethod::Fetch,
+         true, 1, 0, machine::t3eTorusConfig(4).linkMBs},
+        {machine::SystemKind::CrayT3E, remote::TransferMethod::Deposit,
+         false, 1, 0, machine::t3eTorusConfig(4).linkMBs},
+    };
+    for (const Case &c : cases) {
+        machine::Machine m(c.kind, 4);
+        for (std::uint64_t stride : {1ull, 2ull, 3ull, 8ull}) {
+            kernels::RemoteParams p;
+            p.src = c.src;
+            p.dst = c.dst;
+            p.wsBytes = 512_KiB;
+            p.stride = stride;
+            p.method = c.method;
+            p.strideOnSource = c.stride_on_source;
+            const double mbs = kernels::remoteTransfer(m, p).mbs;
+            EXPECT_LE(mbs, c.peak * 1.001)
+                << machine::systemName(c.kind) << " stride "
+                << stride;
+        }
+    }
 }
 
 } // namespace

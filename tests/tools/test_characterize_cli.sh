@@ -1,0 +1,63 @@
+#!/bin/sh
+# CLI contract tests for the characterize tool: malformed command
+# lines exit with code 2 and an error on stderr, valid ones exit 0.
+# Usage: test_characterize_cli.sh /path/to/characterize
+set -u
+
+bin="$1"
+fails=0
+err=$(mktemp)
+trap 'rm -f "$err"' EXIT
+
+# expect_usage <description> <args...>: must exit 2 with stderr text.
+expect_usage() {
+    desc="$1"
+    shift
+    "$bin" "$@" >/dev/null 2>"$err"
+    code=$?
+    if [ "$code" -ne 2 ]; then
+        echo "FAIL: $desc: exit $code, expected 2"
+        fails=1
+    elif [ ! -s "$err" ]; then
+        echo "FAIL: $desc: no error message on stderr"
+        fails=1
+    else
+        echo "ok: $desc"
+    fi
+}
+
+expect_usage "no arguments"
+expect_usage "unknown machine" vax loads
+expect_usage "unknown benchmark" t3e flops
+expect_usage "unknown option" t3e loads --bogus 1
+expect_usage "malformed --procs" t3e loads --procs=abc
+expect_usage "zero --jobs" t3e loads --jobs 0
+expect_usage "empty --out value" t3e loads --out=
+expect_usage "missing --max-ws value" t3e loads --max-ws
+expect_usage "option as option value" t3e loads --cap --out
+expect_usage "stray positional argument" t3e loads extra
+
+if ! "$bin" t3e loads --procs=abc 2>&1 >/dev/null |
+        grep -q "bad value 'abc'"; then
+    echo "FAIL: --procs=abc: expected a 'bad value' message"
+    fails=1
+else
+    echo "ok: --procs=abc names the bad value"
+fi
+
+# A valid tiny run (both --opt=value and --opt value forms) succeeds
+# and prints a surface.
+out=$("$bin" t3e loads --max-ws=4K --cap 4K --jobs 2 2>"$err")
+code=$?
+if [ "$code" -ne 0 ]; then
+    echo "FAIL: valid run: exit $code"
+    cat "$err"
+    fails=1
+elif [ -z "$out" ]; then
+    echo "FAIL: valid run printed no surface"
+    fails=1
+else
+    echo "ok: valid run"
+fi
+
+exit $fails

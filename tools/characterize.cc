@@ -18,14 +18,22 @@
  *              --trace-categories <list> comma-separated subset of
  *                                        mem,noc,remote,kernel,sim
  *              --stats-json <file>       stats tree as JSON
+ *              --jobs <n>        worker threads for the sweep
+ *                                (default: GASNUB_JOBS, then hardware
+ *                                concurrency; 1 = serial)
  *
- * Options accept both "--opt value" and "--opt=value".
+ * Options accept both "--opt value" and "--opt=value"; unknown or
+ * malformed options are rejected with a usage error.
+ *
+ * Parallel sweeps produce byte-identical surface, trace, and stats
+ * output to --jobs 1 (see docs/parallel_sweeps.md).
  *
  * Saved surfaces can be reloaded with core::loadSurfaceFile and fed
  * to the TransferPlanner — the measure-once / decide-often split of
  * the paper's compiler workflow.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,8 +41,10 @@
 
 #include "core/characterizer.hh"
 #include "core/surface_io.hh"
+#include "core/sweep_runner.hh"
 #include "machine/machine.hh"
 #include "sim/logging.hh"
+#include "sim/pool.hh"
 #include "sim/trace.hh"
 #include "sim/units.hh"
 
@@ -48,13 +58,33 @@ usage()
     std::cerr
         << "usage: characterize <dec8400|t3d|t3e> <benchmark> "
            "[--max-ws N] [--cap N]\n"
-           "                    [--out FILE] [--procs N] "
-           "[--trace-out FILE]\n"
-           "                    [--trace-categories LIST] "
-           "[--stats-json FILE]\n"
+           "                    [--out FILE] [--procs N] [--jobs N]\n"
+           "                    [--trace-out FILE] "
+           "[--trace-categories LIST]\n"
+           "                    [--stats-json FILE]\n"
            "benchmarks: loads stores copy-sload copy-sstore pull\n"
            "            fetch-sload deposit-sstore\n";
     std::exit(2);
+}
+
+/** Reject a bad command line with a message and the usage text. */
+void
+fail(const std::string &message)
+{
+    std::cerr << "characterize: " << message << "\n";
+    usage();
+}
+
+/** Parse a positive decimal integer option value. */
+int
+parseIntOpt(const std::string &opt, const std::string &val)
+{
+    char *end = nullptr;
+    const long v = std::strtol(val.c_str(), &end, 10);
+    if (end == val.c_str() || *end != '\0' || v < 1 || v > 1'000'000)
+        fail("bad value '" + val + "' for " + opt +
+             " (expected a positive integer)");
+    return static_cast<int>(v);
 }
 
 } // namespace
@@ -81,21 +111,29 @@ main(int argc, char **argv)
     std::uint64_t cap = 4_MiB;
     std::string out;
     int procs = 4;
+    int jobs_arg = 0;
     std::string trace_out;
     std::string trace_categories = "all";
     std::string stats_json;
     for (int i = 3; i < argc; ++i) {
         std::string opt = argv[i];
         std::string val;
+        if (opt.rfind("--", 0) != 0)
+            fail("unexpected argument '" + opt + "'");
         // Accept both "--opt value" and "--opt=value".
         const std::size_t eq = opt.find('=');
         if (eq != std::string::npos) {
             val = opt.substr(eq + 1);
             opt = opt.substr(0, eq);
+            if (val.empty())
+                fail("empty value in '" + std::string(argv[i]) + "'");
         } else {
             if (i + 1 >= argc)
-                usage();
+                fail("option " + opt + " needs a value");
             val = argv[++i];
+            if (val.rfind("--", 0) == 0)
+                fail("option " + opt + " needs a value (got '" + val +
+                     "')");
         }
         if (opt == "--max-ws")
             max_ws = parseSize(val);
@@ -104,7 +142,9 @@ main(int argc, char **argv)
         else if (opt == "--out")
             out = val;
         else if (opt == "--procs")
-            procs = std::stoi(val);
+            procs = parseIntOpt(opt, val);
+        else if (opt == "--jobs")
+            jobs_arg = parseIntOpt(opt, val);
         else if (opt == "--trace-out")
             trace_out = val;
         else if (opt == "--trace-categories")
@@ -112,15 +152,13 @@ main(int argc, char **argv)
         else if (opt == "--stats-json")
             stats_json = val;
         else
-            usage();
+            fail("unknown option '" + opt + "'");
     }
 
     if (!trace_out.empty())
         trace::Tracer::instance().setMask(
             trace::parseCategories(trace_categories));
 
-    machine::Machine m(kind, procs);
-    core::Characterizer c(m);
     core::CharacterizeConfig cfg;
     cfg.maxWorkingSet = max_ws;
     cfg.capBytes = cap;
@@ -128,26 +166,48 @@ main(int argc, char **argv)
     const NodeId src = kind == machine::SystemKind::CrayT3D ? 0 : 1;
     const NodeId dst = kind == machine::SystemKind::CrayT3D ? 2 : 0;
 
-    core::Surface s("", {512}, {1});
+    core::SweepSpec spec;
     if (benchmark == "loads") {
-        s = c.localLoads(0, cfg);
+        spec = core::SweepSpec::localLoads(0);
     } else if (benchmark == "stores") {
-        s = c.localStores(0, cfg);
+        spec = core::SweepSpec::localStores(0);
     } else if (benchmark == "copy-sload") {
-        s = c.localCopy(0, kernels::CopyVariant::StridedLoads, cfg);
+        spec = core::SweepSpec::localCopy(
+            kernels::CopyVariant::StridedLoads, 0);
     } else if (benchmark == "copy-sstore") {
-        s = c.localCopy(0, kernels::CopyVariant::StridedStores, cfg);
+        spec = core::SweepSpec::localCopy(
+            kernels::CopyVariant::StridedStores, 0);
     } else if (benchmark == "pull") {
-        s = c.remoteTransfer(remote::TransferMethod::CoherentPull,
-                             true, cfg, src, dst);
+        spec = core::SweepSpec::remote(
+            remote::TransferMethod::CoherentPull, true, src, dst);
     } else if (benchmark == "fetch-sload") {
-        s = c.remoteTransfer(remote::TransferMethod::Fetch, true,
-                             cfg, src, dst);
+        spec = core::SweepSpec::remote(remote::TransferMethod::Fetch,
+                                       true, src, dst);
     } else if (benchmark == "deposit-sstore") {
-        s = c.remoteTransfer(remote::TransferMethod::Deposit, false,
-                             cfg, src, dst);
+        spec = core::SweepSpec::remote(remote::TransferMethod::Deposit,
+                                       false, src, dst);
     } else {
-        usage();
+        fail("unknown benchmark '" + benchmark + "'");
+    }
+
+    // The main machine is constructed either way: it registers the
+    // same trace tracks a serial run would, and it is where parallel
+    // workers' stats are merged, so the observability outputs are
+    // byte-identical for any --jobs value.
+    machine::SystemConfig sys;
+    sys.kind = kind;
+    sys.numNodes = procs;
+    machine::Machine m(sys);
+    core::Characterizer c(m);
+
+    const int jobs = sim::defaultJobs(jobs_arg);
+    core::Surface s("", {512}, {1});
+    if (jobs <= 1) {
+        s = c.run(spec, cfg);
+    } else {
+        core::SweepRunner runner(sys, jobs);
+        s = runner.run(spec, cfg);
+        runner.mergeStatsInto(m.statsGroup());
     }
 
     s.print(std::cout);
