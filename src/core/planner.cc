@@ -26,7 +26,17 @@ TransferPlanner::option(std::size_t i) const
 std::vector<double>
 TransferPlanner::predictAll(const TransferQuery &query) const
 {
-    GASNUB_ASSERT(!_options.empty(), "planner has no options");
+    if (_options.empty())
+        GASNUB_FATAL("transfer planner has no registered options; "
+                     "addOption() a characterization surface (or "
+                     "loadPlannerDir()) before planning");
+    if (query.bytes == 0 && query.wsBytes == 0)
+        GASNUB_FATAL("transfer planner query moves zero words: both "
+                     "bytes and wsBytes are 0, so there is no working "
+                     "set to look up");
+    if (query.stride == 0)
+        GASNUB_FATAL("transfer planner query has stride 0; strides "
+                     "are in words and start at 1 (contiguous)");
     std::vector<double> out;
     out.reserve(_options.size());
     const double ws = query.wsBytes != 0
@@ -49,6 +59,8 @@ Plan
 TransferPlanner::best(const TransferQuery &query) const
 {
     const std::vector<double> mbs = predictAll(query);
+    // Strict > keeps the first-registered option on ties, so the
+    // winner is independent of how many equal options follow it.
     std::size_t best_i = 0;
     for (std::size_t i = 1; i < mbs.size(); ++i)
         if (mbs[i] > mbs[best_i])

@@ -85,11 +85,17 @@ class TransferPlanner
 
     /**
      * Choose the best option for @p query (highest predicted
-     * bandwidth at the query's working set and stride).
+     * bandwidth at the query's working set and stride).  Ties keep
+     * the first-registered option.  Fatal (clear diagnostic, not UB)
+     * when no options are registered, when the query moves zero
+     * words (bytes and wsBytes both 0), or when stride is 0.
      */
     Plan best(const TransferQuery &query) const;
 
-    /** Predicted bandwidth of every option at the query point. */
+    /**
+     * Predicted bandwidth of every option at the query point, in
+     * registration order.  Same fatal conditions as best().
+     */
     std::vector<double> predictAll(const TransferQuery &query) const;
 
   private:

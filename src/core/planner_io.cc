@@ -1,0 +1,74 @@
+#include "core/planner_io.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/surface_io.hh"
+#include "sim/logging.hh"
+
+namespace gasnub::core {
+
+namespace fs = std::filesystem;
+
+PlanOptionKind
+planOptionKind(const std::string &stem)
+{
+    using remote::TransferMethod;
+    if (stem == "pull")
+        return {TransferMethod::CoherentPull, true};
+    if (stem == "fetch-sload")
+        return {TransferMethod::Fetch, true};
+    if (stem == "fetch-sstore")
+        return {TransferMethod::Fetch, false};
+    if (stem == "deposit-sload")
+        return {TransferMethod::Deposit, true};
+    if (stem == "deposit-sstore")
+        return {TransferMethod::Deposit, false};
+    GASNUB_FATAL("unknown plan option name '", stem,
+                 "'; expected pull, fetch-sload, fetch-sstore, "
+                 "deposit-sload or deposit-sstore");
+}
+
+std::vector<PlanOption>
+loadPlanOptionsDir(const std::string &dir)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        GASNUB_FATAL("surface directory '", dir,
+                     "' does not exist or is not a directory");
+
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".surface")
+            files.push_back(entry.path());
+    }
+    if (files.empty())
+        GASNUB_FATAL("no *.surface files in '", dir,
+                     "'; run tools/characterize with --out to "
+                     "export them");
+    std::sort(files.begin(), files.end());
+
+    std::vector<PlanOption> options;
+    options.reserve(files.size());
+    for (const fs::path &path : files) {
+        const std::string stem = path.stem().string();
+        const PlanOptionKind kind = planOptionKind(stem);
+        options.push_back(PlanOption{stem, kind.method,
+                                     kind.strideOnSource,
+                                     loadSurfaceFile(path.string()),
+                                     0});
+    }
+    return options;
+}
+
+TransferPlanner
+loadPlannerDir(const std::string &dir)
+{
+    TransferPlanner planner;
+    for (PlanOption &o : loadPlanOptionsDir(dir))
+        planner.addOption(std::move(o));
+    return planner;
+}
+
+} // namespace gasnub::core

@@ -44,52 +44,58 @@ saveSurface(const Surface &s, std::ostream &os)
 }
 
 Surface
-loadSurface(std::istream &is)
+loadSurface(std::istream &is, const std::string &context)
 {
+    // Names the offending stream ("in 'path'") when a context was
+    // given, so directory loaders report which file is malformed.
+    const std::string in =
+        context.empty() ? std::string() : " in '" + context + "'";
+
     std::string magic;
     int version = 0;
     if (!(is >> magic >> version) || magic != kMagic)
-        GASNUB_FATAL("not a gasnub surface stream");
+        GASNUB_FATAL("not a gasnub surface stream", in);
     if (version != kVersion)
-        GASNUB_FATAL("unsupported surface version ", version);
+        GASNUB_FATAL("unsupported surface version ", version, in);
 
     std::string key;
     if (!(is >> key) || key != "name")
-        GASNUB_FATAL("surface stream: expected 'name'");
+        GASNUB_FATAL("surface stream", in, ": expected 'name'");
     is.ignore(1); // the separating space
     std::string name;
     std::getline(is, name);
 
     std::size_t n = 0;
     if (!(is >> key >> n) || key != "workingsets" || n == 0)
-        GASNUB_FATAL("surface stream: expected 'workingsets'");
+        GASNUB_FATAL("surface stream", in, ": expected 'workingsets'");
     std::vector<std::uint64_t> ws(n);
     for (auto &w : ws)
         if (!(is >> w))
-            GASNUB_FATAL("surface stream: truncated working sets");
+            GASNUB_FATAL("surface stream", in,
+                         ": truncated working sets");
 
     std::size_t m = 0;
     if (!(is >> key >> m) || key != "strides" || m == 0)
-        GASNUB_FATAL("surface stream: expected 'strides'");
+        GASNUB_FATAL("surface stream", in, ": expected 'strides'");
     std::vector<std::uint64_t> strides(m);
     for (auto &st : strides)
         if (!(is >> st))
-            GASNUB_FATAL("surface stream: truncated strides");
+            GASNUB_FATAL("surface stream", in, ": truncated strides");
 
     if (!(is >> key) || key != "data")
-        GASNUB_FATAL("surface stream: expected 'data'");
+        GASNUB_FATAL("surface stream", in, ": expected 'data'");
 
     Surface s(name, ws, strides);
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
             double v = 0;
             if (!(is >> v))
-                GASNUB_FATAL("surface stream: truncated data");
+                GASNUB_FATAL("surface stream", in, ": truncated data");
             s.set(w, st, v);
         }
     }
     if (!(is >> key) || key != "end")
-        GASNUB_FATAL("surface stream: missing 'end' marker");
+        GASNUB_FATAL("surface stream", in, ": missing 'end' marker");
     return s;
 }
 
@@ -108,7 +114,7 @@ loadSurfaceFile(const std::string &path)
     std::ifstream is(path);
     if (!is)
         GASNUB_FATAL("cannot open '", path, "' for reading");
-    return loadSurface(is);
+    return loadSurface(is, path);
 }
 
 } // namespace gasnub::core

@@ -35,9 +35,11 @@ void saveSurface(const Surface &s, std::ostream &os);
 
 /**
  * Read one surface from @p is.
- * Fatal on malformed input (version mismatch, truncated data).
+ * Fatal on malformed input (version mismatch, truncated data); when
+ * @p context is non-empty (e.g.\ a file path) it is included in the
+ * diagnostic so the offending source is named.
  */
-Surface loadSurface(std::istream &is);
+Surface loadSurface(std::istream &is, const std::string &context = "");
 
 /** Convenience: save to / load from a file path. */
 void saveSurfaceFile(const Surface &s, const std::string &path);

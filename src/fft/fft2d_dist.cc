@@ -11,9 +11,6 @@
 
 namespace gasnub::fft {
 
-namespace {
-
-/** Local strided-copy rate used for the node's own diagonal block. */
 double
 localTransposeMBs(machine::SystemKind kind)
 {
@@ -24,8 +21,6 @@ localTransposeMBs(machine::SystemKind kind)
     }
     GASNUB_PANIC("bad SystemKind");
 }
-
-} // namespace
 
 DistributedFft2d::DistributedFft2d(machine::Machine &m)
     : _machine(m), _vendor(vendorFftParams(m.kind())),

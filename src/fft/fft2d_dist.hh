@@ -37,6 +37,14 @@
 
 namespace gasnub::fft {
 
+/**
+ * Local strided-copy rate (MB/s) a node achieves rearranging its own
+ * diagonal block of a transpose (Figures 9-11).  Shared with the
+ * gas-runtime reimplementation of the kernel so both charge the
+ * diagonal identically.
+ */
+double localTransposeMBs(machine::SystemKind kind);
+
 /** Parameters of one distributed 2D-FFT run. */
 struct Fft2dConfig
 {

@@ -1,0 +1,97 @@
+#include "gas/factory.hh"
+
+#include <utility>
+
+#include "machine/machine.hh"
+#include "sim/logging.hh"
+
+namespace gasnub::gas {
+
+std::vector<core::SweepSpec>
+autoSweepSpecs(machine::SystemKind kind, int num_nodes)
+{
+    GASNUB_ASSERT(num_nodes >= 2, "need at least two nodes");
+    // Producer/consumer placement follows tools/characterize: the
+    // T3D measures across a NIC pair boundary (nodes 0 and 2 when
+    // available), the others from node 1 to node 0.
+    std::vector<core::SweepSpec> specs;
+    if (kind == machine::SystemKind::Dec8400) {
+        specs.push_back(core::SweepSpec::remote(
+            remote::TransferMethod::CoherentPull, true, 1, 0));
+        return specs;
+    }
+    const NodeId src = kind == machine::SystemKind::CrayT3D ? 0 : 1;
+    const NodeId dst =
+        kind == machine::SystemKind::CrayT3D
+            ? (num_nodes > 2 ? 2 : 1)
+            : 0;
+    specs.push_back(core::SweepSpec::remote(
+        remote::TransferMethod::Fetch, true, src, dst));
+    specs.push_back(core::SweepSpec::remote(
+        remote::TransferMethod::Deposit, false, src, dst));
+    return specs;
+}
+
+std::string
+autoSweepLabel(const core::SweepSpec &spec)
+{
+    GASNUB_ASSERT(spec.kind == core::SweepSpec::Kind::Remote,
+                  "auto sweeps are remote transfers");
+    switch (spec.method) {
+    case remote::TransferMethod::CoherentPull:
+        return "pull";
+    case remote::TransferMethod::Fetch:
+        return spec.strideOnSource ? "fetch-sload" : "fetch-sstore";
+    case remote::TransferMethod::Deposit:
+        return spec.strideOnSource ? "deposit-sload"
+                                   : "deposit-sstore";
+    }
+    GASNUB_PANIC("bad transfer method");
+}
+
+std::vector<core::PlanOption>
+characterizeOptions(machine::Machine &m,
+                    const core::CharacterizeConfig &cfg)
+{
+    core::Characterizer c(m);
+    std::vector<core::PlanOption> options;
+    for (const core::SweepSpec &spec :
+         autoSweepSpecs(m.kind(), m.numNodes())) {
+        options.push_back(core::PlanOption{
+            autoSweepLabel(spec), spec.method, spec.strideOnSource,
+            c.run(spec, cfg), 0});
+    }
+    m.resetAll();
+    return options;
+}
+
+BuiltRuntime
+makeRuntime(const RuntimeRecipe &recipe)
+{
+    BuiltRuntime built;
+    built.machine = machine::makeMachine(recipe.system);
+    built.runtime =
+        std::make_unique<Runtime>(*built.machine, recipe.runtime);
+    if (!recipe.plannerOptions.empty()) {
+        core::TransferPlanner planner;
+        for (const core::PlanOption &o : recipe.plannerOptions)
+            planner.addOption(o);
+        built.runtime->setPlanner(std::move(planner));
+    }
+    return built;
+}
+
+RuntimeRecipe
+autoRecipe(const machine::SystemConfig &system,
+           const core::CharacterizeConfig &cfg, RuntimeConfig runtime)
+{
+    RuntimeRecipe recipe;
+    recipe.system = system;
+    recipe.runtime = std::move(runtime);
+    const std::unique_ptr<machine::Machine> scratch =
+        machine::makeMachine(system);
+    recipe.plannerOptions = characterizeOptions(*scratch, cfg);
+    return recipe;
+}
+
+} // namespace gasnub::gas

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Building planner-armed gas runtimes, including replicas on worker
+ * threads.
+ *
+ * The measure-once / decide-often workflow as values: autoRecipe()
+ * characterizes a machine's implementation options once (or
+ * loadPlanOptionsDir() reads them off disk) and yields a
+ * RuntimeRecipe — a machine::SystemConfig plus the planner options —
+ * from which makeRuntime() builds any number of independent
+ * machine+runtime replicas.  Sweep workers use exactly this: one
+ * replica per thread, each with the same cost model, so Auto decides
+ * identically everywhere.
+ *
+ * Thread note: like machine::makeMachine, building a replica on a
+ * worker thread requires a thread-local tracer
+ * (trace::ScopedThreadTracer) so track registration never races.
+ */
+
+#ifndef GASNUB_GAS_FACTORY_HH
+#define GASNUB_GAS_FACTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "core/planner.hh"
+#include "gas/runtime.hh"
+#include "machine/configs.hh"
+
+namespace gasnub::gas {
+
+/**
+ * The implementation options worth measuring on a machine of
+ * @p kind — the per-machine menu of Section 9: coherent pull on the
+ * 8400; fetch (gather side) and deposit (scatter side) on the Crays.
+ * Option labels follow the tools/characterize benchmark names
+ * ("pull", "fetch-sload", "deposit-sstore"), so saved surfaces
+ * round-trip through core::loadPlannerDir.
+ */
+std::vector<core::SweepSpec> autoSweepSpecs(machine::SystemKind kind,
+                                            int num_nodes);
+
+/** Label of one auto sweep ("pull", "fetch-sload", ...). */
+std::string autoSweepLabel(const core::SweepSpec &spec);
+
+/**
+ * Measure @p m's implementation options over @p cfg's grid: one
+ * PlanOption (label + surface) per autoSweepSpecs entry.  Resets the
+ * machine's timing afterwards.
+ */
+std::vector<core::PlanOption>
+characterizeOptions(machine::Machine &m,
+                    const core::CharacterizeConfig &cfg);
+
+/** Everything needed to replicate a planner-armed runtime. */
+struct RuntimeRecipe
+{
+    machine::SystemConfig system;
+    RuntimeConfig runtime;
+    /** Planner options; empty = Auto falls back to nativeMethod. */
+    std::vector<core::PlanOption> plannerOptions;
+};
+
+/** One independent machine + runtime replica. */
+struct BuiltRuntime
+{
+    std::unique_ptr<machine::Machine> machine;
+    std::unique_ptr<Runtime> runtime;
+};
+
+/** Build a replica of @p recipe (machine first, runtime bound to it). */
+BuiltRuntime makeRuntime(const RuntimeRecipe &recipe);
+
+/**
+ * Characterize once on a scratch machine built from @p system and
+ * return the recipe whose replicas all share the measured cost model.
+ */
+RuntimeRecipe autoRecipe(const machine::SystemConfig &system,
+                         const core::CharacterizeConfig &cfg,
+                         RuntimeConfig runtime = {});
+
+} // namespace gasnub::gas
+
+#endif // GASNUB_GAS_FACTORY_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The Section 7 application kernel rewritten on the gas runtime.
+ *
+ * Same four steps as fft::DistributedFft2d — local row FFTs, global
+ * transpose, local column FFTs, transpose back — but every transpose
+ * block row is one `rput_strided`/`rget_strided` on the symmetric
+ * heap instead of a hand-built TransferRequest, and the method comes
+ * from `gas::Method` (Auto = the planner / native Section 9 choice).
+ * Loop order follows the resolved method: deposits iterate senders,
+ * fetches and pulls iterate receivers, exactly like the hand-written
+ * kernel, so on the Cray machines the gas version reproduces its
+ * timing almost tick for tick (a ctest asserts the tolerance).
+ *
+ * Unlike the hand-written kernel, data really moves: with payload
+ * enabled the transform runs end to end through the runtime's
+ * functional copies, and verifyNumerics compares the distributed
+ * result against the serial reference FFT.
+ *
+ * Build the runtime with `RuntimeConfig::regionsPerNode = 2` to get
+ * the exact region layout (and thus cache/DRAM-bank phase) of
+ * fft::DistributedFft2d.
+ */
+
+#ifndef GASNUB_GAS_FFT2D_HH
+#define GASNUB_GAS_FFT2D_HH
+
+#include <cstdint>
+
+#include "fft/fft2d_dist.hh"
+#include "fft/vendor_model.hh"
+#include "gas/runtime.hh"
+
+namespace gasnub::gas {
+
+/** Parameters of one gas-based 2D-FFT run. */
+struct Fft2dConfig
+{
+    std::uint64_t n = 256;       ///< matrix is n x n complex points
+    bool verifyNumerics = false; ///< transform payload data, too
+    /** Transpose transfer method; Auto consults the runtime. */
+    Method method = Method::Auto;
+};
+
+/** The distributed 2D-FFT expressed in gas operations. */
+class Fft2d
+{
+  public:
+    /** @param rt Runtime (and machine) to run on; not owned. */
+    explicit Fft2d(Runtime &rt);
+
+    /**
+     * Run the kernel; allocates the two matrix arrays on first use
+     * (fatal when a second run changes n — build a fresh runtime).
+     * @return rates and times in the units of Figures 15-17.
+     */
+    fft::Fft2dResult run(const Fft2dConfig &cfg);
+
+    /** The transfer method the last run resolved to. */
+    remote::TransferMethod transposeMethod() const { return _method; }
+
+  private:
+    Tick computePhase(Tick start, std::uint64_t n, GlobalArray &io,
+                      bool numerics);
+    Tick transposePhase(std::uint64_t n, GlobalArray &src,
+                        GlobalArray &dst, bool numerics,
+                        std::uint64_t &remote_bytes);
+
+    Runtime &_rt;
+    fft::VendorFftParams _vendor;
+    remote::TransferMethod _method = remote::TransferMethod::Fetch;
+    GlobalArray _a, _b;
+    std::uint64_t _allocatedN = 0;
+    trace::TrackId _traceTrack;
+};
+
+} // namespace gasnub::gas
+
+#endif // GASNUB_GAS_FFT2D_HH

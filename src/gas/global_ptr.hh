@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Global pointers and transfer-method selection for the gas runtime.
+ *
+ * The paper's premise is that all three machines expose one *global
+ * address space* whose accesses differ only in bandwidth (title,
+ * Section 1).  A GlobalPtr names a word anywhere in that space —
+ * {node, address} in the style of UPC++'s global_ptr — and Method
+ * names how a one-sided operation on it is implemented: one of the
+ * paper's copy-transfer methods, or Auto, which lets the runtime pick
+ * from the machine's characterization (the Section 9 decision:
+ * deposit on the T3D, fetch on the T3E, coherent pull on the 8400).
+ */
+
+#ifndef GASNUB_GAS_GLOBAL_PTR_HH
+#define GASNUB_GAS_GLOBAL_PTR_HH
+
+#include <cstdint>
+
+#include "remote/remote_ops.hh"
+#include "sim/types.hh"
+#include "sim/units.hh"
+
+namespace gasnub::gas {
+
+/** How a one-sided operation moves its data. */
+enum class Method {
+    Deposit,      ///< sender-driven remote stores (shmem_iput style)
+    Fetch,        ///< receiver-driven remote loads (shmem_iget style)
+    CoherentPull, ///< receiver-driven coherent reads (SMP)
+    Auto,         ///< runtime picks from the characterization
+};
+
+/** Human-readable method name ("deposit", ..., "auto"). */
+const char *methodName(Method m);
+
+/**
+ * Lower an explicit method onto the engine layer.
+ * @pre m != Method::Auto (Auto resolves in the runtime).
+ */
+remote::TransferMethod lowerMethod(Method m);
+
+/** Lift an engine method back into the gas enum. */
+Method liftMethod(remote::TransferMethod m);
+
+/**
+ * A global pointer: one 64-bit word in some node's address space.
+ *
+ * On the Crays every node has a private address space and the pair is
+ * a real (PE, offset) name; on the 8400 the address space is
+ * physically shared and `node` records affinity (which processor's
+ * region the word lives in).  Word arithmetic only — `p + n` advances
+ * by n words (8 bytes each), matching the word-granular transfer
+ * engines.
+ */
+struct GlobalPtr
+{
+    NodeId node = -1;
+    Addr addr = 0;
+
+    constexpr bool valid() const { return node >= 0; }
+
+    /** @return this pointer advanced by @p words words. */
+    constexpr GlobalPtr
+    operator+(std::uint64_t words) const
+    {
+        return {node, addr + words * wordBytes};
+    }
+
+    friend constexpr bool operator==(const GlobalPtr &,
+                                     const GlobalPtr &) = default;
+};
+
+} // namespace gasnub::gas
+
+#endif // GASNUB_GAS_GLOBAL_PTR_HH

@@ -485,6 +485,14 @@ Group::addChild(Group *child)
 }
 
 void
+Group::removeChild(Group *child)
+{
+    _children.erase(
+        std::remove(_children.begin(), _children.end(), child),
+        _children.end());
+}
+
+void
 Group::dump(std::ostream &os) const
 {
     if (!_name.empty() && (!_stats.empty() || !_children.empty()))

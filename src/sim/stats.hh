@@ -327,6 +327,14 @@ class Group
     /** Attach a child group (e.g.\ per-cache-level groups). */
     void addChild(Group *child);
 
+    /**
+     * Detach a child group.  For children whose owner can die before
+     * this group (e.g.\ a gas::Runtime's stats attached to its
+     * machine): the owner detaches in its destructor so the parent
+     * never dumps a dangling pointer.
+     */
+    void removeChild(Group *child);
+
     /** Dump all stats, prefixed with the group name. */
     void dump(std::ostream &os) const;
 

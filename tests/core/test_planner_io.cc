@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for building a TransferPlanner from a directory of saved
+ * surfaces: round-trips, naming convention, and error diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/planner_io.hh"
+#include "core/surface_io.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::core;
+namespace fs = std::filesystem;
+
+Surface
+flatSurface(const std::string &name, double mbs)
+{
+    Surface s(name, {1_KiB, 1_MiB}, {1, 8, 64});
+    for (std::uint64_t ws : s.workingSets())
+        for (std::uint64_t st : s.strides())
+            s.set(ws, st, mbs);
+    return s;
+}
+
+/** A fresh scratch directory under the gtest temp dir. */
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+TEST(PlanOptionKind, DecodesTheCharacterizeBenchmarkNames)
+{
+    EXPECT_EQ(planOptionKind("pull").method,
+              remote::TransferMethod::CoherentPull);
+    EXPECT_EQ(planOptionKind("fetch-sload").method,
+              remote::TransferMethod::Fetch);
+    EXPECT_TRUE(planOptionKind("fetch-sload").strideOnSource);
+    EXPECT_FALSE(planOptionKind("fetch-sstore").strideOnSource);
+    EXPECT_EQ(planOptionKind("deposit-sstore").method,
+              remote::TransferMethod::Deposit);
+    EXPECT_FALSE(planOptionKind("deposit-sstore").strideOnSource);
+    EXPECT_TRUE(planOptionKind("deposit-sload").strideOnSource);
+}
+
+TEST(PlanOptionKind, UnknownNameIsAClearError)
+{
+    EXPECT_EXIT(planOptionKind("iput"), ::testing::ExitedWithCode(1),
+                "unknown plan option name 'iput'");
+}
+
+TEST(PlannerDir, RoundTripsOptionsThroughDisk)
+{
+    const fs::path dir = scratchDir("planner_roundtrip");
+    saveSurfaceFile(flatSurface("fetch", 300),
+                    (dir / "fetch-sload.surface").string());
+    saveSurfaceFile(flatSurface("deposit", 100),
+                    (dir / "deposit-sstore.surface").string());
+    // Non-surface files are ignored.
+    std::ofstream(dir / "README.txt") << "not a surface\n";
+
+    const std::vector<PlanOption> options =
+        loadPlanOptionsDir(dir.string());
+    ASSERT_EQ(options.size(), 2u);
+    // Sorted name order: deposit-sstore before fetch-sload.
+    EXPECT_EQ(options[0].label, "deposit-sstore");
+    EXPECT_EQ(options[0].method, remote::TransferMethod::Deposit);
+    EXPECT_FALSE(options[0].strideOnSource);
+    EXPECT_EQ(options[1].label, "fetch-sload");
+    EXPECT_TRUE(options[1].strideOnSource);
+    EXPECT_DOUBLE_EQ(options[1].surface.at(1_MiB, 8), 300);
+
+    TransferPlanner planner = loadPlannerDir(dir.string());
+    TransferQuery q;
+    q.bytes = 1_MiB;
+    q.wsBytes = 1_MiB;
+    q.stride = 8;
+    EXPECT_EQ(planner.best(q).label, "fetch-sload");
+    EXPECT_EQ(planner.best(q).method, remote::TransferMethod::Fetch);
+}
+
+TEST(PlannerDir, MissingDirectoryIsAClearError)
+{
+    EXPECT_EXIT(loadPlannerDir("/nonexistent/gasnub-surfaces"),
+                ::testing::ExitedWithCode(1),
+                "does not exist or is not a directory");
+}
+
+TEST(PlannerDir, EmptyDirectoryIsAClearError)
+{
+    const fs::path dir = scratchDir("planner_empty");
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1), "no \\*.surface files");
+}
+
+TEST(PlannerDir, UnknownOptionStemIsAClearError)
+{
+    const fs::path dir = scratchDir("planner_unknown");
+    saveSurfaceFile(flatSurface("s", 100),
+                    (dir / "shmem-iput.surface").string());
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1),
+                "unknown plan option name 'shmem-iput'");
+}
+
+TEST(PlannerDir, MalformedSurfaceFileNamesTheFile)
+{
+    const fs::path dir = scratchDir("planner_malformed");
+    std::ofstream(dir / "pull.surface") << "gasnub-surface 1\nname "
+                                           "x\nworkingsets 1 1024\n";
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1), "pull\\.surface");
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Section 9 conformance for Method::Auto: with a planner armed from
+ * this machine's own characterization surfaces, the runtime picks
+ * deposit on the Cray T3D, fetch on the Cray T3E, and coherent pull
+ * on the DEC 8400 — and the same decision survives a round-trip of
+ * the surfaces through disk (tools/characterize --out format).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/planner_io.hh"
+#include "core/surface_io.hh"
+#include "gas/factory.hh"
+#include "gas/fft2d.hh"
+#include "gas/runtime.hh"
+#include "machine/machine.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using gas::GlobalArray;
+using gas::Method;
+using gas::Runtime;
+using gas::Strided;
+namespace fs = std::filesystem;
+
+/** A small but §9-faithful characterization grid. */
+core::CharacterizeConfig
+tinyGrid()
+{
+    core::CharacterizeConfig cfg;
+    cfg.workingSets = {64_KiB, 1_MiB};
+    cfg.strides = {2, 8, 128};
+    cfg.capBytes = 256_KiB;
+    return cfg;
+}
+
+/** The FFT-transpose block-row shape on a 4-node machine, n = 256. */
+Strided
+transposeShape()
+{
+    Strided spec;
+    spec.words = 2 * (256 / 4);
+    spec.srcStride = 2 * 256;
+    spec.dstStride = 2;
+    spec.elemWords = 2;
+    return spec;
+}
+
+/** Auto's pick on a planner-armed replica of @p kind. */
+remote::TransferMethod
+autoPick(machine::SystemKind kind)
+{
+    machine::SystemConfig sys;
+    sys.kind = kind;
+    sys.numNodes = 4;
+    const gas::RuntimeRecipe recipe = gas::autoRecipe(sys, tinyGrid());
+    EXPECT_FALSE(recipe.plannerOptions.empty());
+    gas::BuiltRuntime built = gas::makeRuntime(recipe);
+    return built.runtime->resolveMethod(transposeShape(),
+                                        Method::Auto);
+}
+
+TEST(GasAutoMethod, Section9DepositOnTheCrayT3D)
+{
+    EXPECT_EQ(autoPick(machine::SystemKind::CrayT3D),
+              remote::TransferMethod::Deposit);
+}
+
+TEST(GasAutoMethod, Section9FetchOnTheCrayT3E)
+{
+    EXPECT_EQ(autoPick(machine::SystemKind::CrayT3E),
+              remote::TransferMethod::Fetch);
+}
+
+TEST(GasAutoMethod, Section9CoherentPullOnTheDec8400)
+{
+    EXPECT_EQ(autoPick(machine::SystemKind::Dec8400),
+              remote::TransferMethod::CoherentPull);
+}
+
+TEST(GasAutoMethod, PlannedDecisionDrivesTheActualTransfer)
+{
+    machine::SystemConfig sys;
+    sys.kind = machine::SystemKind::CrayT3E;
+    sys.numNodes = 4;
+    gas::BuiltRuntime built =
+        gas::makeRuntime(gas::autoRecipe(sys, tinyGrid()));
+    Runtime &rt = *built.runtime;
+    // One node's slice of the n=256 matrix: (n/procs) * n complex.
+    GlobalArray a = rt.allocate(2 * 64 * 256);
+    const Strided spec = transposeShape();
+    gas::Handle h = rt.rput_strided(a.on(0), a.on(1), spec);
+    EXPECT_EQ(h.method, remote::TransferMethod::Fetch);
+    EXPECT_EQ(h.initiator, 1); // fetch: the receiver drives
+    const auto *planned = static_cast<const stats::Scalar *>(
+        rt.statsGroup().find("gas.auto.planned"));
+    ASSERT_NE(planned, nullptr);
+    EXPECT_EQ(planned->value(), 1);
+}
+
+// The decision must survive tools/characterize's export format:
+// save each option's surface as <label>.surface, rebuild the planner
+// with core::loadPlannerDir, and Auto picks the same back-end.
+TEST(GasAutoMethod, DecisionSurvivesASurfaceDiskRoundTrip)
+{
+    const machine::SystemKind kinds[] = {
+        machine::SystemKind::CrayT3D,
+        machine::SystemKind::CrayT3E,
+        machine::SystemKind::Dec8400,
+    };
+    const remote::TransferMethod expected[] = {
+        remote::TransferMethod::Deposit,
+        remote::TransferMethod::Fetch,
+        remote::TransferMethod::CoherentPull,
+    };
+    for (int i = 0; i < 3; ++i) {
+        machine::Machine m(kinds[i], 4);
+        const std::vector<core::PlanOption> options =
+            gas::characterizeOptions(m, tinyGrid());
+
+        const fs::path dir = fs::path(::testing::TempDir()) /
+                             ("gas_surfaces_" + std::to_string(i));
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        for (const core::PlanOption &opt : options)
+            core::saveSurfaceFile(
+                opt.surface, (dir / (opt.label + ".surface")).string());
+
+        Runtime rt(m);
+        rt.setPlanner(core::loadPlannerDir(dir.string()));
+        EXPECT_EQ(rt.resolveMethod(transposeShape(), Method::Auto),
+                  expected[i])
+            << machine::systemName(kinds[i]);
+    }
+}
+
+TEST(GasAutoMethod, AutoWithoutPlannerFallsBackToTheNativeMethod)
+{
+    for (machine::SystemKind kind : {machine::SystemKind::Dec8400,
+                                     machine::SystemKind::CrayT3D,
+                                     machine::SystemKind::CrayT3E}) {
+        machine::Machine m(kind, 4);
+        Runtime rt(m);
+        EXPECT_EQ(rt.resolveMethod(transposeShape(), Method::Auto),
+                  m.nativeMethod())
+            << machine::systemName(kind);
+        GlobalArray a = rt.allocate(64);
+        rt.rput(a.on(0), a.on(1), 64);
+        const auto *native = static_cast<const stats::Scalar *>(
+            rt.statsGroup().find("gas.auto.native"));
+        ASSERT_NE(native, nullptr);
+        EXPECT_EQ(native->value(), 1);
+    }
+}
+
+// The gas FFT consults the same resolution: on the Crays the resolved
+// method decides which side drives the transpose loops.
+TEST(GasAutoMethod, GasFftReportsTheResolvedTransposeMethod)
+{
+    machine::Machine m(machine::SystemKind::CrayT3D, 4);
+    gas::RuntimeConfig rcfg;
+    rcfg.regionsPerNode = 2;
+    Runtime rt(m, rcfg);
+    gas::Fft2d fft(rt);
+    gas::Fft2dConfig cfg;
+    cfg.n = 64;
+    fft.run(cfg);
+    EXPECT_EQ(fft.transposeMethod(),
+              remote::TransferMethod::Deposit);
+}
+
+} // namespace

@@ -45,6 +45,26 @@ else
     echo "ok: --procs=abc names the bad value"
 fi
 
+# --help (anywhere on the command line) prints the usage and the
+# planner pipeline walkthrough to stdout and exits 0.
+for args in "--help" "-h" "t3e loads --help"; do
+    # shellcheck disable=SC2086
+    out=$("$bin" $args 2>"$err")
+    code=$?
+    if [ "$code" -ne 0 ]; then
+        echo "FAIL: $args: exit $code, expected 0"
+        fails=1
+    elif ! echo "$out" | grep -q "usage: characterize"; then
+        echo "FAIL: $args: no usage text on stdout"
+        fails=1
+    elif ! echo "$out" | grep -q "loadPlannerDir"; then
+        echo "FAIL: $args: no planner pipeline walkthrough"
+        fails=1
+    else
+        echo "ok: $args"
+    fi
+done
+
 # A valid tiny run (both --opt=value and --opt value forms) succeeds
 # and prints a surface.
 out=$("$bin" t3e loads --max-ws=4K --cap 4K --jobs 2 2>"$err")

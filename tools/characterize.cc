@@ -7,7 +7,8 @@
  *
  *   machine    dec8400 | t3d | t3e
  *   benchmark  loads | stores | copy-sload | copy-sstore |
- *              pull | fetch-sload | deposit-sstore
+ *              pull | fetch-sload | fetch-sstore |
+ *              deposit-sload | deposit-sstore
  *   options    --max-ws <size>   largest working set (default 8M)
  *              --cap <size>      simulation cap (default 4M)
  *              --out <file>      save the surface (gasnub format)
@@ -30,7 +31,11 @@
  *
  * Saved surfaces can be reloaded with core::loadSurfaceFile and fed
  * to the TransferPlanner — the measure-once / decide-often split of
- * the paper's compiler workflow.
+ * the paper's compiler workflow.  Remote benchmark names double as
+ * the core::loadPlannerDir naming convention: export each remote
+ * surface as <benchmark>.surface into one directory and a planner
+ * (or a gas::Runtime with Method::Auto) rebuilds the machine's cost
+ * model from it.  `characterize --help` walks through the pipeline.
  */
 
 #include <cstdlib>
@@ -53,18 +58,78 @@ using namespace gasnub;
 namespace {
 
 void
+printUsage(std::ostream &os)
+{
+    os << "usage: characterize <dec8400|t3d|t3e> <benchmark> "
+          "[--max-ws N] [--cap N]\n"
+          "                    [--out FILE] [--procs N] [--jobs N]\n"
+          "                    [--trace-out FILE] "
+          "[--trace-categories LIST]\n"
+          "                    [--stats-json FILE]\n"
+          "       characterize --help\n"
+          "benchmarks: loads stores copy-sload copy-sstore pull\n"
+          "            fetch-sload fetch-sstore deposit-sload "
+          "deposit-sstore\n";
+}
+
+void
 usage()
 {
-    std::cerr
-        << "usage: characterize <dec8400|t3d|t3e> <benchmark> "
-           "[--max-ws N] [--cap N]\n"
-           "                    [--out FILE] [--procs N] [--jobs N]\n"
-           "                    [--trace-out FILE] "
-           "[--trace-categories LIST]\n"
-           "                    [--stats-json FILE]\n"
-           "benchmarks: loads stores copy-sload copy-sstore pull\n"
-           "            fetch-sload deposit-sstore\n";
+    printUsage(std::cerr);
     std::exit(2);
+}
+
+/** --help: the full option reference plus the planner pipeline. */
+void
+help()
+{
+    printUsage(std::cout);
+    std::cout
+        << "\n"
+           "options:\n"
+           "  --max-ws N          largest working set (default 8M; "
+           "sizes take K/M suffixes)\n"
+           "  --cap N             simulation cap per grid point "
+           "(default 4M)\n"
+           "  --out FILE          save the surface (gasnub format, "
+           "loadable with\n"
+           "                      core::loadSurfaceFile)\n"
+           "  --procs N           machine size in nodes (default 4)\n"
+           "  --jobs N            worker threads for the sweep "
+           "(default: GASNUB_JOBS,\n"
+           "                      then hardware concurrency; 1 = "
+           "serial; any value gives\n"
+           "                      byte-identical output)\n"
+           "  --trace-out FILE    event trace (Chrome trace JSON; CSV "
+           "if FILE ends in .csv)\n"
+           "  --trace-categories  comma-separated subset of "
+           "mem,noc,remote,kernel,sim\n"
+           "  --stats-json FILE   stats tree as JSON\n"
+           "\n"
+           "measure once, decide often — the planner pipeline:\n"
+           "\n"
+           "  The remote benchmarks (pull, fetch-sload, fetch-sstore,\n"
+           "  deposit-sload, deposit-sstore) are a machine's transfer\n"
+           "  implementation options.  Export each surface under its\n"
+           "  benchmark name into one directory:\n"
+           "\n"
+           "    characterize t3e fetch-sload    --out s/fetch-sload."
+           "surface\n"
+           "    characterize t3e deposit-sstore --out s/deposit-sstore."
+           "surface\n"
+           "\n"
+           "  then rebuild the cost model without re-simulating:\n"
+           "  core::loadPlannerDir(\"s\") returns a TransferPlanner "
+           "whose\n"
+           "  best() picks the fastest option per transfer shape, and\n"
+           "  gas::Runtime::setPlanner(core::loadPlannerDir(\"s\")) "
+           "makes\n"
+           "  every rput/rget with Method::Auto consult it — "
+           "reproducing\n"
+           "  the paper's Section 9 back-end choices per call.  See\n"
+           "  docs/gas_runtime.md and examples/gas_halo.cpp "
+           "(--surfaces).\n";
+    std::exit(0);
 }
 
 /** Reject a bad command line with a message and the usage text. */
@@ -92,6 +157,11 @@ parseIntOpt(const std::string &opt, const std::string &val)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0)
+            help();
+    }
     if (argc < 3)
         usage();
 
@@ -182,6 +252,12 @@ main(int argc, char **argv)
             remote::TransferMethod::CoherentPull, true, src, dst);
     } else if (benchmark == "fetch-sload") {
         spec = core::SweepSpec::remote(remote::TransferMethod::Fetch,
+                                       true, src, dst);
+    } else if (benchmark == "fetch-sstore") {
+        spec = core::SweepSpec::remote(remote::TransferMethod::Fetch,
+                                       false, src, dst);
+    } else if (benchmark == "deposit-sload") {
+        spec = core::SweepSpec::remote(remote::TransferMethod::Deposit,
                                        true, src, dst);
     } else if (benchmark == "deposit-sstore") {
         spec = core::SweepSpec::remote(remote::TransferMethod::Deposit,
