@@ -14,6 +14,8 @@ TransferPlanner::addOption(PlanOption option)
                   "option '", option.label,
                   "' has an incomplete surface");
     _options.push_back(std::move(option));
+    _strikes.push_back(0);
+    _demoted.push_back(0);
 }
 
 const PlanOption &
@@ -59,11 +61,20 @@ Plan
 TransferPlanner::best(const TransferQuery &query) const
 {
     const std::vector<double> mbs = predictAll(query);
+    // Demotions only apply while a healthy option remains; a fully
+    // demoted planner behaves like an undemoted one rather than
+    // stranding the transfer.
+    const bool honor_demotions = numDemoted() < _options.size();
+    const auto usable = [&](std::size_t i) {
+        return !honor_demotions || !_demoted[i];
+    };
     // Strict > keeps the first-registered option on ties, so the
     // winner is independent of how many equal options follow it.
     std::size_t best_i = 0;
-    for (std::size_t i = 1; i < mbs.size(); ++i)
-        if (mbs[i] > mbs[best_i])
+    while (!usable(best_i))
+        ++best_i;
+    for (std::size_t i = best_i + 1; i < mbs.size(); ++i)
+        if (usable(i) && mbs[i] > mbs[best_i])
             best_i = i;
     const PlanOption &o = _options[best_i];
     Plan p;
@@ -77,6 +88,79 @@ TransferPlanner::best(const TransferQuery &query) const
             ? static_cast<double>(query.bytes) / (mbs[best_i] * 1e6)
             : 0.0;
     return p;
+}
+
+void
+TransferPlanner::setDegradePolicy(const DegradePolicy &policy)
+{
+    GASNUB_ASSERT(policy.minRatio > 0 && policy.minRatio <= 1,
+                  "degrade minRatio must be in (0, 1]");
+    GASNUB_ASSERT(policy.strikes >= 1, "degrade strikes must be >= 1");
+    _degrade = policy;
+}
+
+bool
+TransferPlanner::observe(std::size_t i, const TransferQuery &query,
+                         double achievedMBs)
+{
+    GASNUB_ASSERT(i < _options.size(), "bad option index ", i);
+    const std::vector<double> mbs = predictAll(query);
+    const double predicted = mbs[i];
+    if (predicted <= 0)
+        return false;
+    if (achievedMBs >= _degrade.minRatio * predicted) {
+        _strikes[i] = 0;
+        return false;
+    }
+    if (_demoted[i])
+        return false;
+    if (++_strikes[i] < _degrade.strikes)
+        return false;
+    _demoted[i] = 1;
+    GASNUB_WARN("planner option '", _options[i].label,
+                "' demoted: delivered ", achievedMBs,
+                " MB/s for ", _strikes[i],
+                " consecutive transfers against a predicted ",
+                predicted, " MB/s");
+    return true;
+}
+
+void
+TransferPlanner::demote(std::size_t i)
+{
+    GASNUB_ASSERT(i < _options.size(), "bad option index ", i);
+    _demoted[i] = 1;
+}
+
+void
+TransferPlanner::restore(std::size_t i)
+{
+    GASNUB_ASSERT(i < _options.size(), "bad option index ", i);
+    _demoted[i] = 0;
+    _strikes[i] = 0;
+}
+
+void
+TransferPlanner::restoreAll()
+{
+    std::fill(_demoted.begin(), _demoted.end(), 0);
+    std::fill(_strikes.begin(), _strikes.end(), 0);
+}
+
+bool
+TransferPlanner::demoted(std::size_t i) const
+{
+    GASNUB_ASSERT(i < _options.size(), "bad option index ", i);
+    return _demoted[i] != 0;
+}
+
+std::size_t
+TransferPlanner::numDemoted() const
+{
+    std::size_t n = 0;
+    for (const char d : _demoted)
+        n += d != 0;
+    return n;
 }
 
 } // namespace gasnub::core

@@ -1,6 +1,7 @@
 #include "core/planner_io.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 
 #include "core/surface_io.hh"
@@ -29,6 +30,40 @@ planOptionKind(const std::string &stem)
                  "deposit-sload or deposit-sstore");
 }
 
+void
+validatePlannerSurface(const Surface &surface,
+                       const std::string &path)
+{
+    // In the fixed *.surface format the header is exactly five lines
+    // (magic, name, workingsets, strides, "data"), so the data row of
+    // working-set index i sits on line 6 + i; columns follow the
+    // stride order.
+    const auto &ws = surface.workingSets();
+    const auto &strides = surface.strides();
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        for (std::size_t j = 0; j < strides.size(); ++j) {
+            const double v = surface.at(ws[i], strides[j]);
+            const char *bad = nullptr;
+            if (std::isnan(v))
+                bad = "NaN";
+            else if (std::isinf(v))
+                bad = "infinite";
+            else if (v < 0)
+                bad = "negative";
+            else if (v == 0)
+                bad = "zero";
+            if (bad)
+                GASNUB_FATAL(
+                    "surface file '", path, "', line ", 6 + i,
+                    ", column ", j + 1, " (working set ", ws[i],
+                    ", stride ", strides[j], "): ", bad,
+                    " bandwidth ", v,
+                    "; the planner divides by this value, refusing "
+                    "to load");
+        }
+    }
+}
+
 std::vector<PlanOption>
 loadPlanOptionsDir(const std::string &dir)
 {
@@ -54,9 +89,10 @@ loadPlanOptionsDir(const std::string &dir)
     for (const fs::path &path : files) {
         const std::string stem = path.stem().string();
         const PlanOptionKind kind = planOptionKind(stem);
+        Surface s = loadSurfaceFile(path.string());
+        validatePlannerSurface(s, path.string());
         options.push_back(PlanOption{stem, kind.method,
-                                     kind.strideOnSource,
-                                     loadSurfaceFile(path.string()),
+                                     kind.strideOnSource, std::move(s),
                                      0});
     }
     return options;

@@ -46,14 +46,25 @@ struct PlanOptionKind
 PlanOptionKind planOptionKind(const std::string &stem);
 
 /**
+ * Validate a surface destined for the planner: every bandwidth entry
+ * must be finite and strictly positive, because the planner divides
+ * by these values to predict transfer times.  Fatal on violation,
+ * naming @p path and the 1-based line and column of the offending
+ * entry in the `*.surface` file format.
+ */
+void validatePlannerSurface(const Surface &surface,
+                            const std::string &path);
+
+/**
  * Load every `*.surface` file in directory @p dir as one PlanOption
  * whose label, method and stride side derive from the file stem.
  * Files are loaded in sorted name order, so the planner's
  * registration order (and therefore its tie-breaking) is independent
  * of directory enumeration order.  Other files are ignored.  Fatal —
  * naming the offending path — on a missing directory, on a directory
- * with no `*.surface` files, on an unknown option stem, and on a
- * malformed surface file.
+ * with no `*.surface` files, on an unknown option stem, on a
+ * malformed surface file, and (via validatePlannerSurface) on NaN,
+ * negative, or zero bandwidth entries.
  */
 std::vector<PlanOption> loadPlanOptionsDir(const std::string &dir);
 

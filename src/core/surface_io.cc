@@ -1,5 +1,7 @@
 #include "core/surface_io.hh"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -85,13 +87,28 @@ loadSurface(std::istream &is, const std::string &context)
     if (!(is >> key) || key != "data")
         GASNUB_FATAL("surface stream", in, ": expected 'data'");
 
+    // Data rows start on line 6 of the fixed format (magic, name,
+    // workingsets, strides, "data"); parse tokens by hand so NaN,
+    // infinity, negative values and plain garbage are all rejected
+    // with the file, line and column — Surface itself would only
+    // assert.
     Surface s(name, ws, strides);
-    for (std::uint64_t w : ws) {
-        for (std::uint64_t st : strides) {
-            double v = 0;
-            if (!(is >> v))
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        for (std::size_t j = 0; j < strides.size(); ++j) {
+            std::string tok;
+            if (!(is >> tok))
                 GASNUB_FATAL("surface stream", in, ": truncated data");
-            s.set(w, st, v);
+            char *endp = nullptr;
+            const double v = std::strtod(tok.c_str(), &endp);
+            if (endp == tok.c_str() || *endp != '\0' ||
+                std::isnan(v) || std::isinf(v) || v < 0)
+                GASNUB_FATAL("surface stream", in, ", line ", 6 + i,
+                             ", column ", j + 1, " (working set ",
+                             ws[i], ", stride ", strides[j],
+                             "): bad bandwidth value '", tok,
+                             "'; surfaces hold finite non-negative "
+                             "MB/s");
+            s.set(ws[i], strides[j], v);
         }
     }
     if (!(is >> key) || key != "end")

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sim/logging.hh"
+#include "sim/units.hh"
 
 namespace gasnub::gas {
 
@@ -196,7 +197,17 @@ Runtime::Runtime(machine::Machine &m, RuntimeConfig cfg)
       _barriers(&_stats, _config.name + ".barriers",
                 "barriers executed"),
       _heapWords(&_stats, _config.name + ".heap.words",
-                 "symmetric-heap words allocated per node")
+                 "symmetric-heap words allocated per node"),
+      _retries(&_stats, _config.name + ".retries",
+               "transfer attempts beyond the first"),
+      _failedOps(&_stats, _config.name + ".failed.ops",
+                 "transfers abandoned after retries or timeout"),
+      _timeouts(&_stats, _config.name + ".failed.timeouts",
+                "transfers abandoned on the per-op timeout"),
+      _deliveredBytes(&_stats, _config.name + ".delivered.bytes",
+                      "bytes successfully delivered remotely"),
+      _autoDemotions(&_stats, _config.name + ".auto.demotions",
+                     "planner options demoted by observed bandwidth")
 {
     GASNUB_ASSERT(_machine.numNodes() > 0, "machine has no nodes");
     _segments.reserve(static_cast<std::size_t>(_machine.numNodes()));
@@ -246,6 +257,30 @@ Runtime::planner() const
     return _planner ? &*_planner : nullptr;
 }
 
+namespace {
+
+/** Microseconds of simulated time in ticks (Tick = picoseconds). */
+Tick
+usToTicks(double us)
+{
+    return us <= 0 ? 0 : static_cast<Tick>(us * 1e6 + 0.5);
+}
+
+/** The planner query matching a gas transfer shape. */
+core::TransferQuery
+queryFor(const Strided &spec)
+{
+    core::TransferQuery q;
+    q.bytes = spec.words * wordBytes;
+    q.wsBytes = q.bytes;
+    q.stride = std::max<std::uint64_t>(
+        1, std::max(spec.srcStride, spec.dstStride) /
+               std::max<std::uint64_t>(spec.elemWords, 1));
+    return q;
+}
+
+} // namespace
+
 remote::TransferMethod
 Runtime::resolveMethod(const Strided &spec, Method m) const
 {
@@ -258,33 +293,47 @@ Runtime::resolveMethod(const Strided &spec, Method m) const
                          "; use Method::Auto or a supported method");
         return lowered;
     }
+    return resolveAuto(spec, nullptr);
+}
+
+remote::TransferMethod
+Runtime::resolveAuto(const Strided &spec,
+                     std::size_t *optionIndex) const
+{
     if (!_planner)
         return _machine.nativeMethod();
 
-    core::TransferQuery q;
-    q.bytes = spec.words * wordBytes;
-    q.wsBytes = q.bytes;
-    q.stride = std::max<std::uint64_t>(
-        1, std::max(spec.srcStride, spec.dstStride) /
-               std::max<std::uint64_t>(spec.elemWords, 1));
-    const std::vector<double> mbs = _planner->predictAll(q);
+    const std::vector<double> mbs = _planner->predictAll(queryFor(spec));
 
     // best() over the options this machine can actually execute
     // (a planner loaded from another machine's directory may carry
     // foreign methods); strict > keeps the first-registered winner.
+    // Demoted options (graceful degradation) are skipped unless every
+    // supported option is demoted — Auto must always resolve.
     constexpr std::size_t none = std::numeric_limits<std::size_t>::max();
-    std::size_t best = none;
-    for (std::size_t i = 0; i < mbs.size(); ++i) {
-        if (!_machine.remote().supports(_planner->option(i).method))
-            continue;
-        if (best == none || mbs[i] > mbs[best])
-            best = i;
-    }
+    const auto pick = [&](bool honor_demotions) {
+        std::size_t best = none;
+        for (std::size_t i = 0; i < mbs.size(); ++i) {
+            if (!_machine.remote().supports(
+                    _planner->option(i).method))
+                continue;
+            if (honor_demotions && _planner->demoted(i))
+                continue;
+            if (best == none || mbs[i] > mbs[best])
+                best = i;
+        }
+        return best;
+    };
+    std::size_t best = pick(true);
+    if (best == none)
+        best = pick(false);
     if (best == none)
         GASNUB_FATAL("planner has no option the ",
                      machine::systemName(_machine.kind()),
                      " supports; load surfaces measured on this "
                      "machine");
+    if (optionIndex)
+        *optionIndex = best;
     return _planner->option(best).method;
 }
 
@@ -314,7 +363,7 @@ Runtime::countMethod(remote::TransferMethod m)
     GASNUB_PANIC("bad transfer method");
 }
 
-Tick
+remote::TransferStatus
 Runtime::lowerTransfer(GlobalPtr src, GlobalPtr dst,
                        const Strided &spec,
                        remote::TransferMethod method, Tick start)
@@ -331,7 +380,7 @@ Runtime::lowerTransfer(GlobalPtr src, GlobalPtr dst,
 
     if (method != remote::TransferMethod::CoherentPull ||
         spec.elemWords <= 1)
-        return _machine.remote().transfer(req, method, start);
+        return _machine.remote().tryTransfer(req, method, start);
 
     // SmpPull is word-granular (strides are per word, elemWords is
     // not interpreted): lower element runs explicitly.  A dense
@@ -341,20 +390,27 @@ Runtime::lowerTransfer(GlobalPtr src, GlobalPtr dst,
         req.srcStride = 1;
         req.dstStride = 1;
         req.elemWords = 1;
-        return _machine.remote().transfer(req, method, start);
+        return _machine.remote().tryTransfer(req, method, start);
     }
     const std::uint64_t elems = spec.words / spec.elemWords;
-    Tick end = start;
+    remote::TransferStatus st;
+    st.complete = start;
     for (std::uint64_t k = 0; k < spec.elemWords; ++k) {
         remote::TransferRequest lane = req;
         lane.srcAddr = src.addr + k * wordBytes;
         lane.dstAddr = dst.addr + k * wordBytes;
         lane.words = elems;
         lane.elemWords = 1;
-        end = std::max(end,
-                       _machine.remote().transfer(lane, method, start));
+        const remote::TransferStatus ls =
+            _machine.remote().tryTransfer(lane, method, start);
+        if (!ls.ok()) {
+            // The op fails as a unit; the first failing lane decides
+            // the outcome and the whole transfer will be retried.
+            return ls;
+        }
+        st.complete = std::max(st.complete, ls.complete);
     }
-    return end;
+    return st;
 }
 
 void
@@ -417,8 +473,12 @@ Runtime::transferOp(GlobalPtr src, GlobalPtr dst, const Strided &spec,
                      spec.dstStride, ") must cover the ",
                      spec.elemWords, "-word element run");
 
+    constexpr std::size_t no_option =
+        std::numeric_limits<std::size_t>::max();
+    std::size_t planned = no_option;
     const remote::TransferMethod method =
-        resolveMethod(spec, requested);
+        requested == Method::Auto ? resolveAuto(spec, &planned)
+                                  : resolveMethod(spec, requested);
     if (requested == Method::Auto) {
         if (_planner)
             ++_autoPlanned;
@@ -437,6 +497,10 @@ Runtime::transferOp(GlobalPtr src, GlobalPtr dst, const Strided &spec,
     const Tick start = std::max(cur, _machine.node(initiator).now());
 
     Tick end = 0;
+    remote::TransferStatus status;
+    int attempts = 1;
+    bool timed_out = false;
+    bool remote_op = false;
     if (src.node == dst.node) {
         // Same-node "transfer": served by the local hierarchy, one
         // load + store per word.
@@ -457,7 +521,37 @@ Runtime::transferOp(GlobalPtr src, GlobalPtr dst, const Strided &spec,
         }
         ++_localCopies;
     } else {
-        end = lowerTransfer(src, dst, spec, method, start);
+        // Remote transfer with bounded retry: transient failures are
+        // retried after an exponentially growing simulated-time
+        // backoff, permanent failures give up immediately, and the
+        // whole op abandons once its elapsed time crosses the per-op
+        // timeout.
+        remote_op = true;
+        const RetryPolicy &rp = _config.retry;
+        const Tick timeout = usToTicks(rp.timeoutUs);
+        const int max_attempts = std::max(1, rp.maxAttempts);
+        double backoff_us = rp.backoffUs;
+        Tick attempt_start = start;
+        attempts = 0;
+        for (;;) {
+            ++attempts;
+            status =
+                lowerTransfer(src, dst, spec, method, attempt_start);
+            if (status.ok() ||
+                status.outcome ==
+                    remote::TransferOutcome::PermanentFailure ||
+                attempts >= max_attempts)
+                break;
+            const Tick next = status.complete + usToTicks(backoff_us);
+            if (timeout != 0 && next - start > timeout) {
+                timed_out = true;
+                break;
+            }
+            ++_retries;
+            attempt_start = next;
+            backoff_us *= rp.backoffMult;
+        }
+        end = status.complete;
     }
 
     cur = std::max(cur, end);
@@ -473,18 +567,52 @@ Runtime::transferOp(GlobalPtr src, GlobalPtr dst, const Strided &spec,
         ++_rgetOps;
         _rgetBytes += bytes;
     }
+    const bool delivered = status.ok() && !timed_out;
+    if (remote_op) {
+        if (delivered) {
+            _deliveredBytes += bytes;
+        } else {
+            ++_failedOps;
+            if (timed_out)
+                ++_timeouts;
+            GASNUB_WARN(_config.name, ": ",
+                        is_put ? "rput" : "rget", " of ", spec.words,
+                        " words to node ", dst.node, " failed after ",
+                        attempts, " attempt(s): ",
+                        timed_out ? "per-op timeout exceeded"
+                                  : status.reason);
+        }
+        // Close the planner's loop: feed the achieved bandwidth back
+        // so persistently under-delivering options get demoted and
+        // Auto replans onto the next-cheapest supported method.
+        if (planned != no_option) {
+            const double achieved =
+                delivered && end > start
+                    ? bandwidthMBs(spec.words * wordBytes,
+                                        end - start)
+                    : 0.0;
+            if (_planner->observe(planned, queryFor(spec), achieved))
+                ++_autoDemotions;
+        }
+    }
     GASNUB_TRACE(trace::Category::Remote, _traceTrack,
                  is_put ? "gas.rput" : "gas.rget", start, end,
                  "words", spec.words, "node",
                  static_cast<std::uint64_t>(initiator));
 
-    copyPayload(src, dst, spec);
+    // The payload only moves when the transfer actually succeeded;
+    // a failed op leaves destination memory untouched.
+    if (!remote_op || delivered)
+        copyPayload(src, dst, spec);
 
     Handle h;
     h.complete = end;
     h.id = ++_nextId;
     h.initiator = initiator;
     h.method = method;
+    h.outcome = status.outcome;
+    h.attempts = attempts;
+    h.timedOut = timed_out;
     return h;
 }
 

@@ -46,6 +46,21 @@ namespace gasnub::gas {
 
 class Runtime;
 
+/**
+ * Bounded-retry policy for fallible transfers (injected faults).  A
+ * transiently failed transfer is retried after an exponentially
+ * growing simulated-time backoff, up to @a maxAttempts total attempts
+ * or until the op's elapsed simulated time exceeds @a timeoutUs.
+ * Permanent failures are never retried.
+ */
+struct RetryPolicy
+{
+    int maxAttempts = 4;      ///< total attempts, including the first
+    double backoffUs = 1.0;   ///< backoff before the first retry
+    double backoffMult = 2.0; ///< backoff growth per retry
+    double timeoutUs = 0;     ///< per-op elapsed-time cap; 0 = none
+};
+
 /** Runtime construction parameters. */
 struct RuntimeConfig
 {
@@ -60,6 +75,8 @@ struct RuntimeConfig
     int regionsPerNode = 8;
     /** Allocate functional backing storage for each allocation. */
     bool payload = true;
+    /** Retry policy for transfers that fail transiently. */
+    RetryPolicy retry;
 };
 
 /** A strided transfer shape (SHMEM iput/iget style). */
@@ -78,16 +95,35 @@ struct Strided
     }
 };
 
-/** Completion handle of a one-sided operation. */
+/**
+ * Completion handle of a one-sided operation.
+ *
+ * Operations can fail under fault injection: @a outcome records how
+ * the op (after any retries) ended, and on failure @a complete is the
+ * tick at which the initiator gave up.  wait() on a completed or
+ * failed handle — repeatedly — is a safe no-op beyond stalling the
+ * initiator to @a complete.
+ */
 struct Handle
 {
-    Tick complete = 0;   ///< data globally visible at this tick
+    Tick complete = 0;   ///< data visible (or op abandoned) at this tick
     std::uint64_t id = 0;
     NodeId initiator = -1; ///< node whose clock drove the op
     remote::TransferMethod method =
         remote::TransferMethod::Fetch; ///< resolved implementation
+    remote::TransferOutcome outcome =
+        remote::TransferOutcome::Ok;   ///< how the op ended
+    int attempts = 1;      ///< transfer attempts made
+    bool timedOut = false; ///< gave up on RetryPolicy::timeoutUs
 
     bool valid() const { return initiator >= 0; }
+
+    /** Did the data actually arrive? */
+    bool ok() const
+    {
+        return valid() && !timedOut &&
+               outcome == remote::TransferOutcome::Ok;
+    }
 };
 
 /**
@@ -270,6 +306,27 @@ class Runtime
     /** Operations issued since the last fence()/barrier(). */
     std::uint64_t pendingOps() const { return _pendingOps; }
 
+    /** Transfers that failed for good (after retries / timeouts). */
+    std::uint64_t failedOps() const
+    {
+        return static_cast<std::uint64_t>(_failedOps.value());
+    }
+
+    /** Retry attempts made beyond first attempts. */
+    std::uint64_t retries() const
+    {
+        return static_cast<std::uint64_t>(_retries.value());
+    }
+
+    /** Bytes successfully delivered by remote transfers. */
+    double deliveredBytes() const { return _deliveredBytes.value(); }
+
+    /** Auto options demoted by observed-bandwidth degradation. */
+    std::uint64_t autoDemotions() const
+    {
+        return static_cast<std::uint64_t>(_autoDemotions.value());
+    }
+
     /**
      * Reset all *timing* — machine clocks, engine state, cursors —
      * keeping allocations and payload data (Machine::resetAll plus
@@ -281,9 +338,11 @@ class Runtime
     Handle transferOp(GlobalPtr src, GlobalPtr dst,
                       const Strided &spec, Method requested,
                       bool is_put);
-    Tick lowerTransfer(GlobalPtr src, GlobalPtr dst,
-                       const Strided &spec,
-                       remote::TransferMethod method, Tick start);
+    remote::TransferStatus lowerTransfer(
+        GlobalPtr src, GlobalPtr dst, const Strided &spec,
+        remote::TransferMethod method, Tick start);
+    remote::TransferMethod resolveAuto(const Strided &spec,
+                                       std::size_t *optionIndex) const;
     void copyPayload(GlobalPtr src, GlobalPtr dst,
                      const Strided &spec);
     void validatePtr(GlobalPtr p, const char *what) const;
@@ -307,6 +366,8 @@ class Runtime
     stats::Scalar _methodDeposit, _methodFetch, _methodPull;
     stats::Scalar _autoPlanned, _autoNative;
     stats::Scalar _fences, _barriers, _heapWords;
+    stats::Scalar _retries, _failedOps, _timeouts;
+    stats::Scalar _deliveredBytes, _autoDemotions;
 
     friend class GlobalArray;
 };

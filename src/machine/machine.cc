@@ -122,13 +122,13 @@ t3eEngineConfig()
 }
 
 Machine::Machine(SystemKind kind, int num_nodes)
-    : Machine(SystemConfig{kind, num_nodes, std::nullopt})
+    : Machine(SystemConfig{kind, num_nodes, std::nullopt, {}})
 {
 }
 
 Machine::Machine(SystemKind kind, int num_nodes,
                  const mem::HierarchyConfig &node_cfg)
-    : Machine(SystemConfig{kind, num_nodes, node_cfg})
+    : Machine(SystemConfig{kind, num_nodes, node_cfg, {}})
 {
 }
 
@@ -201,6 +201,20 @@ Machine::Machine(const SystemConfig &cfg)
             t3eEngineConfig(), raw, _torus.get(), &_stats);
         break;
       }
+    }
+
+    // Fault injection: only built for a non-empty plan, so fault-free
+    // machines carry no hooks and stay byte-identical to the golden
+    // runs.
+    if (!cfg.faults.empty()) {
+        _faults = std::make_unique<sim::FaultDomain>(cfg.faults);
+        for (int i = 0; i < num_nodes; ++i)
+            raw[i]->dram().setFaultSite(_faults->dramSite(i));
+        if (_sharedMem)
+            _sharedMem->dram().setFaultSite(_faults->dramSite(-1));
+        if (_torus)
+            _torus->setFaults(_faults.get());
+        _remote->setFaultSite(_faults->transferSite());
     }
 }
 
@@ -282,6 +296,8 @@ Machine::resetTiming()
         _sharedMem->resetTiming();
     if (_remote)
         _remote->resetTiming();
+    if (_faults)
+        _faults->reset();
 }
 
 void
@@ -295,6 +311,8 @@ Machine::resetAll()
         _sharedMem->resetAll();
     if (_remote)
         _remote->resetTiming();
+    if (_faults)
+        _faults->reset();
 }
 
 } // namespace gasnub::machine

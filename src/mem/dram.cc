@@ -51,6 +51,10 @@ Dram::Dram(const DramConfig &config, stats::Group *parent)
                           _rowHits.value() + _rowMisses.value();
                       return n > 0 ? _rowHits.value() / n : 0.0;
                   }),
+      _faultStalls(&_stats, config.name + ".faults.stalls",
+                   "accesses delayed by injected faults"),
+      _faultStallTicks(&_stats, config.name + ".faults.stallTicks",
+                       "injected delay in ticks"),
       _traceTrack(trace::Tracer::instance().track(config.name))
 {
     GASNUB_ASSERT(isPow2(config.banks), "banks must be pow2");
@@ -94,6 +98,18 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
         ++_reads;
     else
         ++_writes;
+
+    // Injected bank stalls / refresh storms push the access back
+    // before any resource is reserved.
+    if (_faults) {
+        const Tick delayed = _faults->dramDelay(earliest, bankOf(addr));
+        if (delayed != earliest) {
+            ++_faultStalls;
+            _faultStallTicks +=
+                static_cast<double>(delayed - earliest);
+            earliest = delayed;
+        }
+    }
 
     const Tick transfer_t = ticksForBytes(bytes, _config.busMBs);
 

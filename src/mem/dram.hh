@@ -19,6 +19,7 @@
 
 #include "mem/access.hh"
 #include "mem/resource.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -102,6 +103,12 @@ class Dram
     /** Drop all open rows and reservations (between experiments). */
     void reset();
 
+    /**
+     * Install the injected-fault hook (bank stalls and refresh
+     * storms); null (the default) means no faults and no overhead.
+     */
+    void setFaultSite(sim::FaultSite *site) { _faults = site; }
+
     stats::Group &statsGroup() { return _stats; }
 
     std::uint64_t rowHits() const
@@ -132,6 +139,7 @@ class Dram
     Tick _writeBusyTicks;
     std::vector<Bank> _banks;
     Resource _bus;
+    sim::FaultSite *_faults = nullptr;
 
     stats::Group _stats;
     stats::Scalar _reads;
@@ -143,6 +151,8 @@ class Dram
     stats::Vector _bankOccupancy; ///< busy ticks per bank
     stats::IntervalBandwidth _bandwidth;
     stats::Formula _rowHitRate;
+    stats::Scalar _faultStalls;     ///< accesses delayed by faults
+    stats::Scalar _faultStallTicks; ///< injected delay in ticks
     trace::TrackId _traceTrack;
 };
 

@@ -37,6 +37,15 @@ Torus::Torus(const TorusConfig &config, stats::Group *parent)
                          config.dimY * config.dimZ * 6),
       _bandwidth(&_stats, config.name + ".bandwidth",
                  "payload bytes delivered per time bucket"),
+      _faultDetours(&_stats, config.name + ".faults.detours",
+                    "rings routed the long way around a severed link"),
+      _faultSlowTicks(&_stats, config.name + ".faults.slowTicks",
+                      "extra link occupancy injected by slow links"),
+      _faultNicStalls(&_stats, config.name + ".faults.nicStalls",
+                      "injections delayed by NIC backpressure"),
+      _faultNicStallTicks(&_stats,
+                          config.name + ".faults.nicStallTicks",
+                          "injection delay from NIC backpressure"),
       _traceTrack(trace::Tracer::instance().track(config.name))
 {
     GASNUB_ASSERT(config.dimX >= 1 && config.dimY >= 1 &&
@@ -118,8 +127,8 @@ Torus::linkIndex(int dim, int dir, int router,
 }
 
 void
-Torus::route(NodeId src, NodeId dst,
-             std::vector<std::size_t> &links) const
+Torus::route(NodeId src, NodeId dst, std::vector<std::size_t> &links,
+             int &detours) const
 {
     links.clear();
     TorusCoord at = coordOf(src);
@@ -132,6 +141,43 @@ Torus::route(NodeId src, NodeId dst,
     for (int d = 0; d < 3; ++d) {
         int dir = 0;
         int hops = ringHops(*cur[d], tgt[d], dims[d], dir);
+        if (hops == 0)
+            continue;
+        if (_anyLinkDown) {
+            // Does the ring walk from the current coordinate along
+            // dir_sign cross a severed link?
+            const auto clear = [&](int dir_sign, int nhops) {
+                int c = *cur[d];
+                for (int h = 0; h < nhops; ++h) {
+                    int xyz[3] = {at.x, at.y, at.z};
+                    xyz[d] = c;
+                    const int router =
+                        xyz[0] +
+                        _config.dimX * (xyz[1] + _config.dimY * xyz[2]);
+                    const std::size_t l = linkIndex(
+                        d, dir_sign > 0 ? 0 : 1, router, at);
+                    if (_linkDownMap[l])
+                        return false;
+                    c = (c + dir_sign + dims[d]) % dims[d];
+                }
+                return true;
+            };
+            if (!clear(dir, hops)) {
+                // Detour: take the ring the long way round, keeping
+                // dimension order intact.
+                const int other = dims[d] - hops;
+                if (!clear(-dir, other))
+                    throw sim::FaultError(
+                        0, "no fault-free route from node " +
+                               std::to_string(src) + " to node " +
+                               std::to_string(dst) +
+                               ": both directions of a ring are "
+                               "severed");
+                dir = -dir;
+                hops = other;
+                ++detours;
+            }
+        }
         for (int h = 0; h < hops; ++h) {
             const int router =
                 at.x + _config.dimX * (at.y + _config.dimY * at.z);
@@ -166,6 +212,18 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
         _lastPartner[src_nic] = dst;
     }
 
+    // Injected NIC backpressure at the source.
+    if (!_nicFault.empty() && _nicFault[src_nic]) {
+        const Tick delayed = _nicFault[src_nic]->nicDelay(
+            inject_earliest);
+        if (delayed != inject_earliest) {
+            ++_faultNicStalls;
+            _faultNicStallTicks +=
+                static_cast<double>(delayed - inject_earliest);
+            inject_earliest = delayed;
+        }
+    }
+
     // Source NIC injection port busy for the whole packet.
     const Tick injected = _nicsOut[src_nic].acquire(
         inject_earliest, _nicTicks + wire_ticks);
@@ -187,15 +245,27 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
         return res;
     }
 
-    route(src, dst, _routeScratch);
+    int detours = 0;
+    route(src, dst, _routeScratch, detours);
+    if (detours)
+        _faultDetours += detours;
     res.hops = static_cast<int>(_routeScratch.size());
 
     // Cut-through: the head advances one hop latency per router; each
     // link is occupied for the full wire time of the packet.
     Tick head = injected + _nicTicks;
     for (const std::size_t l : _routeScratch) {
-        const Tick start = _links[l].acquire(head, wire_ticks);
-        _linkBusyTicks[l] += static_cast<double>(wire_ticks);
+        Tick occupy = wire_ticks;
+        if (_anyLinkSlow && _linkSlow[l] != 1.0) {
+            // A slow link carries the same bytes at a fraction of the
+            // bandwidth: occupancy scales by the divisor.
+            occupy = static_cast<Tick>(
+                static_cast<double>(wire_ticks) * _linkSlow[l] + 0.5);
+            _faultSlowTicks +=
+                static_cast<double>(occupy - wire_ticks);
+        }
+        const Tick start = _links[l].acquire(head, occupy);
+        _linkBusyTicks[l] += static_cast<double>(occupy);
         head = start + _hopTicks;
     }
     // Tail arrives one wire time after the head clears the last link;
@@ -209,6 +279,52 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
                  static_cast<std::uint64_t>(dst), "bytes",
                  static_cast<std::uint64_t>(payload_bytes));
     return res;
+}
+
+void
+Torus::setFaults(sim::FaultDomain *domain)
+{
+    _linkSlow.clear();
+    _linkDownMap.clear();
+    _nicFault.clear();
+    _anyLinkSlow = false;
+    _anyLinkDown = false;
+    if (!domain)
+        return;
+    for (const sim::FaultSpec &s : domain->plan().specs()) {
+        const bool link_fault =
+            s.kind == sim::FaultKind::LinkSlow ||
+            s.kind == sim::FaultKind::LinkDown ||
+            s.kind == sim::FaultKind::NicBackpressure;
+        if (link_fault && s.router >= _nicCount)
+            GASNUB_WARN("fault spec targets router ", s.router,
+                        " but '", _config.name, "' only has ",
+                        _nicCount, " routers; it will never fire");
+    }
+    if (domain->hasLinkFaults()) {
+        _linkSlow.assign(_links.size(), 1.0);
+        _linkDownMap.assign(_links.size(), 0);
+        for (int r = 0; r < _nicCount; ++r) {
+            for (int d = 0; d < 6; ++d) {
+                const std::size_t l =
+                    static_cast<std::size_t>(r) * 6 + d;
+                _linkSlow[l] = domain->linkFactor(r, d);
+                if (_linkSlow[l] != 1.0)
+                    _anyLinkSlow = true;
+                _linkDownMap[l] = domain->linkDown(r, d);
+                if (_linkDownMap[l])
+                    _anyLinkDown = true;
+            }
+        }
+    }
+    _nicFault.assign(_nicCount, nullptr);
+    bool any_nic = false;
+    for (int r = 0; r < _nicCount; ++r) {
+        _nicFault[r] = domain->nicSite(r);
+        any_nic = any_nic || _nicFault[r];
+    }
+    if (!any_nic)
+        _nicFault.clear();
 }
 
 void

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/resource.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -102,6 +103,16 @@ class Torus
     PacketResult send(NodeId src, NodeId dst,
                       std::uint32_t payload_bytes, Tick earliest);
 
+    /**
+     * Install (or clear, with null) the machine's fault domain: link
+     * slowdowns and severed links are precomputed per directed link,
+     * NIC backpressure sites resolved per router.  Dimension-order
+     * routing detours around severed links by taking the opposite ring
+     * direction; when both directions of a ring are cut, send() throws
+     * sim::FaultError.  Out-of-range router filters are warned about.
+     */
+    void setFaults(sim::FaultDomain *domain);
+
     /** Forget all reservations and partner state. */
     void reset();
 
@@ -119,9 +130,14 @@ class Torus
     std::size_t linkIndex(int dim, int dir, int router,
                           const TorusCoord &at) const;
 
-    /** Route from src to dst as a list of link indices. */
-    void route(NodeId src, NodeId dst,
-               std::vector<std::size_t> &links) const;
+    /**
+     * Route from src to dst as a list of link indices, detouring
+     * around severed links; bumps @p detours per ring taken the long
+     * way round.  Throws sim::FaultError when no fault-free route
+     * exists.
+     */
+    void route(NodeId src, NodeId dst, std::vector<std::size_t> &links,
+               int &detours) const;
 
     TorusConfig _config;
     int _numNodes;
@@ -138,12 +154,23 @@ class Torus
 
     mutable std::vector<std::size_t> _routeScratch;
 
+    /** Injected faults; all empty/false when injection is off. */
+    std::vector<double> _linkSlow;        ///< bandwidth divisor per link
+    std::vector<char> _linkDownMap;       ///< severed directed links
+    std::vector<sim::FaultSite *> _nicFault; ///< per-router, may be null
+    bool _anyLinkSlow = false;
+    bool _anyLinkDown = false;
+
     stats::Group _stats;
     stats::Scalar _packets;
     stats::Scalar _payloadBytes;
     stats::Scalar _partnerSwitches;
     stats::Vector _linkBusyTicks; ///< occupancy per directed link
     stats::IntervalBandwidth _bandwidth;
+    stats::Scalar _faultDetours;      ///< rings routed the long way
+    stats::Scalar _faultSlowTicks;    ///< extra occupancy on slow links
+    stats::Scalar _faultNicStalls;    ///< injections hit by backpressure
+    stats::Scalar _faultNicStallTicks;
     trace::TrackId _traceTrack;
 };
 

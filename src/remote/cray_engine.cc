@@ -8,17 +8,6 @@
 
 namespace gasnub::remote {
 
-const char *
-methodName(TransferMethod m)
-{
-    switch (m) {
-      case TransferMethod::Deposit: return "deposit";
-      case TransferMethod::Fetch: return "fetch";
-      case TransferMethod::CoherentPull: return "coherent-pull";
-    }
-    GASNUB_PANIC("bad TransferMethod");
-}
-
 CrayEngine::CrayEngine(const CrayEngineConfig &config,
                        std::vector<mem::MemoryHierarchy *> nodes,
                        noc::Torus *torus, stats::Group *parent)

@@ -1,0 +1,627 @@
+#include "sim/fault.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace gasnub::sim {
+
+namespace {
+
+Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1000.0 + 0.5);
+}
+
+struct KindInfo
+{
+    FaultKind kind;
+    const char *name;
+    const char *allowedKeys; ///< comma list checked at parse time
+};
+
+const KindInfo kKinds[] = {
+    {FaultKind::LinkSlow, "link-slow", "router,dir,factor"},
+    {FaultKind::LinkDown, "link-down", "router,dir"},
+    {FaultKind::DramStall, "dram-stall",
+     "node,bank,prob,extra,start,until"},
+    {FaultKind::RefreshStorm, "refresh-storm",
+     "node,bank,period,window,start,until"},
+    {FaultKind::NicBackpressure, "nic-backpressure",
+     "router,prob,extra,start,until"},
+    {FaultKind::FlakyTransfer, "flaky-transfer",
+     "node,prob,extra,start,until"},
+    {FaultKind::DropTransfer, "drop-transfer",
+     "node,prob,extra,start,until"},
+};
+
+const KindInfo *
+kindByName(const std::string &name)
+{
+    for (const KindInfo &k : kKinds)
+        if (name == k.name)
+            return &k;
+    return nullptr;
+}
+
+bool
+keyAllowed(const KindInfo &info, const std::string &key)
+{
+    const std::string list = std::string(",") + info.allowedKeys + ",";
+    return list.find("," + key + ",") != std::string::npos;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+double
+parseNumber(const std::string &key, const std::string &val)
+{
+    char *end = nullptr;
+    const double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0')
+        GASNUB_FATAL("fault spec: bad value '", val, "' for key '",
+                     key, "'");
+    return v;
+}
+
+int
+parseIndex(const std::string &key, const std::string &val)
+{
+    const double v = parseNumber(key, val);
+    const int i = static_cast<int>(v);
+    if (v != i || i < 0)
+        GASNUB_FATAL("fault spec: key '", key,
+                     "' needs a non-negative integer, got '", val, "'");
+    return i;
+}
+
+int
+parseDir(const std::string &val)
+{
+    static const char *const names[6] = {"+x", "-x", "+y",
+                                         "-y", "+z", "-z"};
+    for (int d = 0; d < 6; ++d)
+        if (val == names[d])
+            return d;
+    GASNUB_FATAL("fault spec: bad dir '", val,
+                 "' (expected one of +x -x +y -y +z -z)");
+}
+
+/** Kind-specific parameter defaults, applied before the kv pairs. */
+void
+applyDefaults(FaultSpec &s)
+{
+    switch (s.kind) {
+      case FaultKind::LinkSlow:
+        s.factor = 4;
+        break;
+      case FaultKind::LinkDown:
+        break;
+      case FaultKind::DramStall:
+        s.prob = 0.1;
+        s.extraNs = 200;
+        break;
+      case FaultKind::RefreshStorm:
+        s.periodNs = 50'000;
+        s.windowNs = 5'000;
+        break;
+      case FaultKind::NicBackpressure:
+        s.prob = 0.25;
+        s.extraNs = 200;
+        break;
+      case FaultKind::FlakyTransfer:
+        s.prob = 0.1;
+        s.extraNs = 500;
+        break;
+      case FaultKind::DropTransfer:
+        s.prob = 1;
+        s.extraNs = 500;
+        break;
+    }
+}
+
+void
+validate(const FaultSpec &s, const std::string &token)
+{
+    if (s.prob < 0 || s.prob > 1)
+        GASNUB_FATAL("fault spec '", token,
+                     "': prob must be in [0, 1], got ", s.prob);
+    if (s.factor < 1)
+        GASNUB_FATAL("fault spec '", token,
+                     "': factor must be >= 1, got ", s.factor);
+    if (s.extraNs < 0 || s.startNs < 0 || s.untilNs < 0)
+        GASNUB_FATAL("fault spec '", token,
+                     "': times must be non-negative");
+    if (s.untilNs != 0 && s.untilNs <= s.startNs)
+        GASNUB_FATAL("fault spec '", token,
+                     "': until must be after start");
+    if (s.kind == FaultKind::RefreshStorm) {
+        if (s.periodNs <= 0)
+            GASNUB_FATAL("fault spec '", token,
+                         "': refresh-storm needs period > 0");
+        if (s.windowNs < 0 || s.windowNs > s.periodNs)
+            GASNUB_FATAL("fault spec '", token,
+                         "': window must be in [0, period]");
+    }
+    if (s.dir >= 0 && s.router < 0)
+        GASNUB_FATAL("fault spec '", token,
+                     "': dir without router would sever one direction "
+                     "of every ring; name the router explicitly");
+}
+
+FaultSpec
+parseFault(const std::string &token)
+{
+    const std::size_t colon = token.find(':');
+    const std::string kind_name =
+        trim(colon == std::string::npos ? token
+                                        : token.substr(0, colon));
+    const KindInfo *info = kindByName(kind_name);
+    if (!info)
+        GASNUB_FATAL("fault spec: unknown fault kind '", kind_name,
+                     "' (see docs/fault_injection.md)");
+
+    FaultSpec s;
+    s.kind = info->kind;
+    applyDefaults(s);
+
+    std::string rest =
+        colon == std::string::npos ? "" : token.substr(colon + 1);
+    std::stringstream kvs(rest);
+    std::string kv;
+    while (std::getline(kvs, kv, ',')) {
+        kv = trim(kv);
+        if (kv.empty())
+            continue;
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+            GASNUB_FATAL("fault spec '", token,
+                         "': expected key=value, got '", kv, "'");
+        const std::string key = trim(kv.substr(0, eq));
+        const std::string val = trim(kv.substr(eq + 1));
+        if (!keyAllowed(*info, key))
+            GASNUB_FATAL("fault spec '", token, "': key '", key,
+                         "' does not apply to ", info->name,
+                         " (allowed: ", info->allowedKeys, ")");
+        if (key == "node")
+            s.node = parseIndex(key, val);
+        else if (key == "router")
+            s.router = parseIndex(key, val);
+        else if (key == "dir")
+            s.dir = parseDir(val);
+        else if (key == "bank")
+            s.bank = parseIndex(key, val);
+        else if (key == "factor")
+            s.factor = parseNumber(key, val);
+        else if (key == "prob")
+            s.prob = parseNumber(key, val);
+        else if (key == "extra")
+            s.extraNs = parseNumber(key, val);
+        else if (key == "period")
+            s.periodNs = parseNumber(key, val);
+        else if (key == "window")
+            s.windowNs = parseNumber(key, val);
+        else if (key == "start")
+            s.startNs = parseNumber(key, val);
+        else if (key == "until")
+            s.untilNs = parseNumber(key, val);
+        else
+            GASNUB_FATAL("fault spec '", token, "': unknown key '",
+                         key, "'");
+    }
+    validate(s, token);
+    return s;
+}
+
+/** FNV-1a, for stable site ids from site names. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: the bijective mixer behind faultRand. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    for (const KindInfo &k : kKinds)
+        if (k.kind == kind)
+            return k.name;
+    GASNUB_PANIC("bad FaultKind");
+}
+
+bool
+FaultSpec::activeAt(Tick t) const
+{
+    if (t < nsToTicks(startNs))
+        return false;
+    if (untilNs != 0 && t >= nsToTicks(untilNs))
+        return false;
+    return true;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::stringstream items(spec);
+    std::string item;
+    while (std::getline(items, item, ';')) {
+        item = trim(item);
+        if (item.empty())
+            continue;
+        if (item.rfind("seed=", 0) == 0) {
+            const std::string val = item.substr(5);
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(val.c_str(), &end, 10);
+            if (end == val.c_str() || *end != '\0')
+                GASNUB_FATAL("fault spec: bad seed '", val, "'");
+            plan._seed = v;
+            continue;
+        }
+        plan._specs.push_back(parseFault(item));
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        GASNUB_FATAL("cannot open fault spec file '", path, "'");
+    std::string joined;
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        joined += line;
+        joined += ';';
+    }
+    return parse(joined);
+}
+
+FaultPlan
+FaultPlan::resolve(const std::string &specOrFile)
+{
+    if (!specOrFile.empty() && specOrFile[0] == '@')
+        return parseFile(specOrFile.substr(1));
+    return parse(specOrFile);
+}
+
+FaultPlan
+FaultPlan::fromEnvOr(const std::string &arg)
+{
+    if (!arg.empty())
+        return resolve(arg);
+    const char *env = std::getenv("GASNUB_FAULTS");
+    if (env && *env)
+        return resolve(env);
+    return FaultPlan();
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << "seed=" << _seed << ":";
+    if (_specs.empty())
+        os << " (no faults)";
+    static const char *const dir_names[6] = {"+x", "-x", "+y",
+                                             "-y", "+z", "-z"};
+    for (const FaultSpec &s : _specs) {
+        os << " " << faultKindName(s.kind) << "(";
+        const char *sep = "";
+        const auto field = [&](const char *k, double v) {
+            os << sep << k << "=" << v;
+            sep = ",";
+        };
+        if (s.node >= 0)
+            field("node", s.node);
+        if (s.router >= 0)
+            field("router", s.router);
+        if (s.dir >= 0) {
+            os << sep << "dir=" << dir_names[s.dir];
+            sep = ",";
+        }
+        if (s.bank >= 0)
+            field("bank", s.bank);
+        switch (s.kind) {
+          case FaultKind::LinkSlow:
+            field("factor", s.factor);
+            break;
+          case FaultKind::LinkDown:
+            break;
+          case FaultKind::RefreshStorm:
+            field("period", s.periodNs);
+            field("window", s.windowNs);
+            break;
+          default:
+            field("prob", s.prob);
+            field("extra", s.extraNs);
+            break;
+        }
+        os << ")";
+    }
+    return os.str();
+}
+
+double
+faultRand(std::uint64_t seed, std::uint64_t site, std::uint64_t counter)
+{
+    const std::uint64_t v = mix64(mix64(seed ^ site) + counter);
+    return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultSite::roll(double prob)
+{
+    if (prob >= 1)
+        return true;
+    if (prob <= 0)
+        return false;
+    return faultRand(_domain->plan().seed(), _id, _counter++) < prob;
+}
+
+Tick
+FaultSite::dramDelay(Tick earliest, std::uint32_t bank)
+{
+    Tick t = earliest;
+    for (const FaultSpec &s : _specs) {
+        if (s.bank >= 0 && bank != static_cast<std::uint32_t>(s.bank))
+            continue;
+        if (!s.activeAt(t))
+            continue;
+        switch (s.kind) {
+          case FaultKind::DramStall:
+            if (roll(s.prob))
+                t += nsToTicks(s.extraNs);
+            break;
+          case FaultKind::RefreshStorm: {
+            // Deterministic: accesses landing inside the storm window
+            // of each period are deferred to the window's end.
+            const Tick period = nsToTicks(s.periodNs);
+            const Tick window = nsToTicks(s.windowNs);
+            const Tick phase = t % period;
+            if (phase < window)
+                t += window - phase;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return t;
+}
+
+Tick
+FaultSite::nicDelay(Tick t)
+{
+    Tick out = t;
+    for (const FaultSpec &s : _specs) {
+        if (s.kind != FaultKind::NicBackpressure || !s.activeAt(out))
+            continue;
+        if (roll(s.prob))
+            out += nsToTicks(s.extraNs);
+    }
+    return out;
+}
+
+bool
+FaultSite::transferFails(Tick t, NodeId dst, bool &transient,
+                         Tick &detect)
+{
+    for (const FaultSpec &s : _specs) {
+        if (s.kind != FaultKind::FlakyTransfer &&
+            s.kind != FaultKind::DropTransfer)
+            continue;
+        if (s.node >= 0 && dst != s.node)
+            continue;
+        if (!s.activeAt(t))
+            continue;
+        if (roll(s.prob)) {
+            transient = s.kind == FaultKind::FlakyTransfer;
+            detect = nsToTicks(s.extraNs);
+            return true;
+        }
+    }
+    return false;
+}
+
+FaultDomain::FaultDomain(const FaultPlan &plan) : _plan(plan)
+{
+    for (const FaultSpec &s : _plan.specs())
+        if (s.kind == FaultKind::LinkSlow ||
+            s.kind == FaultKind::LinkDown)
+            _hasLinkFaults = true;
+}
+
+FaultSite *
+FaultDomain::site(const std::string &name,
+                  const std::vector<FaultSpec> &specs)
+{
+    if (specs.empty())
+        return nullptr;
+    const auto it = _byName.find(name);
+    if (it != _byName.end())
+        return it->second;
+    _sites.emplace_back();
+    FaultSite &s = _sites.back();
+    s._domain = this;
+    s._id = hashName(name);
+    s._specs = specs;
+    _byName.emplace(name, &s);
+    return &s;
+}
+
+FaultSite *
+FaultDomain::transferSite()
+{
+    std::vector<FaultSpec> specs;
+    for (const FaultSpec &s : _plan.specs())
+        if (s.kind == FaultKind::FlakyTransfer ||
+            s.kind == FaultKind::DropTransfer)
+            specs.push_back(s);
+    return site("xfer", specs);
+}
+
+FaultSite *
+FaultDomain::dramSite(int node)
+{
+    std::vector<FaultSpec> specs;
+    for (const FaultSpec &s : _plan.specs()) {
+        if (s.kind != FaultKind::DramStall &&
+            s.kind != FaultKind::RefreshStorm)
+            continue;
+        // node -1 is the 8400's shared DRAM: every processor's
+        // accesses land there, so any node filter matches it.
+        if (node >= 0 && s.node >= 0 && s.node != node)
+            continue;
+        specs.push_back(s);
+    }
+    return site("dram:" + std::to_string(node), specs);
+}
+
+FaultSite *
+FaultDomain::nicSite(int router)
+{
+    std::vector<FaultSpec> specs;
+    for (const FaultSpec &s : _plan.specs()) {
+        if (s.kind != FaultKind::NicBackpressure)
+            continue;
+        if (s.router >= 0 && s.router != router)
+            continue;
+        specs.push_back(s);
+    }
+    return site("nic:" + std::to_string(router), specs);
+}
+
+double
+FaultDomain::linkFactor(int router, int dirIdx) const
+{
+    double f = 1.0;
+    for (const FaultSpec &s : _plan.specs()) {
+        if (s.kind != FaultKind::LinkSlow)
+            continue;
+        if (s.router >= 0 && s.router != router)
+            continue;
+        if (s.dir >= 0 && s.dir != dirIdx)
+            continue;
+        f *= s.factor;
+    }
+    return f;
+}
+
+bool
+FaultDomain::linkDown(int router, int dirIdx) const
+{
+    for (const FaultSpec &s : _plan.specs()) {
+        if (s.kind != FaultKind::LinkDown)
+            continue;
+        if (s.router >= 0 && s.router != router)
+            continue;
+        if (s.dir >= 0 && s.dir != dirIdx)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+void
+FaultDomain::reset()
+{
+    for (FaultSite &s : _sites)
+        s._counter = 0;
+}
+
+const std::vector<ChaosScenario> &
+chaosScenarios()
+{
+    static const std::vector<ChaosScenario> scenarios = {
+        // Fault-free sanity point: must match an unfaulted run
+        // byte-for-byte (the zero-overhead guarantee).
+        {"baseline", "", true},
+        {"link-slow", "seed=11;link-slow:factor=8", true},
+        {"link-down-detour", "seed=12;link-down:router=0,dir=+x",
+         true},
+        {"dram-stall", "seed=13;dram-stall:node=0,prob=.25,extra=400",
+         true},
+        {"refresh-storm",
+         "seed=14;refresh-storm:node=1,period=200000,window=30000",
+         true},
+        {"nic-backpressure",
+         "seed=15;nic-backpressure:prob=.5,extra=300", true},
+        {"flaky-transfer", "seed=16;flaky-transfer:prob=.1", true},
+        // Permanent failures: the workload must terminate cleanly and
+        // report the losses, but cannot complete.
+        {"transfer-blackout", "seed=17;drop-transfer:prob=1", false},
+        {"link-cut-isolated",
+         "seed=18;link-down:router=0,dir=+x;link-down:router=0,dir=-x",
+         false},
+    };
+    return scenarios;
+}
+
+Watchdog::Watchdog(double seconds, const std::string &label)
+{
+    _thread = std::thread([this, seconds, label] {
+        std::unique_lock<std::mutex> lock(_m);
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+        if (!_cv.wait_until(lock, deadline,
+                            [this] { return _done; })) {
+            std::fprintf(stderr,
+                         "watchdog: '%s' still running after %.0f s "
+                         "wall clock; aborting\n",
+                         label.c_str(), seconds);
+            std::fflush(stderr);
+            std::_Exit(124);
+        }
+    });
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        _done = true;
+    }
+    _cv.notify_all();
+    _thread.join();
+}
+
+} // namespace gasnub::sim

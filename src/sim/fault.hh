@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection.
+ *
+ * A FaultPlan is a parsed list of fault specs (slow or severed torus
+ * links, stalling DRAM banks, refresh storms, NIC backpressure, flaky
+ * or dropped transfers) plus a seed.  The plan is value-semantic and
+ * travels inside machine::SystemConfig, so every sweep replica sees
+ * the identical plan.  Components query their FaultSite hooks through
+ * a counter-based PRNG: each random decision is a pure function of
+ * (seed, site, counter), and the counters are zeroed by
+ * Machine::resetTiming()/resetAll() — which every characterization
+ * kernel calls per grid point — so the injected fault sequence is
+ * identical at any --jobs value, serial or parallel.
+ *
+ * With an empty plan no FaultDomain is built and every hook is a null
+ * pointer: the fault machinery adds zero timing perturbation and zero
+ * RNG draws, keeping fault-free runs byte-identical to the golden
+ * surfaces.
+ */
+
+#ifndef GASNUB_SIM_FAULT_HH
+#define GASNUB_SIM_FAULT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gasnub::sim {
+
+/** The injectable fault classes. */
+enum class FaultKind {
+    LinkSlow,       ///< torus link runs at a fraction of its bandwidth
+    LinkDown,       ///< torus link severed; routing must detour
+    DramStall,      ///< probabilistic extra latency on DRAM accesses
+    RefreshStorm,   ///< periodic window in which DRAM defers accesses
+    NicBackpressure,///< probabilistic extra NIC injection delay
+    FlakyTransfer,  ///< transfers fail transiently (retryable)
+    DropTransfer,   ///< transfers fail permanently
+};
+
+/** Spec-grammar name of @p kind ("link-slow", "dram-stall", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One parsed fault spec; filters default to "match everything". */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::LinkSlow;
+    int node = -1;       ///< node filter (dram/transfer faults)
+    int router = -1;     ///< router filter (link/NIC faults)
+    int dir = -1;        ///< directed-link direction 0..5 (+x..-z)
+    int bank = -1;       ///< DRAM bank filter
+    double factor = 4;   ///< link-slow bandwidth divisor
+    double prob = 1;     ///< per-event probability
+    double extraNs = 0;  ///< injected extra latency / detect time
+    double periodNs = 0; ///< refresh-storm period
+    double windowNs = 0; ///< refresh-storm blocked window per period
+    double startNs = 0;  ///< fault active from this sim time
+    double untilNs = 0;  ///< ... until this sim time (0 = forever)
+
+    /** Is this fault live at simulated tick @p t? */
+    bool activeAt(Tick t) const;
+};
+
+/**
+ * A seed plus a list of fault specs, parsed from the --faults
+ * grammar (docs/fault_injection.md):
+ *
+ *   spec  := item (';' item)*
+ *   item  := "seed=" N | kind [':' key '=' value (',' key=value)*]
+ *   kind  := link-slow | link-down | dram-stall | refresh-storm |
+ *            nic-backpressure | flaky-transfer | drop-transfer
+ *
+ * e.g. "seed=7;link-down:router=0,dir=+x;dram-stall:prob=.2,extra=400".
+ * Times are nanoseconds.  Malformed specs are fatal (they name the
+ * offending token), so a bad plan never half-applies.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Parse @p spec; empty string yields an empty plan. Fatal on error. */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Parse a spec file: '#' comments; newlines act like ';'. */
+    static FaultPlan parseFile(const std::string &path);
+
+    /** "@file" loads a file, anything else parses as a spec string. */
+    static FaultPlan resolve(const std::string &specOrFile);
+
+    /**
+     * resolve(@p arg), falling back to the GASNUB_FAULTS environment
+     * variable when @p arg is empty (mirrors GASNUB_JOBS).
+     */
+    static FaultPlan fromEnvOr(const std::string &arg);
+
+    bool empty() const { return _specs.empty(); }
+    std::uint64_t seed() const { return _seed; }
+    const std::vector<FaultSpec> &specs() const { return _specs; }
+
+    /** One-line human summary ("seed=7: link-down(router=0,+x)"). */
+    std::string describe() const;
+
+  private:
+    std::uint64_t _seed = 0;
+    std::vector<FaultSpec> _specs;
+};
+
+/**
+ * The deterministic per-decision PRNG: a pure function of (seed, site,
+ * counter) in [0, 1).  No sequential generator state exists, so the
+ * decision stream of one site is independent of every other site's
+ * query order — the property that makes parallel sweeps byte-identical
+ * to serial ones.
+ */
+double faultRand(std::uint64_t seed, std::uint64_t site,
+                 std::uint64_t counter);
+
+class FaultDomain;
+
+/**
+ * One component's handle into the fault domain: the subset of specs
+ * that target it plus the site's decision counter.  Components hold a
+ * FaultSite pointer that is null when fault injection is off.
+ */
+class FaultSite
+{
+  public:
+    bool empty() const { return _specs.empty(); }
+
+    /**
+     * DRAM-side injection: possibly delayed earliest-start for an
+     * access to @p bank at @p earliest (stall faults roll the PRNG;
+     * refresh storms are deterministic time windows).
+     */
+    Tick dramDelay(Tick earliest, std::uint32_t bank);
+
+    /** Extra NIC injection delay for a packet presented at @p t. */
+    Tick nicDelay(Tick t);
+
+    /**
+     * Transfer-level failure check for an op to @p dst starting at
+     * @p t.
+     *
+     * @param[out] transient true for retryable (flaky) failures.
+     * @param[out] detect    ticks until the failure is observed.
+     * @return true when this attempt fails.
+     */
+    bool transferFails(Tick t, NodeId dst, bool &transient,
+                       Tick &detect);
+
+  private:
+    friend class FaultDomain;
+    FaultDomain *_domain = nullptr;
+    std::uint64_t _id = 0; ///< stable hash of the site name
+    std::uint64_t _counter = 0;
+    std::vector<FaultSpec> _specs;
+
+    bool roll(double prob);
+};
+
+/**
+ * All fault state of one Machine: owns the sites (stable addresses)
+ * and answers the static link-health queries the torus precomputes.
+ * Built only when the plan is non-empty.
+ */
+class FaultDomain
+{
+  public:
+    explicit FaultDomain(const FaultPlan &plan);
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /** Site for transfer-level faults (one per machine). */
+    FaultSite *transferSite();
+
+    /** Site for DRAM faults on @p node; node -1 = the shared DRAM. */
+    FaultSite *dramSite(int node);
+
+    /** Site for NIC backpressure at @p router. */
+    FaultSite *nicSite(int router);
+
+    /** Bandwidth divisor for the directed link (1.0 = healthy). */
+    double linkFactor(int router, int dirIdx) const;
+
+    /** Is the directed link severed? */
+    bool linkDown(int router, int dirIdx) const;
+
+    /** Does the plan touch links at all (torus fast-path check)? */
+    bool hasLinkFaults() const { return _hasLinkFaults; }
+
+    /**
+     * Zero every site's decision counter.  Machine::resetTiming() and
+     * resetAll() call this, making the fault sequence a per-grid-point
+     * invariant (see file comment).
+     */
+    void reset();
+
+  private:
+    FaultSite *site(const std::string &name,
+                    const std::vector<FaultSpec> &specs);
+
+    FaultPlan _plan;
+    bool _hasLinkFaults = false;
+    std::map<std::string, FaultSite *> _byName;
+    std::deque<FaultSite> _sites;
+};
+
+/**
+ * Thrown by the timing models when an injected fault makes a request
+ * impossible (e.g. no fault-free route exists in a cut torus).  The
+ * gas runtime converts it into a failed TransferStatus; tools catch it
+ * at top level for a clean fatal instead of an abort.
+ */
+class FaultError : public std::runtime_error
+{
+  public:
+    FaultError(Tick at, const std::string &what)
+        : std::runtime_error(what), _at(at)
+    {
+    }
+
+    /** Sim time at which the fault was hit. */
+    Tick at() const { return _at; }
+
+  private:
+    Tick _at;
+};
+
+/** One entry of the chaos scenario library. */
+struct ChaosScenario
+{
+    std::string name;
+    std::string spec; ///< FaultPlan::parse() input
+    /**
+     * When true, a retrying gas workload must complete every transfer
+     * (zero failed ops, exact numerics) on every machine.  When false
+     * the workload may lose transfers but must still terminate cleanly
+     * with failures reported through TransferStatus.
+     */
+    bool recoverable = true;
+};
+
+/** The built-in fault scenarios swept by tools/chaos and the tests. */
+const std::vector<ChaosScenario> &chaosScenarios();
+
+/**
+ * Wall-clock watchdog: hard-exits the process (exit code 124) with a
+ * message when not disarmed within the deadline.  The chaos harness
+ * arms one per scenario so an injected-hang regression fails fast
+ * instead of wedging CI.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(double seconds, const std::string &label);
+    ~Watchdog(); ///< disarms and joins
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+  private:
+    std::mutex _m;
+    std::condition_variable _cv;
+    bool _done = false;
+    std::thread _thread;
+};
+
+} // namespace gasnub::sim
+
+#endif // GASNUB_SIM_FAULT_HH

@@ -122,4 +122,82 @@ TEST(PlannerDir, MalformedSurfaceFileNamesTheFile)
                 ::testing::ExitedWithCode(1), "pull\\.surface");
 }
 
+/**
+ * A surface file matching flatSurface's grid with the last data cell
+ * (working set 1_MiB = data line 7, stride 64 = column 3) replaced by
+ * @p bad.  Written by hand: the in-memory Surface refuses to hold
+ * such values, so only a file can carry them in.
+ */
+void
+writePoisonedSurface(const fs::path &path, const std::string &bad)
+{
+    std::ofstream os(path);
+    os << "gasnub-surface 1\n"
+          "name s\n"
+          "workingsets 2 1024 1048576\n"
+          "strides 3 1 8 64\n"
+          "data\n"
+          "100 100 100\n"
+          "100 100 "
+       << bad << "\nend\n";
+}
+
+TEST(PlannerDirValidation, NaNBandwidthNamesFileLineAndColumn)
+{
+    const fs::path dir = scratchDir("planner_nan");
+    writePoisonedSurface(dir / "pull.surface", "nan");
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1),
+                "pull\\.surface', line 7, column 3 \\(working set "
+                "1048576, stride 64\\): bad bandwidth value 'nan'");
+}
+
+TEST(PlannerDirValidation, ZeroBandwidthIsRejectedByThePlanner)
+{
+    // Zero parses fine (a surface can hold it); the planner divides
+    // by bandwidth, so its validation layer refuses the file.
+    const fs::path dir = scratchDir("planner_zero");
+    writePoisonedSurface(dir / "fetch-sload.surface", "0");
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1),
+                "fetch-sload\\.surface', line 7, column 3 "
+                "\\(working set 1048576, stride 64\\): zero "
+                "bandwidth.*refusing");
+}
+
+TEST(PlannerDirValidation, NegativeBandwidthIsRejected)
+{
+    const fs::path dir = scratchDir("planner_negative");
+    writePoisonedSurface(dir / "pull.surface", "-5");
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1),
+                "line 7, column 3.*bad bandwidth value '-5'");
+}
+
+TEST(PlannerDirValidation, InfiniteBandwidthIsRejected)
+{
+    const fs::path dir = scratchDir("planner_inf");
+    writePoisonedSurface(dir / "pull.surface", "inf");
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1),
+                "line 7, column 3.*bad bandwidth value 'inf'");
+}
+
+TEST(PlannerDirValidation, GarbageTokenIsRejected)
+{
+    const fs::path dir = scratchDir("planner_garbage");
+    writePoisonedSurface(dir / "pull.surface", "fast");
+    EXPECT_EXIT(loadPlannerDir(dir.string()),
+                ::testing::ExitedWithCode(1),
+                "bad bandwidth value 'fast'");
+}
+
+TEST(PlannerDirValidation, HealthySurfacesStillLoad)
+{
+    const fs::path dir = scratchDir("planner_healthy");
+    saveSurfaceFile(flatSurface("s", 100),
+                    (dir / "pull.surface").string());
+    EXPECT_EQ(loadPlanOptionsDir(dir.string()).size(), 1u);
+}
+
 } // namespace

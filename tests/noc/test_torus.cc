@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "machine/machine.hh"
 #include "noc/torus.hh"
+#include "sim/fault.hh"
 
 namespace {
 
@@ -156,5 +159,99 @@ TEST_P(TorusRouting, AllPairsDeliverWithBoundedHops)
 
 INSTANTIATE_TEST_SUITE_P(RingSizes, TorusRouting,
                          ::testing::Values(2, 3, 4, 8));
+
+double
+faultStat(Torus &t, const std::string &leaf)
+{
+    const stats::StatBase *s =
+        t.statsGroup().find("torus.faults." + leaf);
+    return s ? static_cast<const stats::Scalar *>(s)->value() : -1.0;
+}
+
+TEST(TorusFaults, DetourRoutesAroundASeveredLink)
+{
+    const sim::FaultPlan plan =
+        sim::FaultPlan::parse("link-down:router=0,dir=+x");
+    sim::FaultDomain dom(plan);
+    Torus t(smallTorus());
+    t.setFaults(&dom);
+    // 0 -> 1 prefers one +x hop; with that link cut the packet takes
+    // the other ring direction, 3 hops the long way round.
+    const PacketResult r = t.send(0, 1, 64, 0);
+    EXPECT_EQ(r.hops, 3);
+    EXPECT_EQ(faultStat(t, "detours"), 1.0);
+    // hopCount() advertises topology distance, not the detour.
+    EXPECT_EQ(t.hopCount(0, 1), 1);
+    // Traffic not crossing the cut link is untouched.
+    Torus healthy(smallTorus());
+    EXPECT_EQ(t.send(1, 2, 64, 0).arrived,
+              healthy.send(1, 2, 64, 0).arrived);
+}
+
+TEST(TorusFaults, SeveredRingThrowsButOtherDimensionsWork)
+{
+    const sim::FaultPlan plan = sim::FaultPlan::parse(
+        "link-down:router=0,dir=+x;link-down:router=0,dir=-x");
+    sim::FaultDomain dom(plan);
+    Torus t(smallTorus());
+    t.setFaults(&dom);
+    EXPECT_THROW(t.send(0, 1, 64, 0), sim::FaultError);
+    // The y ring out of router 0 is intact: 0 -> 4 still delivers.
+    EXPECT_NO_THROW(t.send(0, 4, 64, 0));
+}
+
+TEST(TorusFaults, SlowLinkStretchesWireOccupancy)
+{
+    const sim::FaultPlan plan =
+        sim::FaultPlan::parse("link-slow:router=0,dir=+x,factor=4");
+    sim::FaultDomain dom(plan);
+    Torus slow(smallTorus());
+    slow.setFaults(&dom);
+    Torus healthy(smallTorus());
+    // The slow factor stretches how long each packet occupies the
+    // wire, so the first packet lands on time but a back-to-back
+    // second packet queues behind the longer occupancy.
+    const PacketResult a1 = slow.send(0, 1, 4096, 0);
+    const PacketResult a2 = slow.send(0, 1, 4096, 0);
+    const PacketResult b1 = healthy.send(0, 1, 4096, 0);
+    const PacketResult b2 = healthy.send(0, 1, 4096, 0);
+    EXPECT_GT(a2.arrived - a1.arrived, b2.arrived - b1.arrived);
+    EXPECT_GT(faultStat(slow, "slowTicks"), 0.0);
+    EXPECT_EQ(a1.hops, b1.hops); // slow, not severed: no detour
+}
+
+TEST(TorusFaults, NicBackpressureDelaysInjection)
+{
+    const sim::FaultPlan plan = sim::FaultPlan::parse(
+        "nic-backpressure:router=0,prob=1,extra=500");
+    sim::FaultDomain dom(plan);
+    Torus t(smallTorus());
+    t.setFaults(&dom);
+    Torus healthy(smallTorus());
+    const PacketResult a = t.send(0, 1, 64, 0);
+    const PacketResult b = healthy.send(0, 1, 64, 0);
+    const Tick extra = 500000; // 500 ns in picosecond ticks
+    EXPECT_EQ(a.injected, b.injected + extra);
+    EXPECT_EQ(faultStat(t, "nicStalls"), 1.0);
+    EXPECT_EQ(faultStat(t, "nicStallTicks"),
+              static_cast<double>(extra));
+}
+
+TEST(TorusFaults, UnrelatedPlanPerturbsNothing)
+{
+    // A plan with no link or NIC specs must leave the torus on its
+    // fault-free fast path.
+    const sim::FaultPlan plan =
+        sim::FaultPlan::parse("dram-stall:prob=1,extra=100");
+    sim::FaultDomain dom(plan);
+    Torus t(smallTorus());
+    t.setFaults(&dom);
+    Torus healthy(smallTorus());
+    for (int dst = 1; dst < t.numNodes(); ++dst)
+        EXPECT_EQ(t.send(0, dst, 256, 0).arrived,
+                  healthy.send(0, dst, 256, 0).arrived);
+    EXPECT_EQ(faultStat(t, "detours"), 0.0);
+    EXPECT_EQ(faultStat(t, "slowTicks"), 0.0);
+}
 
 } // namespace

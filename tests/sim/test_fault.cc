@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the fault-injection core: the --faults grammar (with
+ * its defaults, filters, and fatal diagnostics), the counter-based
+ * deterministic PRNG, FaultSite/FaultDomain behaviour, and the
+ * wall-clock watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/fault.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::sim;
+
+/** Save/restore GASNUB_FAULTS so tests cannot leak into each other. */
+class FaultsEnvGuard
+{
+  public:
+    FaultsEnvGuard()
+    {
+        const char *v = std::getenv("GASNUB_FAULTS");
+        if (v) {
+            _had = true;
+            _value = v;
+        }
+        unsetenv("GASNUB_FAULTS");
+    }
+
+    ~FaultsEnvGuard()
+    {
+        if (_had)
+            setenv("GASNUB_FAULTS", _value.c_str(), 1);
+        else
+            unsetenv("GASNUB_FAULTS");
+    }
+
+  private:
+    bool _had = false;
+    std::string _value;
+};
+
+TEST(FaultPlanParse, EmptyStringIsAnEmptyPlan)
+{
+    const FaultPlan p = FaultPlan::parse("");
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.seed(), 0u);
+}
+
+TEST(FaultPlanParse, SeedAndMultipleItems)
+{
+    const FaultPlan p = FaultPlan::parse(
+        "seed=42;link-down:router=0,dir=+x;"
+        "dram-stall:node=2,prob=.2,extra=400");
+    EXPECT_EQ(p.seed(), 42u);
+    ASSERT_EQ(p.specs().size(), 2u);
+    EXPECT_EQ(p.specs()[0].kind, FaultKind::LinkDown);
+    EXPECT_EQ(p.specs()[0].router, 0);
+    EXPECT_EQ(p.specs()[0].dir, 0); // +x
+    EXPECT_EQ(p.specs()[1].kind, FaultKind::DramStall);
+    EXPECT_EQ(p.specs()[1].node, 2);
+    EXPECT_DOUBLE_EQ(p.specs()[1].prob, 0.2);
+    EXPECT_DOUBLE_EQ(p.specs()[1].extraNs, 400);
+}
+
+TEST(FaultPlanParse, KindDefaultsApply)
+{
+    const FaultPlan p = FaultPlan::parse(
+        "link-slow;dram-stall;refresh-storm;flaky-transfer;"
+        "drop-transfer");
+    ASSERT_EQ(p.specs().size(), 5u);
+    EXPECT_DOUBLE_EQ(p.specs()[0].factor, 4);
+    EXPECT_DOUBLE_EQ(p.specs()[1].prob, 0.1);
+    EXPECT_DOUBLE_EQ(p.specs()[1].extraNs, 200);
+    EXPECT_DOUBLE_EQ(p.specs()[2].periodNs, 50'000);
+    EXPECT_DOUBLE_EQ(p.specs()[2].windowNs, 5'000);
+    EXPECT_DOUBLE_EQ(p.specs()[3].prob, 0.1);
+    EXPECT_DOUBLE_EQ(p.specs()[4].prob, 1);
+    // Filters default to match-everything.
+    EXPECT_EQ(p.specs()[1].node, -1);
+    EXPECT_EQ(p.specs()[1].bank, -1);
+}
+
+TEST(FaultPlanParse, WhitespaceAndEmptyItemsAreTolerated)
+{
+    const FaultPlan p =
+        FaultPlan::parse(" seed=3 ;; link-slow : factor = 2 ; ");
+    EXPECT_EQ(p.seed(), 3u);
+    ASSERT_EQ(p.specs().size(), 1u);
+    EXPECT_DOUBLE_EQ(p.specs()[0].factor, 2);
+}
+
+TEST(FaultPlanParse, DescribeSummarizesThePlan)
+{
+    const FaultPlan p =
+        FaultPlan::parse("seed=7;link-down:router=0,dir=+x");
+    EXPECT_EQ(p.describe(), "seed=7: link-down(router=0,dir=+x)");
+    EXPECT_EQ(FaultPlan::parse("").describe(), "seed=0: (no faults)");
+}
+
+using FaultPlanParseDeath = ::testing::Test;
+
+TEST(FaultPlanParseDeath, UnknownKindIsAClearError)
+{
+    EXPECT_EXIT(FaultPlan::parse("cosmic-ray"),
+                ::testing::ExitedWithCode(1),
+                "unknown fault kind 'cosmic-ray'");
+}
+
+TEST(FaultPlanParseDeath, KeyMustApplyToTheKind)
+{
+    EXPECT_EXIT(FaultPlan::parse("link-down:prob=.5"),
+                ::testing::ExitedWithCode(1),
+                "key 'prob' does not apply to link-down");
+}
+
+TEST(FaultPlanParseDeath, MalformedValuesAreClearErrors)
+{
+    EXPECT_EXIT(FaultPlan::parse("dram-stall:prob=often"),
+                ::testing::ExitedWithCode(1), "bad value 'often'");
+    EXPECT_EXIT(FaultPlan::parse("seed=xyz"),
+                ::testing::ExitedWithCode(1), "bad seed 'xyz'");
+    EXPECT_EXIT(FaultPlan::parse("link-down:router"),
+                ::testing::ExitedWithCode(1), "expected key=value");
+    EXPECT_EXIT(FaultPlan::parse("link-down:router=0,dir=up"),
+                ::testing::ExitedWithCode(1), "bad dir 'up'");
+}
+
+TEST(FaultPlanParseDeath, SemanticValidationFires)
+{
+    EXPECT_EXIT(FaultPlan::parse("dram-stall:prob=1.5"),
+                ::testing::ExitedWithCode(1), "prob must be in");
+    EXPECT_EXIT(FaultPlan::parse("link-slow:factor=.5"),
+                ::testing::ExitedWithCode(1), "factor must be >= 1");
+    EXPECT_EXIT(
+        FaultPlan::parse("refresh-storm:period=100,window=200"),
+        ::testing::ExitedWithCode(1), "window must be in");
+    EXPECT_EXIT(
+        FaultPlan::parse("dram-stall:start=100,until=50"),
+        ::testing::ExitedWithCode(1), "until must be after start");
+    // dir without router would sever a direction of *every* ring —
+    // almost never what the user meant.
+    EXPECT_EXIT(FaultPlan::parse("link-down:dir=+x"),
+                ::testing::ExitedWithCode(1), "dir without router");
+}
+
+TEST(FaultPlanFile, FileFormStripsCommentsAndJoinsLines)
+{
+    const std::string path =
+        ::testing::TempDir() + "/gasnub_fault_plan.txt";
+    {
+        std::ofstream os(path);
+        os << "# a storm scenario\n"
+           << "seed=9\n"
+           << "refresh-storm:period=1000,window=100  # trailing\n"
+           << "\n"
+           << "dram-stall:prob=.5\n";
+    }
+    const FaultPlan p = FaultPlan::resolve("@" + path);
+    EXPECT_EQ(p.seed(), 9u);
+    ASSERT_EQ(p.specs().size(), 2u);
+    EXPECT_EQ(p.specs()[0].kind, FaultKind::RefreshStorm);
+    EXPECT_EQ(p.specs()[1].kind, FaultKind::DramStall);
+    std::remove(path.c_str());
+
+    EXPECT_EXIT(FaultPlan::resolve("@/nonexistent/plan"),
+                ::testing::ExitedWithCode(1),
+                "cannot open fault spec file");
+}
+
+TEST(FaultPlanEnv, FromEnvOrPrefersTheArgument)
+{
+    FaultsEnvGuard guard;
+    setenv("GASNUB_FAULTS", "drop-transfer:prob=1", 1);
+    const FaultPlan arg = FaultPlan::fromEnvOr("link-slow:factor=2");
+    ASSERT_EQ(arg.specs().size(), 1u);
+    EXPECT_EQ(arg.specs()[0].kind, FaultKind::LinkSlow);
+
+    const FaultPlan env = FaultPlan::fromEnvOr("");
+    ASSERT_EQ(env.specs().size(), 1u);
+    EXPECT_EQ(env.specs()[0].kind, FaultKind::DropTransfer);
+
+    unsetenv("GASNUB_FAULTS");
+    EXPECT_TRUE(FaultPlan::fromEnvOr("").empty());
+}
+
+TEST(FaultRand, PureFunctionOfSeedSiteCounter)
+{
+    // No hidden state: the same triple always produces the same draw,
+    // which is what makes parallel sweeps byte-identical to serial.
+    EXPECT_DOUBLE_EQ(faultRand(1, 2, 3), faultRand(1, 2, 3));
+    EXPECT_NE(faultRand(1, 2, 3), faultRand(1, 2, 4));
+    EXPECT_NE(faultRand(1, 2, 3), faultRand(2, 2, 3));
+    EXPECT_NE(faultRand(1, 2, 3), faultRand(1, 3, 3));
+}
+
+TEST(FaultRand, DrawsAreInHalfOpenUnitIntervalAndSpread)
+{
+    std::set<std::uint64_t> buckets;
+    for (std::uint64_t c = 0; c < 1000; ++c) {
+        const double v = faultRand(7, 11, c);
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        buckets.insert(static_cast<std::uint64_t>(v * 10));
+    }
+    // 1000 draws must hit every decile of [0, 1).
+    EXPECT_EQ(buckets.size(), 10u);
+}
+
+TEST(FaultDomain, SitesAreNullWhenNoSpecTargetsThem)
+{
+    FaultDomain d(FaultPlan::parse("nic-backpressure:router=1"));
+    EXPECT_EQ(d.transferSite(), nullptr);
+    EXPECT_EQ(d.dramSite(0), nullptr);
+    EXPECT_NE(d.nicSite(1), nullptr);
+    EXPECT_EQ(d.nicSite(0), nullptr);
+    EXPECT_FALSE(d.hasLinkFaults());
+}
+
+TEST(FaultDomain, SharedDramSiteMatchesAnyNodeFilter)
+{
+    // node -1 models the 8400's shared DRAM: a node-filtered dram
+    // fault must still reach it.
+    FaultDomain d(FaultPlan::parse("dram-stall:node=2"));
+    EXPECT_NE(d.dramSite(-1), nullptr);
+    EXPECT_NE(d.dramSite(2), nullptr);
+    EXPECT_EQ(d.dramSite(0), nullptr);
+}
+
+TEST(FaultDomain, ResetReplaysTheDecisionSequence)
+{
+    FaultDomain d(
+        FaultPlan::parse("seed=5;dram-stall:prob=.5,extra=100"));
+    FaultSite *site = d.dramSite(0);
+    ASSERT_NE(site, nullptr);
+    std::vector<Tick> first;
+    for (Tick t = 0; t < 20; ++t)
+        first.push_back(site->dramDelay(t * 1000, 0));
+    d.reset();
+    for (Tick t = 0; t < 20; ++t)
+        EXPECT_EQ(site->dramDelay(t * 1000, 0), first[t]) << t;
+}
+
+TEST(FaultDomain, LinkQueriesHonorFilters)
+{
+    FaultDomain d(FaultPlan::parse(
+        "link-slow:router=1,dir=+y,factor=3;link-down:router=0,"
+        "dir=-x"));
+    EXPECT_TRUE(d.hasLinkFaults());
+    EXPECT_DOUBLE_EQ(d.linkFactor(1, 2), 3); // +y is dir index 2
+    EXPECT_DOUBLE_EQ(d.linkFactor(1, 0), 1);
+    EXPECT_DOUBLE_EQ(d.linkFactor(0, 2), 1);
+    EXPECT_TRUE(d.linkDown(0, 1)); // -x is dir index 1
+    EXPECT_FALSE(d.linkDown(0, 0));
+    EXPECT_FALSE(d.linkDown(1, 1));
+}
+
+TEST(FaultSpec, ActivityWindowGatesTheFault)
+{
+    const FaultPlan p = FaultPlan::parse(
+        "dram-stall:prob=1,extra=100,start=10,until=20");
+    const FaultSpec &s = p.specs()[0];
+    EXPECT_FALSE(s.activeAt(9'999));       // 9.999 ns < 10 ns start
+    EXPECT_TRUE(s.activeAt(10'000));       // 10 ns in ticks
+    EXPECT_TRUE(s.activeAt(19'999));
+    EXPECT_FALSE(s.activeAt(20'000));      // until is exclusive
+}
+
+TEST(ChaosScenarioLibrary, CoversRecoverableAndUnrecoverable)
+{
+    const std::vector<ChaosScenario> &lib = chaosScenarios();
+    ASSERT_GE(lib.size(), 5u);
+    EXPECT_EQ(lib[0].name, "baseline");
+    EXPECT_TRUE(lib[0].spec.empty());
+    bool any_unrecoverable = false;
+    for (const ChaosScenario &s : lib) {
+        // Every scenario's spec must parse.
+        const FaultPlan p = FaultPlan::parse(s.spec);
+        EXPECT_EQ(p.empty(), s.spec.empty()) << s.name;
+        any_unrecoverable = any_unrecoverable || !s.recoverable;
+    }
+    EXPECT_TRUE(any_unrecoverable);
+}
+
+TEST(WatchdogTest, DisarmsOnDestruction)
+{
+    // A generous deadline that is never hit: construction + teardown
+    // must be quick and side-effect free.
+    Watchdog wd(3600, "test");
+}
+
+using WatchdogDeath = ::testing::Test;
+
+TEST(WatchdogDeath, FiresWithExitCode124)
+{
+    EXPECT_EXIT(
+        {
+            Watchdog wd(0.05, "hung-scenario");
+            for (;;)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        },
+        ::testing::ExitedWithCode(124), "hung-scenario");
+}
+
+} // namespace

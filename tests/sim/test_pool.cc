@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -114,6 +115,58 @@ TEST(ThreadPool, FirstExceptionPropagatesAndJobsStillDrain)
     // The failure does not cancel the remaining jobs.
     for (std::size_t j = 0; j < kJobs; ++j)
         EXPECT_EQ(runs[j].load(), 1) << "job " << j;
+}
+
+TEST(ThreadPool, ConcurrentThrowsRethrowExactlyOneAndDrain)
+{
+    // Many workers throw at the same moment: exactly one exception
+    // must surface on the caller, every job must still run once, and
+    // the pool must come back reusable (no deadlock, no torn state).
+    sim::ThreadPool pool(4);
+    constexpr std::size_t kJobs = 64;
+    std::vector<std::atomic<int>> runs(kJobs);
+    std::atomic<int> thrown{0};
+    int caught = 0;
+    std::string what;
+    try {
+        pool.parallelFor(kJobs, [&](int, std::size_t j) {
+            runs[j].fetch_add(1);
+            // Every 8th job throws; with 4 workers several of these
+            // are in flight concurrently.
+            if (j % 8 == 0) {
+                thrown.fetch_add(1);
+                throw std::runtime_error("job " + std::to_string(j) +
+                                         " failed");
+            }
+        });
+    } catch (const std::runtime_error &e) {
+        ++caught;
+        what = e.what();
+    }
+    EXPECT_EQ(caught, 1);
+    EXPECT_GE(thrown.load(), 2); // the race actually happened
+    EXPECT_TRUE(what.rfind("job ", 0) == 0) << what;
+    for (std::size_t j = 0; j < kJobs; ++j)
+        EXPECT_EQ(runs[j].load(), 1) << "job " << j;
+    // The pool survives for the next call.
+    std::atomic<std::size_t> done{0};
+    pool.parallelFor(kJobs, [&](int, std::size_t) {
+        done.fetch_add(1);
+    });
+    EXPECT_EQ(done.load(), kJobs);
+}
+
+TEST(ThreadPool, AllWorkersThrowingStillReleasesTheCaller)
+{
+    sim::ThreadPool pool(4);
+    for (int round = 0; round < 8; ++round) {
+        EXPECT_THROW(pool.parallelFor(16,
+                                      [&](int, std::size_t) {
+                                          throw std::logic_error(
+                                              "every job fails");
+                                      }),
+                     std::logic_error);
+    }
 }
 
 TEST(ThreadPool, ReusableAcrossParallelForCalls)

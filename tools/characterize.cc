@@ -48,6 +48,7 @@
 #include "core/surface_io.hh"
 #include "core/sweep_runner.hh"
 #include "machine/machine.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/pool.hh"
 #include "sim/trace.hh"
@@ -65,7 +66,7 @@ printUsage(std::ostream &os)
           "                    [--out FILE] [--procs N] [--jobs N]\n"
           "                    [--trace-out FILE] "
           "[--trace-categories LIST]\n"
-          "                    [--stats-json FILE]\n"
+          "                    [--stats-json FILE] [--faults SPEC]\n"
           "       characterize --help\n"
           "benchmarks: loads stores copy-sload copy-sstore pull\n"
           "            fetch-sload fetch-sstore deposit-sload "
@@ -105,6 +106,30 @@ help()
            "  --trace-categories  comma-separated subset of "
            "mem,noc,remote,kernel,sim\n"
            "  --stats-json FILE   stats tree as JSON\n"
+           "  --faults SPEC       inject faults while measuring "
+           "(default: GASNUB_FAULTS;\n"
+           "                      SPEC is a ';'-separated list or "
+           "@file — see\n"
+           "                      docs/fault_injection.md)\n"
+           "\n"
+           "fault injection examples:\n"
+           "\n"
+           "  characterize t3e fetch-sload "
+           "--faults 'seed=7;link-slow:router=0,dir=+x,factor=8'\n"
+           "  characterize t3d deposit-sstore "
+           "--faults 'dram-stall:node=2,prob=.2,extra=400'\n"
+           "  characterize dec8400 pull --faults @storm.plan   "
+           "# spec file, '#' comments\n"
+           "  GASNUB_FAULTS='refresh-storm:period=50000,window=5000' "
+           "characterize t3e loads\n"
+           "\n"
+           "  The same seed and plan reproduce the same surface at "
+           "any --jobs\n"
+           "  value; without --faults (and with GASNUB_FAULTS unset) "
+           "the fault\n"
+           "  machinery is never built and output is byte-identical "
+           "to older\n"
+           "  builds.\n"
            "\n"
            "measure once, decide often — the planner pipeline:\n"
            "\n"
@@ -185,6 +210,7 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string trace_categories = "all";
     std::string stats_json;
+    std::string faults_arg;
     for (int i = 3; i < argc; ++i) {
         std::string opt = argv[i];
         std::string val;
@@ -221,6 +247,8 @@ main(int argc, char **argv)
             trace_categories = val;
         else if (opt == "--stats-json")
             stats_json = val;
+        else if (opt == "--faults")
+            faults_arg = val;
         else
             fail("unknown option '" + opt + "'");
     }
@@ -273,17 +301,28 @@ main(int argc, char **argv)
     machine::SystemConfig sys;
     sys.kind = kind;
     sys.numNodes = procs;
+    sys.faults = sim::FaultPlan::fromEnvOr(faults_arg);
+    if (!sys.faults.empty())
+        std::cerr << "faults: " << sys.faults.describe() << "\n";
     machine::Machine m(sys);
     core::Characterizer c(m);
 
     const int jobs = sim::defaultJobs(jobs_arg);
     core::Surface s("", {512}, {1});
-    if (jobs <= 1) {
-        s = c.run(spec, cfg);
-    } else {
-        core::SweepRunner runner(sys, jobs);
-        s = runner.run(spec, cfg);
-        runner.mergeStatsInto(m.statsGroup());
+    try {
+        if (jobs <= 1) {
+            s = c.run(spec, cfg);
+        } else {
+            core::SweepRunner runner(sys, jobs);
+            s = runner.run(spec, cfg);
+            runner.mergeStatsInto(m.statsGroup());
+        }
+    } catch (const sim::FaultError &e) {
+        // Characterization kernels do not retry: a fault that severs
+        // the measured path ends the sweep with a clean diagnosis
+        // rather than an abort.
+        GASNUB_FATAL("fault injection made the sweep impossible: ",
+                     e.what());
     }
 
     s.print(std::cout);
