@@ -88,6 +88,8 @@ Dec8400Memory::access(NodeId requester, Addr addr,
         if (!exclusive) {
             ++_transactions;
             const Tick a = _addressBus.acquire(earliest, _arbTicks);
+            if (_acct)
+                _acct->charge(_addrRes, a, a + _arbTicks);
             res.dataReady = a + _arbTicks + _snoopTicks;
             for (NodeId n = 0;
                  n < static_cast<NodeId>(_nodes.size()); ++n) {
@@ -110,6 +112,8 @@ Dec8400Memory::access(NodeId requester, Addr addr,
     // Address phase: arbitration + snoop window.
     const Tick addr_start =
         _addressBus.acquire(earliest, _arbTicks);
+    if (_acct)
+        _acct->charge(_addrRes, addr_start, addr_start + _arbTicks);
     const Tick snooped = addr_start + _arbTicks + _snoopTicks;
 
     mem::DramResult res;

@@ -79,6 +79,19 @@ class Dec8400Memory
     /** The shared DRAM (for tests and the loaded-machine bench). */
     mem::Dram &dram() { return _dram; }
 
+    /**
+     * Attach the machine's time account; address-phase occupancy
+     * charges @p addrBus (the shared DRAM behind the bus is wired
+     * separately, under the "bus.dram.*" resource classes).
+     */
+    void
+    setTimeAccount(sim::TimeAccount *acct,
+                   sim::TimeAccount::ResId addrBus)
+    {
+        _acct = acct;
+        _addrRes = addrBus;
+    }
+
     /** Reset bus/DRAM timing state (between experiments). */
     void resetTiming();
 
@@ -125,6 +138,8 @@ class Dec8400Memory
 
     mem::Dram _dram;
     mem::Resource _addressBus;
+    sim::TimeAccount *_acct = nullptr;
+    sim::TimeAccount::ResId _addrRes = 0;
     std::vector<mem::MemoryHierarchy *> _nodes;
     std::unordered_map<Addr, LineState> _dir;
 

@@ -111,15 +111,24 @@ Characterizer::localLoads(NodeId node, const CharacterizeConfig &cfg)
     resolveGrid(cfg, ws, strides);
     Surface s(sweepName(_machine.kind(), SweepSpec::localLoads(node)),
               ws, strides);
+    sim::TimeAccount *acct = _machine.timeAccount();
+    if (acct)
+        s.enableAttribution(acct->names());
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
             kernels::KernelParams p;
             p.wsBytes = w;
             p.stride = st;
             p.capBytes = cfg.capBytes;
+            if (acct)
+                acct->arm();
             const kernels::KernelResult r =
                 kernels::loadSumOn(_machine, node, p);
             s.set(w, st, r.mbs);
+            if (acct) {
+                const auto pa = acct->finishPoint(r.elapsed);
+                s.setAttribution(w, st, pa.elapsed, pa.attributed);
+            }
             // Each grid point runs with simulated time reset to 0, so
             // point events all start at t=0 (see docs/observability.md).
             GASNUB_TRACE(trace::Category::Sim, _traceTrack,
@@ -137,15 +146,24 @@ Characterizer::localStores(NodeId node, const CharacterizeConfig &cfg)
     resolveGrid(cfg, ws, strides);
     Surface s(sweepName(_machine.kind(), SweepSpec::localStores(node)),
               ws, strides);
+    sim::TimeAccount *acct = _machine.timeAccount();
+    if (acct)
+        s.enableAttribution(acct->names());
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
             kernels::KernelParams p;
             p.wsBytes = w;
             p.stride = st;
             p.capBytes = cfg.capBytes;
+            if (acct)
+                acct->arm();
             const kernels::KernelResult r =
                 kernels::storeConstantOn(_machine, node, p);
             s.set(w, st, r.mbs);
+            if (acct) {
+                const auto pa = acct->finishPoint(r.elapsed);
+                s.setAttribution(w, st, pa.elapsed, pa.attributed);
+            }
             GASNUB_TRACE(trace::Category::Sim, _traceTrack,
                          "point.stores", Tick(0), r.elapsed, "ws", w,
                          "stride", st);
@@ -163,6 +181,9 @@ Characterizer::localCopy(NodeId node, kernels::CopyVariant variant,
     Surface s(sweepName(_machine.kind(),
                         SweepSpec::localCopy(variant, node)),
               ws, strides);
+    sim::TimeAccount *acct = _machine.timeAccount();
+    if (acct)
+        s.enableAttribution(acct->names());
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
             kernels::KernelParams p;
@@ -172,9 +193,15 @@ Characterizer::localCopy(NodeId node, kernels::CopyVariant variant,
             // Destination region directly after the source.
             const std::uint64_t eff =
                 kernels::effectiveWorkingSet(_machine.node(node), p);
+            if (acct)
+                acct->arm();
             const kernels::KernelResult r =
                 kernels::copyOn(_machine, node, p, variant, eff);
             s.set(w, st, r.mbs);
+            if (acct) {
+                const auto pa = acct->finishPoint(r.elapsed);
+                s.setAttribution(w, st, pa.elapsed, pa.attributed);
+            }
             GASNUB_TRACE(trace::Category::Sim, _traceTrack,
                          "point.copy", Tick(0), r.elapsed, "ws", w,
                          "stride", st);
@@ -195,6 +222,9 @@ Characterizer::remoteTransfer(remote::TransferMethod method,
                         SweepSpec::remote(method, stride_on_source,
                                           src, dst)),
               ws, strides);
+    sim::TimeAccount *acct = _machine.timeAccount();
+    if (acct)
+        s.enableAttribution(acct->names());
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
             kernels::RemoteParams p;
@@ -207,9 +237,15 @@ Characterizer::remoteTransfer(remote::TransferMethod method,
             p.capBytes = cfg.capBytes;
             p.srcBase = 0;
             p.dstBase = 1ull << 33;
+            if (acct)
+                acct->arm();
             const kernels::KernelResult r =
                 kernels::remoteTransfer(_machine, p);
             s.set(w, st, r.mbs);
+            if (acct) {
+                const auto pa = acct->finishPoint(r.elapsed);
+                s.setAttribution(w, st, pa.elapsed, pa.attributed);
+            }
             GASNUB_TRACE(trace::Category::Sim, _traceTrack,
                          "point.remote", Tick(0), r.elapsed, "ws", w,
                          "stride", st);

@@ -168,4 +168,66 @@ Surface::transferSeconds(std::uint64_t bytes, double ws_bytes,
     return static_cast<double>(bytes) / (mbs * 1e6);
 }
 
+void
+Surface::enableAttribution(std::vector<std::string> resources)
+{
+    GASNUB_ASSERT(!resources.empty(),
+                  "attribution needs at least one resource");
+    GASNUB_ASSERT(_attrResources.empty(),
+                  _name, ": attribution already enabled");
+    _attrResources = std::move(resources);
+    _attrElapsed.assign(_mbs.size(), 0);
+    _attrShares.assign(_mbs.size(), {});
+}
+
+void
+Surface::setAttribution(std::uint64_t ws_bytes, std::uint64_t stride,
+                        Tick elapsed,
+                        const std::vector<Tick> &shares)
+{
+    GASNUB_ASSERT(hasAttribution(),
+                  _name, ": attribution not enabled");
+    GASNUB_ASSERT(shares.size() == _attrResources.size(),
+                  _name, ": share count does not match resources");
+    Tick sum = 0;
+    for (Tick s : shares)
+        sum += s;
+    GASNUB_ASSERT(sum == elapsed, _name,
+                  ": attribution shares sum to ", sum,
+                  " but the point elapsed ", elapsed, " ticks");
+    const std::size_t r = indexOf(_workingSets, ws_bytes,
+                                  "working set");
+    const std::size_t c = indexOf(_strides, stride, "stride");
+    _attrElapsed[r * _strides.size() + c] = elapsed;
+    _attrShares[r * _strides.size() + c] = shares;
+}
+
+Tick
+Surface::elapsedAt(std::uint64_t ws_bytes, std::uint64_t stride) const
+{
+    GASNUB_ASSERT(hasAttribution(),
+                  _name, ": attribution not enabled");
+    const std::size_t r = indexOf(_workingSets, ws_bytes,
+                                  "working set");
+    const std::size_t c = indexOf(_strides, stride, "stride");
+    return _attrElapsed[r * _strides.size() + c];
+}
+
+const std::vector<Tick> &
+Surface::attributionAt(std::uint64_t ws_bytes,
+                       std::uint64_t stride) const
+{
+    GASNUB_ASSERT(hasAttribution(),
+                  _name, ": attribution not enabled");
+    const std::size_t r = indexOf(_workingSets, ws_bytes,
+                                  "working set");
+    const std::size_t c = indexOf(_strides, stride, "stride");
+    const std::vector<Tick> &s =
+        _attrShares[r * _strides.size() + c];
+    GASNUB_ASSERT(s.size() == _attrResources.size(), _name,
+                  ": point (", ws_bytes, ",", stride,
+                  ") has no attribution yet");
+    return s;
+}
+
 } // namespace gasnub::core

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/types.hh"
+
 namespace gasnub::core {
 
 /** One measured point of a characterization. */
@@ -88,6 +90,39 @@ class Surface
     double transferSeconds(std::uint64_t bytes, double ws_bytes,
                            double stride) const;
 
+    /**
+     * Attach a bottleneck-attribution layer: each grid point then
+     * additionally records its elapsed ticks and how those ticks
+     * decompose across the named resources (sim::TimeAccount shares,
+     * which sum exactly to the elapsed time).  @p resources fixes the
+     * share order for every point.
+     */
+    void enableAttribution(std::vector<std::string> resources);
+
+    /** @return true when enableAttribution() was called. */
+    bool hasAttribution() const { return !_attrResources.empty(); }
+
+    /** Resource names of the attribution shares, in share order. */
+    const std::vector<std::string> &attrResources() const
+    {
+        return _attrResources;
+    }
+
+    /**
+     * Store one point's attribution.  @p shares must match the
+     * resource order of enableAttribution() and sum to @p elapsed
+     * exactly (integer ticks).
+     */
+    void setAttribution(std::uint64_t ws_bytes, std::uint64_t stride,
+                        Tick elapsed, const std::vector<Tick> &shares);
+
+    /** Elapsed ticks of a grid point (attribution must be enabled). */
+    Tick elapsedAt(std::uint64_t ws_bytes, std::uint64_t stride) const;
+
+    /** Attribution shares of a grid point, in attrResources() order. */
+    const std::vector<Tick> &
+    attributionAt(std::uint64_t ws_bytes, std::uint64_t stride) const;
+
   private:
     std::size_t indexOf(const std::vector<std::uint64_t> &grid,
                         std::uint64_t value, const char *what) const;
@@ -96,6 +131,11 @@ class Surface
     std::vector<std::uint64_t> _workingSets;
     std::vector<std::uint64_t> _strides;
     std::vector<double> _mbs; ///< row-major, -1 = unset
+
+    // Attribution layer (optional; empty resource list = disabled).
+    std::vector<std::string> _attrResources;
+    std::vector<Tick> _attrElapsed;              ///< row-major
+    std::vector<std::vector<Tick>> _attrShares;  ///< row-major
 };
 
 } // namespace gasnub::core

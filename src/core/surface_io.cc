@@ -16,7 +16,12 @@ namespace gasnub::core {
 namespace {
 
 constexpr const char *kMagic = "gasnub-surface";
+// Version 1: bandwidth grid only.  Version 2 appends an attribution
+// section (per-point elapsed ticks + per-resource shares).  Surfaces
+// without attribution are still written as version 1, so golden files
+// stay byte-identical.
 constexpr int kVersion = 1;
+constexpr int kVersionAttr = 2;
 
 } // namespace
 
@@ -24,7 +29,8 @@ void
 saveSurface(const Surface &s, std::ostream &os)
 {
     GASNUB_ASSERT(s.complete(), "cannot save an incomplete surface");
-    os << kMagic << " " << kVersion << "\n";
+    os << kMagic << " "
+       << (s.hasAttribution() ? kVersionAttr : kVersion) << "\n";
     os << "name " << s.name() << "\n";
     os << "workingsets " << s.workingSets().size();
     for (std::uint64_t w : s.workingSets())
@@ -42,6 +48,23 @@ saveSurface(const Surface &s, std::ostream &os)
         }
         os << "\n";
     }
+    if (s.hasAttribution()) {
+        // One row per grid point (same row-major order as the data
+        // rows): elapsed ticks followed by the per-resource shares,
+        // integers that sum exactly to the elapsed value.
+        os << "attribution " << s.attrResources().size();
+        for (const std::string &r : s.attrResources())
+            os << " " << r;
+        os << "\n";
+        for (std::uint64_t w : s.workingSets()) {
+            for (std::uint64_t st : s.strides()) {
+                os << s.elapsedAt(w, st);
+                for (Tick v : s.attributionAt(w, st))
+                    os << " " << v;
+                os << "\n";
+            }
+        }
+    }
     os << "end\n";
 }
 
@@ -57,7 +80,7 @@ loadSurface(std::istream &is, const std::string &context)
     int version = 0;
     if (!(is >> magic >> version) || magic != kMagic)
         GASNUB_FATAL("not a gasnub surface stream", in);
-    if (version != kVersion)
+    if (version != kVersion && version != kVersionAttr)
         GASNUB_FATAL("unsupported surface version ", version, in);
 
     std::string key;
@@ -109,6 +132,44 @@ loadSurface(std::istream &is, const std::string &context)
                              "'; surfaces hold finite non-negative "
                              "MB/s");
             s.set(ws[i], strides[j], v);
+        }
+    }
+    if (version >= kVersionAttr) {
+        std::size_t nres = 0;
+        if (!(is >> key >> nres) || key != "attribution" || nres == 0)
+            GASNUB_FATAL("surface stream", in,
+                         ": expected 'attribution'");
+        std::vector<std::string> resources(nres);
+        for (auto &r : resources)
+            if (!(is >> r))
+                GASNUB_FATAL("surface stream", in,
+                             ": truncated resource names");
+        s.enableAttribution(resources);
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            for (std::size_t j = 0; j < strides.size(); ++j) {
+                Tick elapsed = 0;
+                if (!(is >> elapsed))
+                    GASNUB_FATAL("surface stream", in,
+                                 ": truncated attribution rows");
+                std::vector<Tick> shares(nres);
+                Tick sum = 0;
+                for (auto &v : shares) {
+                    if (!(is >> v))
+                        GASNUB_FATAL("surface stream", in,
+                                     ": truncated attribution row");
+                    sum += v;
+                }
+                // The exact-sum invariant is part of the format: the
+                // shares *are* a decomposition of the elapsed time,
+                // so a mismatch means a corrupt or hand-edited file.
+                if (sum != elapsed)
+                    GASNUB_FATAL(
+                        "surface stream", in, ": attribution shares "
+                        "at (working set ", ws[i], ", stride ",
+                        strides[j], ") sum to ", sum,
+                        " ticks but the point elapsed ", elapsed);
+                s.setAttribution(ws[i], strides[j], elapsed, shares);
+            }
         }
     }
     if (!(is >> key) || key != "end")

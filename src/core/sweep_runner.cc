@@ -45,7 +45,9 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
     struct PointResult
     {
         double mbs = 0;
+        Tick elapsed = 0;
         int worker = -1;
+        std::vector<Tick> attr;
         std::vector<trace::Event> events;
     };
     std::vector<PointResult> results(ws.size() * cols);
@@ -74,6 +76,10 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
         PointResult &res = results[j];
         res.mbs = one.at(wsBytes, stride);
         res.worker = w;
+        if (one.hasAttribution()) {
+            res.elapsed = one.elapsedAt(wsBytes, stride);
+            res.attr = one.attributionAt(wsBytes, stride);
+        }
         if (mask != 0)
             res.events = ctx.tracer.events();
     });
@@ -83,9 +89,19 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
     // Track ids are worker-local, so remap by name; record() re-applies
     // the global capacity bound.
     Surface s(sweepName(_config.kind, spec), ws, strides);
+    if (_config.attribution) {
+        // Every replica registers the identical resource list (see
+        // Machine's attribution block), so any worker's names apply.
+        s.enableAttribution(_workers[results.front().worker]
+                                ->machine->timeAccount()
+                                ->names());
+    }
     for (std::size_t j = 0; j < results.size(); ++j) {
         const PointResult &res = results[j];
         s.set(ws[j / cols], strides[j % cols], res.mbs);
+        if (_config.attribution)
+            s.setAttribution(ws[j / cols], strides[j % cols],
+                             res.elapsed, res.attr);
         if (res.events.empty())
             continue;
         const trace::Tracer &wt = _workers[res.worker]->tracer;

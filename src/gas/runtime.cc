@@ -214,6 +214,8 @@ Runtime::Runtime(machine::Machine &m, RuntimeConfig cfg)
     for (NodeId n = 0; n < _machine.numNodes(); ++n)
         _segments.emplace_back(n, _config.regionsPerNode);
     _machine.statsGroup().addChild(&_stats);
+    if ((_acct = _machine.timeAccount()))
+        _retryRes = _acct->resource("gas.retry");
 }
 
 Runtime::~Runtime()
@@ -548,6 +550,10 @@ Runtime::transferOp(GlobalPtr src, GlobalPtr dst, const Strided &spec,
                 break;
             }
             ++_retries;
+            // The backoff window is pure lost time waiting to retry;
+            // the ledger sees it as the retry resource's busy span.
+            if (_acct)
+                _acct->charge(_retryRes, status.complete, next);
             attempt_start = next;
             backoff_us *= rp.backoffMult;
         }

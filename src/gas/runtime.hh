@@ -350,6 +350,8 @@ class Runtime
 
     machine::Machine &_machine;
     RuntimeConfig _config;
+    sim::TimeAccount *_acct = nullptr; // machine's ledger, if any
+    sim::TimeAccount::ResId _retryRes = 0;
     std::optional<core::TransferPlanner> _planner;
     std::vector<Segment> _segments;
     std::vector<Tick> _cursor;   // per-node op issue cursor

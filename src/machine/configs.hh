@@ -91,6 +91,14 @@ struct SystemConfig
      * --jobs value.
      */
     sim::FaultPlan faults;
+    /**
+     * Build the per-resource time-accounting ledger
+     * (sim::TimeAccount) and wire every timed component to it.  Off
+     * by default: without it no component holds an account pointer,
+     * so the hot paths pay nothing and simulated timing is identical
+     * either way (accounting only observes, never schedules).
+     */
+    bool attribution = false;
 };
 
 /**

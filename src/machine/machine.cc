@@ -174,6 +174,7 @@ Machine::Machine(const SystemConfig &cfg)
     for (auto &n : _nodes)
         raw.push_back(n.get());
 
+    remote::CrayEngine *cray = nullptr;
     switch (kind) {
       case SystemKind::Dec8400: {
         GASNUB_ASSERT(num_nodes <= 12,
@@ -190,15 +191,19 @@ Machine::Machine(const SystemConfig &cfg)
       case SystemKind::CrayT3D: {
         _torus = std::make_unique<noc::Torus>(
             t3dTorusConfig(num_nodes), &_stats);
-        _remote = std::make_unique<remote::CrayEngine>(
+        auto engine = std::make_unique<remote::CrayEngine>(
             t3dEngineConfig(), raw, _torus.get(), &_stats);
+        cray = engine.get();
+        _remote = std::move(engine);
         break;
       }
       case SystemKind::CrayT3E: {
         _torus = std::make_unique<noc::Torus>(
             t3eTorusConfig(num_nodes), &_stats);
-        _remote = std::make_unique<remote::CrayEngine>(
+        auto engine = std::make_unique<remote::CrayEngine>(
             t3eEngineConfig(), raw, _torus.get(), &_stats);
+        cray = engine.get();
+        _remote = std::move(engine);
         break;
       }
     }
@@ -216,6 +221,63 @@ Machine::Machine(const SystemConfig &cfg)
             _torus->setFaults(_faults.get());
         _remote->setFaultSite(_faults->transferSite());
     }
+
+    // Bottleneck attribution: one machine-wide ledger shared by every
+    // node (the paper's benchmarks are SPMD, so the per-node replicas
+    // contend for the same *class* of resource).  Resources are
+    // registered here, in one fixed order, so replica machines built
+    // from the same config — the parallel sweep workers — agree on
+    // ResIds and produce byte-identical attribution vectors.
+    if (cfg.attribution) {
+        _acct = std::make_unique<sim::TimeAccount>();
+        const auto issue = _acct->resource("cpu.issue");
+        const auto cache_port = _acct->resource("cache.port");
+        const auto stream = _acct->resource("stream");
+        const auto wbq = _acct->resource("wbq");
+        const auto dram_bank = _acct->resource("dram.bank");
+        const auto dram_chan = _acct->resource("dram.chan");
+        for (int i = 0; i < num_nodes; ++i) {
+            raw[i]->setTimeAccount(_acct.get(), issue, cache_port,
+                                   stream);
+            raw[i]->dram().setTimeAccount(_acct.get(), dram_bank,
+                                          dram_chan);
+            if (mem::WriteBackQueue *w = raw[i]->wbq())
+                w->setTimeAccount(_acct.get(), wbq);
+        }
+        if (_sharedMem) {
+            const auto bus_addr = _acct->resource("bus.addr");
+            const auto bus_bank = _acct->resource("bus.dram.bank");
+            const auto bus_chan = _acct->resource("bus.dram.chan");
+            _sharedMem->setTimeAccount(_acct.get(), bus_addr);
+            _sharedMem->dram().setTimeAccount(_acct.get(), bus_bank,
+                                              bus_chan);
+        }
+        if (_torus) {
+            const auto link = _acct->resource("noc.link");
+            const auto nic = _acct->resource("noc.nic");
+            _torus->setTimeAccount(_acct.get(), link, nic);
+        }
+        if (cray) {
+            const auto engine = _acct->resource("engine");
+            cray->setTimeAccount(_acct.get(), engine, wbq);
+        }
+        // Registered up front (not lazily by gas::Runtime) so the
+        // resource order never depends on whether a runtime exists.
+        _acct->resource("gas.retry");
+        _acctStat.emplace(&_stats, systemName(kind) + ".timeAccount",
+                          "cumulative busy/stall ticks per resource",
+                          _acct.get());
+    }
+
+    // How many trace events this process discarded because the buffer
+    // was full — surfaced next to the machine's stats so exported JSON
+    // is self-describing about trace completeness.
+    _traceDropped.emplace(
+        &_stats, systemName(kind) + ".trace.dropped",
+        "trace events discarded because the buffer was full", [] {
+            return static_cast<double>(
+                trace::Tracer::instance().dropped());
+        });
 }
 
 Machine::~Machine() = default;
@@ -298,6 +360,8 @@ Machine::resetTiming()
         _remote->resetTiming();
     if (_faults)
         _faults->reset();
+    if (_acct)
+        _acct->resetPoint();
 }
 
 void
@@ -313,6 +377,8 @@ Machine::resetAll()
         _remote->resetTiming();
     if (_faults)
         _faults->reset();
+    if (_acct)
+        _acct->resetPoint();
 }
 
 } // namespace gasnub::machine

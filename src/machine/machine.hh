@@ -22,7 +22,10 @@
 #include "noc/torus.hh"
 #include "remote/remote_ops.hh"
 #include "sim/stats.hh"
+#include "sim/time_account.hh"
 #include "sim/trace.hh"
+
+#include <optional>
 
 namespace gasnub::machine {
 
@@ -129,6 +132,12 @@ class Machine
 
     stats::Group &statsGroup() { return _stats; }
 
+    /**
+     * The bottleneck-attribution ledger, or nullptr unless the
+     * machine was built with SystemConfig::attribution.
+     */
+    sim::TimeAccount *timeAccount() { return _acct.get(); }
+
     /** The recipe this machine was built from. */
     const SystemConfig &systemConfig() const { return _sysConfig; }
 
@@ -142,6 +151,9 @@ class Machine
     std::unique_ptr<noc::Torus> _torus;
     std::unique_ptr<bus::Dec8400Memory> _sharedMem;
     std::unique_ptr<remote::RemoteOps> _remote;
+    std::unique_ptr<sim::TimeAccount> _acct;
+    std::optional<sim::TimeAccountStat> _acctStat;
+    std::optional<stats::Formula> _traceDropped;
 };
 
 } // namespace gasnub::machine

@@ -44,6 +44,8 @@ Dram::Dram(const DramConfig &config, stats::Group *parent)
                      "bank occupancy in ticks per bank", config.banks),
       _bandwidth(&_stats, config.name + ".bandwidth",
                  "bytes transferred per time bucket"),
+      _latency(&_stats, config.name + ".latency",
+               "access latency in ticks (log2 buckets)"),
       _rowHitRate(&_stats, config.name + ".rowHitRate",
                   "fraction of accesses hitting the open row",
                   [this] {
@@ -99,6 +101,8 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
     else
         ++_writes;
 
+    const Tick requested = earliest;
+
     // Injected bank stalls / refresh storms push the access back
     // before any resource is reserved.
     if (_faults) {
@@ -107,6 +111,8 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
             ++_faultStalls;
             _faultStallTicks +=
                 static_cast<double>(delayed - earliest);
+            if (_acct)
+                _acct->stall(_bankRes, delayed - earliest);
             earliest = delayed;
         }
     }
@@ -126,13 +132,19 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
                                          transfer_t);
             res.start = earliest;
             res.dataReady = cs + transfer_t;
+            if (_acct)
+                _acct->charge(_chanRes, cs, cs + transfer_t);
         } else {
             const Tick cs = _bus.acquire(earliest,
                                          _rowHitTicks + transfer_t);
             res.start = cs;
             res.dataReady = cs + _rowHitTicks + transfer_t;
+            if (_acct)
+                _acct->charge(_chanRes, cs,
+                              cs + _rowHitTicks + transfer_t);
         }
         _bandwidth.addBytes(res.dataReady, bytes);
+        _latency.sample(res.dataReady - requested);
         GASNUB_TRACE(trace::Category::Mem, _traceTrack,
                      type == AccessType::Read ? "dram.read"
                                               : "dram.write",
@@ -168,6 +180,12 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
                                               service + recovery);
     _bankAccesses[bank_idx] += 1;
     _bankOccupancy[bank_idx] += static_cast<double>(service + recovery);
+    if (_acct) {
+        if (bank_start > earliest)
+            _acct->stall(_bankRes, bank_start - earliest);
+        _acct->charge(_bankRes, bank_start,
+                      bank_start + service + recovery);
+    }
     DramResult res;
     res.rowHit = row_hit;
     if (_config.splitTransactionChannel) {
@@ -175,13 +193,19 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
             _bus.acquire(bank_start + service, transfer);
         res.start = bank_start;
         res.dataReady = chan_start + transfer;
+        if (_acct)
+            _acct->charge(_chanRes, chan_start, chan_start + transfer);
     } else {
         const Tick chan_start = _bus.acquire(bank_start,
                                              service + transfer);
         res.start = chan_start;
         res.dataReady = chan_start + service + transfer;
+        if (_acct)
+            _acct->charge(_chanRes, chan_start,
+                          chan_start + service + transfer);
     }
     _bandwidth.addBytes(res.dataReady, bytes);
+    _latency.sample(res.dataReady - requested);
     GASNUB_TRACE(trace::Category::Mem, _traceTrack,
                  type == AccessType::Read ? "dram.read" : "dram.write",
                  res.start, res.dataReady, "bank",

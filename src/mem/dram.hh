@@ -21,6 +21,7 @@
 #include "mem/resource.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "sim/time_account.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -109,6 +110,21 @@ class Dram
      */
     void setFaultSite(sim::FaultSite *site) { _faults = site; }
 
+    /**
+     * Attach the machine's time account; @p bank / @p chan name the
+     * resource classes this DRAM charges (per-node DRAMs share
+     * "dram.*", the 8400's shared memory charges "bus.dram.*").  Null
+     * (the default) disables accounting at zero cost.
+     */
+    void
+    setTimeAccount(sim::TimeAccount *acct, sim::TimeAccount::ResId bank,
+                   sim::TimeAccount::ResId chan)
+    {
+        _acct = acct;
+        _bankRes = bank;
+        _chanRes = chan;
+    }
+
     stats::Group &statsGroup() { return _stats; }
 
     std::uint64_t rowHits() const
@@ -140,6 +156,9 @@ class Dram
     std::vector<Bank> _banks;
     Resource _bus;
     sim::FaultSite *_faults = nullptr;
+    sim::TimeAccount *_acct = nullptr;
+    sim::TimeAccount::ResId _bankRes = 0;
+    sim::TimeAccount::ResId _chanRes = 0;
 
     stats::Group _stats;
     stats::Scalar _reads;
@@ -150,6 +169,7 @@ class Dram
     stats::Vector _bankAccesses;  ///< accesses per bank
     stats::Vector _bankOccupancy; ///< busy ticks per bank
     stats::IntervalBandwidth _bandwidth;
+    stats::Histogram _latency; ///< log2 access latency in ticks
     stats::Formula _rowHitRate;
     stats::Scalar _faultStalls;     ///< accesses delayed by faults
     stats::Scalar _faultStallTicks; ///< injected delay in ticks

@@ -112,8 +112,15 @@ MemoryHierarchy::dramLineRead(Addr line_addr, std::uint32_t line_bytes,
         line_addr,
         exclusive ? FetchIntent::ReadExclusive : FetchIntent::Read,
         earliest, line_bytes);
-    if (sh.covered)
+    if (sh.covered) {
         _readAhead.setLastStart(sh.slot, dr.start);
+        // The decoupled stream engine is tied up for one pipelined
+        // line interval per covered fill — the contiguous-ridge
+        // bandwidth floor.
+        if (_acct && _streamLineTicks > 0)
+            _acct->charge(_streamRes, dr.start,
+                          dr.start + _streamLineTicks);
+    }
 
     Tick ready = dr.dataReady + _dramBackTicks;
     const Tick min_use = issue + cyclesToTicks(1);
@@ -146,6 +153,8 @@ MemoryHierarchy::serveRead(std::size_t level, Addr addr, Tick issue,
         served_level = level;
         const Tick occ = nsTicks(t.hitOccupancyNs);
         const Tick start = _ports[level].acquire(issue, occ);
+        if (_acct)
+            _acct->charge(_cacheRes, start, start + occ);
         return std::max(start + occ, issue + nsTicks(t.hitNs));
     }
 
@@ -156,6 +165,8 @@ MemoryHierarchy::serveRead(std::size_t level, Addr addr, Tick issue,
 
     const Tick fill_occ = nsTicks(t.fillOccupancyNs);
     const Tick start = _ports[level].acquire(below, fill_occ);
+    if (_acct)
+        _acct->charge(_cacheRes, start, start + fill_occ);
     return start + fill_occ;
 }
 
@@ -175,7 +186,10 @@ MemoryHierarchy::postWriteback(std::size_t from_level, Addr victim_line,
     }
     const LevelTiming &t = _config.levels[target].timing;
     const CacheResult r = _caches[target]->install(victim_line);
-    _ports[target].acquire(earliest, nsTicks(t.fillOccupancyNs));
+    const Tick occ = nsTicks(t.fillOccupancyNs);
+    const Tick start = _ports[target].acquire(earliest, occ);
+    if (_acct)
+        _acct->charge(_cacheRes, start, start + occ);
     if (r.evictedDirty)
         postWriteback(target, r.victimAddr, earliest);
 }
@@ -207,6 +221,8 @@ MemoryHierarchy::read(Addr addr)
 
     const Tick issue = uses_window ? _readWindow.admit(want) : want;
     _nextIssue = issue + _loadIssueTicks;
+    if (_acct)
+        _acct->charge(_issueRes, issue, _nextIssue);
 
     std::size_t served = 0;
     bool covered = false;
@@ -244,6 +260,8 @@ MemoryHierarchy::serveWrite(std::size_t level, Addr addr, Tick issue,
         served_level = level;
         const Tick occ = nsTicks(t.hitOccupancyNs);
         const Tick start = _ports[level].acquire(issue, occ);
+        if (_acct)
+            _acct->charge(_cacheRes, start, start + occ);
         Tick done = start + occ;
         if (_config.levels[level].cache.writePolicy ==
             WritePolicy::WriteThrough) {
@@ -271,6 +289,8 @@ MemoryHierarchy::serveWrite(std::size_t level, Addr addr, Tick issue,
             postWriteback(level, r.victimAddr, below);
         const Tick fill_occ = nsTicks(t.fillOccupancyNs);
         const Tick start = _ports[level].acquire(below, fill_occ);
+        if (_acct)
+            _acct->charge(_cacheRes, start, start + fill_occ);
         return start + fill_occ;
     }
 
@@ -290,12 +310,16 @@ MemoryHierarchy::write(Addr addr)
         _caches[0]->access(addr, AccessType::Write);
         const Tick proceed = _wbq->store(addr, want);
         _nextIssue = proceed + _storeIssueTicks;
+        if (_acct)
+            _acct->charge(_issueRes, proceed, _nextIssue);
         _lastComplete = std::max(_lastComplete, proceed);
         return proceed;
     }
 
     const Tick issue = std::max(want, _writeWindow.admit(want));
     _nextIssue = issue + _storeIssueTicks;
+    if (_acct)
+        _acct->charge(_issueRes, issue, _nextIssue);
 
     std::size_t served = 0;
     const Tick done = serveWrite(0, addr, issue, served);

@@ -158,6 +158,8 @@ class MemoryHierarchy
     {
         const Tick t = _nextIssue;
         _nextIssue += cyclesToTicks(cycles);
+        if (_acct)
+            _acct->charge(_issueRes, t, _nextIssue);
         return t;
     }
 
@@ -213,6 +215,24 @@ class MemoryHierarchy
 
     /** Install (or clear, with nullptr) the memory-side hook. */
     void setDramHook(DramHook hook) { _dramHook = std::move(hook); }
+
+    /**
+     * Attach the machine's time account.  The hierarchy charges the
+     * processor's issue slots, cache-port occupancy, and the stream
+     * engine's pipelined line intervals; the DRAM and write-back
+     * queue are wired separately by the machine.
+     */
+    void
+    setTimeAccount(sim::TimeAccount *acct,
+                   sim::TimeAccount::ResId issue,
+                   sim::TimeAccount::ResId cachePort,
+                   sim::TimeAccount::ResId stream)
+    {
+        _acct = acct;
+        _issueRes = issue;
+        _cacheRes = cachePort;
+        _streamRes = stream;
+    }
 
     /**
      * Engine-side DRAM word access, bypassing the caches (used by the
@@ -288,6 +308,10 @@ class MemoryHierarchy
     std::unique_ptr<WriteBackQueue> _wbq;
 
     DramHook _dramHook;
+    sim::TimeAccount *_acct = nullptr;
+    sim::TimeAccount::ResId _issueRes = 0;
+    sim::TimeAccount::ResId _cacheRes = 0;
+    sim::TimeAccount::ResId _streamRes = 0;
     OutstandingWindow _readWindow;
     OutstandingWindow _writeWindow;
     Tick _nextIssue = 0;

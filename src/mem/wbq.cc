@@ -47,6 +47,8 @@ WriteBackQueue::closeOpenEntry()
     // DRAM channel, the network links) provide the serialization, so
     // independent entries pipeline.
     const Tick done = _drain(_openChunk, _openBytes, _openIssue);
+    if (_acct)
+        _acct->charge(_res, _openIssue, done);
     if (_drainBandwidth)
         _drainBandwidth->addBytes(done, _openBytes);
     GASNUB_TRACE(trace::Category::Mem, _traceTrack, "wbq.drain",
@@ -89,6 +91,8 @@ WriteBackQueue::store(Addr addr, Tick issue)
         const std::size_t excess = _inflight.size() - _config.depth;
         proceed = _inflight[excess];
         ++_fullStalls;
+        if (_acct)
+            _acct->stall(_res, proceed - issue);
         GASNUB_TRACE(trace::Category::Mem, _traceTrack, "wbq.stall",
                      issue, proceed);
         while (!_inflight.empty() && _inflight.front() <= proceed)

@@ -21,6 +21,7 @@
 
 #include "mem/access.hh"
 #include "sim/stats.hh"
+#include "sim/time_account.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -80,6 +81,17 @@ class WriteBackQueue
     /** Forget all state (between experiments). */
     void reset();
 
+    /**
+     * Attach the machine's time account; entries charge @p res from
+     * close to drain completion, full-queue waits count as stalls.
+     */
+    void
+    setTimeAccount(sim::TimeAccount *acct, sim::TimeAccount::ResId res)
+    {
+        _acct = acct;
+        _res = res;
+    }
+
     const WbqConfig &config() const { return _config; }
 
     std::uint64_t coalescedStores() const
@@ -101,6 +113,8 @@ class WriteBackQueue
 
     WbqConfig _config;
     DrainFn _drain;
+    sim::TimeAccount *_acct = nullptr;
+    sim::TimeAccount::ResId _res = 0;
 
     /** Completion ticks of entries already handed to the drain. */
     std::deque<Tick> _inflight;

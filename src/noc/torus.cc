@@ -37,6 +37,9 @@ Torus::Torus(const TorusConfig &config, stats::Group *parent)
                          config.dimY * config.dimZ * 6),
       _bandwidth(&_stats, config.name + ".bandwidth",
                  "payload bytes delivered per time bucket"),
+      _packetLatency(&_stats, config.name + ".packetLatency",
+                     "inject-to-arrival latency in ticks (log2 "
+                     "buckets)"),
       _faultDetours(&_stats, config.name + ".faults.detours",
                     "rings routed the long way around a severed link"),
       _faultSlowTicks(&_stats, config.name + ".faults.slowTicks",
@@ -220,6 +223,8 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
             ++_faultNicStalls;
             _faultNicStallTicks +=
                 static_cast<double>(delayed - inject_earliest);
+            if (_acct)
+                _acct->stall(_nicRes, delayed - inject_earliest);
             inject_earliest = delayed;
         }
     }
@@ -227,6 +232,9 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
     // Source NIC injection port busy for the whole packet.
     const Tick injected = _nicsOut[src_nic].acquire(
         inject_earliest, _nicTicks + wire_ticks);
+    if (_acct)
+        _acct->charge(_nicRes, injected,
+                      injected + _nicTicks + wire_ticks);
 
     PacketResult res;
     res.injected = injected;
@@ -235,9 +243,12 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
         // Loopback: ejected through the shared NIC's input port.
         const Tick eject = _nicsIn[dst_nic].acquire(
             injected + _nicTicks + wire_ticks, _nicTicks);
+        if (_acct)
+            _acct->charge(_nicRes, eject, eject + _nicTicks);
         res.arrived = eject + _nicTicks;
         res.hops = 0;
         _bandwidth.addBytes(res.arrived, payload_bytes);
+        _packetLatency.sample(res.arrived - res.injected);
         GASNUB_TRACE(trace::Category::Noc, _traceTrack, "packet",
                      res.injected, res.arrived, "dst",
                      static_cast<std::uint64_t>(dst), "bytes",
@@ -266,14 +277,19 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
         }
         const Tick start = _links[l].acquire(head, occupy);
         _linkBusyTicks[l] += static_cast<double>(occupy);
+        if (_acct)
+            _acct->charge(_linkRes, start, start + occupy);
         head = start + _hopTicks;
     }
     // Tail arrives one wire time after the head clears the last link;
     // the destination NIC's eject port takes the packet.
     const Tick eject =
         _nicsIn[dst_nic].acquire(head + wire_ticks, _nicTicks);
+    if (_acct)
+        _acct->charge(_nicRes, eject, eject + _nicTicks);
     res.arrived = eject + _nicTicks;
     _bandwidth.addBytes(res.arrived, payload_bytes);
+    _packetLatency.sample(res.arrived - res.injected);
     GASNUB_TRACE(trace::Category::Noc, _traceTrack, "packet",
                  res.injected, res.arrived, "dst",
                  static_cast<std::uint64_t>(dst), "bytes",

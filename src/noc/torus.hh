@@ -23,6 +23,7 @@
 #include "mem/resource.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "sim/time_account.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -116,6 +117,21 @@ class Torus
     /** Forget all reservations and partner state. */
     void reset();
 
+    /**
+     * Attach the machine's time account; link occupancy (including
+     * fault-injected slowdowns) charges @p link, NIC inject/eject
+     * occupancy charges @p nic, backpressure counts as NIC stall.
+     */
+    void
+    setTimeAccount(sim::TimeAccount *acct,
+                   sim::TimeAccount::ResId link,
+                   sim::TimeAccount::ResId nic)
+    {
+        _acct = acct;
+        _linkRes = link;
+        _nicRes = nic;
+    }
+
     const TorusConfig &config() const { return _config; }
 
     stats::Group &statsGroup() { return _stats; }
@@ -154,6 +170,10 @@ class Torus
 
     mutable std::vector<std::size_t> _routeScratch;
 
+    sim::TimeAccount *_acct = nullptr;
+    sim::TimeAccount::ResId _linkRes = 0;
+    sim::TimeAccount::ResId _nicRes = 0;
+
     /** Injected faults; all empty/false when injection is off. */
     std::vector<double> _linkSlow;        ///< bandwidth divisor per link
     std::vector<char> _linkDownMap;       ///< severed directed links
@@ -167,6 +187,7 @@ class Torus
     stats::Scalar _partnerSwitches;
     stats::Vector _linkBusyTicks; ///< occupancy per directed link
     stats::IntervalBandwidth _bandwidth;
+    stats::Histogram _packetLatency; ///< inject-to-arrival, log2 ticks
     stats::Scalar _faultDetours;      ///< rings routed the long way
     stats::Scalar _faultSlowTicks;    ///< extra occupancy on slow links
     stats::Scalar _faultNicStalls;    ///< injections hit by backpressure

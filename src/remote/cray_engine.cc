@@ -161,6 +161,8 @@ CrayEngine::deposit(const TransferRequest &req, Tick start)
                 dst->invalidateLine(chunk);
                 return done;
             });
+        if (_acct)
+            capture.setTimeAccount(_acct, _wbqRes);
 
         src->stallUntil(start);
         const double store_cycles = src->config().cpu.storeIssueCycles;
@@ -205,6 +207,8 @@ CrayEngine::deposit(const TransferRequest &req, Tick start)
 
         const Tick t0 = cursor;
         cursor += _requestTicks;
+        if (_acct)
+            _acct->charge(_engineRes, t0, cursor);
         const Tick rd = src->engineAccess(sa, mem::AccessType::Read,
                                           t0 + _engineTicks, bytes);
         const noc::PacketResult pr =
@@ -253,6 +257,8 @@ CrayEngine::fetch(const TransferRequest &req, Tick start)
 
         const Tick t0 = cursor;
         cursor += _requestTicks;
+        if (_acct)
+            _acct->charge(_engineRes, t0, cursor);
         const noc::PacketResult preq = _torus->send(
             req.dst, req.src, _config.requestBytes, t0);
         const Tick rd = src->engineAccess(

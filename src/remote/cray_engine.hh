@@ -75,6 +75,21 @@ class CrayEngine : public RemoteOps
                   Tick start) override;
     void resetTiming() override;
 
+    /**
+     * Attach the machine's time account; per-block request issue
+     * charges @p engine, the T3D's transient capture queues charge
+     * @p wbq like the node's own write-back queue.
+     */
+    void
+    setTimeAccount(sim::TimeAccount *acct,
+                   sim::TimeAccount::ResId engine,
+                   sim::TimeAccount::ResId wbq)
+    {
+        _acct = acct;
+        _engineRes = engine;
+        _wbqRes = wbq;
+    }
+
     const CrayEngineConfig &config() const { return _config; }
 
   private:
@@ -90,6 +105,9 @@ class CrayEngine : public RemoteOps
     CrayEngineConfig _config;
     std::vector<mem::MemoryHierarchy *> _nodes;
     noc::Torus *_torus;
+    sim::TimeAccount *_acct = nullptr;
+    sim::TimeAccount::ResId _engineRes = 0;
+    sim::TimeAccount::ResId _wbqRes = 0;
     Tick _engineTicks;
     Tick _requestTicks;
     Tick _fetchExtraTicks;

@@ -262,6 +262,105 @@ Distribution::reset()
     _maxSeen = 0;
 }
 
+unsigned
+Histogram::bucketOf(std::uint64_t v)
+{
+    GASNUB_ASSERT(v >= 1, "bucketOf is defined for v >= 1");
+    unsigned i = 0;
+    while (v >>= 1)
+        ++i;
+    return i;
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (_count == 0) {
+        _minSeen = v;
+        _maxSeen = v;
+    } else {
+        _minSeen = std::min(_minSeen, v);
+        _maxSeen = std::max(_maxSeen, v);
+    }
+    _count += n;
+    _sum += v * n;
+    if (v == 0) {
+        _zeros += n;
+        return;
+    }
+    const unsigned idx = bucketOf(v);
+    if (idx >= _buckets.size())
+        _buckets.resize(idx + 1, 0);
+    _buckets[idx] += n;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " n=" << _count
+       << " sum=" << _sum << " min=" << minSeen()
+       << " max=" << maxSeen() << " # " << desc() << "\n";
+    if (_zeros)
+        os << "  " << name() << ".bucket[0] " << _zeros << "\n";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        os << "  " << name() << ".bucket[" << (std::uint64_t(1) << i)
+           << "," << (std::uint64_t(1) << (i + 1)) << ") "
+           << _buckets[i] << "\n";
+    }
+}
+
+void
+Histogram::printJson(std::ostream &os) const
+{
+    jsonHead(os, *this, "histogram");
+    os << ",\"count\":" << _count << ",\"sum\":" << _sum
+       << ",\"min\":" << minSeen() << ",\"max\":" << maxSeen()
+       << ",\"zeros\":" << _zeros << ",\"buckets\":[";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (i)
+            os << ',';
+        os << _buckets[i];
+    }
+    os << "]}";
+}
+
+void
+Histogram::reset()
+{
+    _buckets.clear();
+    _zeros = 0;
+    _count = 0;
+    _sum = 0;
+    _minSeen = 0;
+    _maxSeen = 0;
+}
+
+void
+Histogram::mergeFrom(const StatBase &other)
+{
+    const Histogram &peer = mergePeer<Histogram>(*this, other);
+    if (peer._count == 0)
+        return;
+    if (_count == 0) {
+        _minSeen = peer._minSeen;
+        _maxSeen = peer._maxSeen;
+    } else {
+        _minSeen = std::min(_minSeen, peer._minSeen);
+        _maxSeen = std::max(_maxSeen, peer._maxSeen);
+    }
+    if (peer._buckets.size() > _buckets.size())
+        _buckets.resize(peer._buckets.size(), 0);
+    for (std::size_t i = 0; i < peer._buckets.size(); ++i)
+        _buckets[i] += peer._buckets[i];
+    _zeros += peer._zeros;
+    _count += peer._count;
+    _sum += peer._sum;
+}
+
 Vector::Vector(Group *group, std::string name, std::string desc,
                std::size_t size)
     : StatBase(group, std::move(name), std::move(desc)),

@@ -164,6 +164,46 @@ class Distribution : public StatBase
 };
 
 /**
+ * A log2-bucketed histogram of non-negative integer samples (latencies
+ * in ticks, sizes in bytes).  Bucket i counts samples in
+ * [2^i, 2^(i+1)); zero-valued samples have their own counter.  The
+ * bucket vector grows on demand to the highest sampled magnitude, so
+ * the JSON shape depends only on the sample multiset — merging two
+ * histograms in either order yields byte-identical output.
+ */
+class Histogram : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** Record @p n occurrences of the value @p v. */
+    void sample(std::uint64_t v, std::uint64_t n = 1);
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t zeros() const { return _zeros; }
+    std::uint64_t minSeen() const { return _count ? _minSeen : 0; }
+    std::uint64_t maxSeen() const { return _count ? _maxSeen : 0; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** Index of the bucket holding @p v (>= 1): floor(log2(v)). */
+    static unsigned bucketOf(std::uint64_t v);
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override;
+    void mergeFrom(const StatBase &other) override;
+
+  private:
+    std::vector<std::uint64_t> _buckets; ///< counts for [2^i, 2^(i+1))
+    std::uint64_t _zeros = 0;
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _minSeen = 0;
+    std::uint64_t _maxSeen = 0;
+};
+
+/**
  * A fixed-size vector of counters, e.g.\ per-DRAM-bank accesses or
  * per-torus-link busy time.  Elements may be given subnames for the
  * human dump; unnamed elements print their index.

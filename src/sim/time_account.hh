@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-resource time accounting for bottleneck attribution.
+ *
+ * Every timed component charges a TimeAccount with the busy intervals
+ * of the hardware resource it models (a DRAM bank, a torus link, the
+ * 8400 address bus, ...) and with the ticks requests spent stalled
+ * waiting for it.  Cumulative busy/stall counters are always
+ * maintained; while the account is *armed* (one characterization
+ * point), the raw intervals are additionally captured so that
+ * finishPoint() can decompose the point's elapsed time exactly into
+ * per-resource shares:
+ *
+ *  - resources are ranked by raw busy time (descending);
+ *  - the top resource is attributed its full busy coverage;
+ *  - each further resource is attributed only the part of its busy
+ *    coverage not already claimed by higher-ranked resources — the
+ *    rest is *hidden* behind them (overlap);
+ *  - whatever part of the elapsed window no resource covers is
+ *    attributed to "sw.overhead" (issue latency, wire latency,
+ *    software gaps).
+ *
+ * By construction the attributed shares sum to the elapsed window in
+ * exact integer ticks.  All bookkeeping is off the timing path:
+ * charging never changes when anything happens, so simulated
+ * bandwidth is identical with accounting on or off.
+ */
+
+#ifndef GASNUB_SIM_TIME_ACCOUNT_HH
+#define GASNUB_SIM_TIME_ACCOUNT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gasnub::sim {
+
+class TimeAccount
+{
+  public:
+    using ResId = std::uint32_t;
+
+    /** Resource 0 is the built-in residual, "sw.overhead". */
+    static constexpr ResId overheadRes = 0;
+
+    TimeAccount();
+
+    /**
+     * Register (or look up) a resource class by name.  Registration
+     * order is stable and deterministic: machine replicas built from
+     * the same SystemConfig register the same names in the same
+     * order, which is what makes per-point attribution vectors and
+     * merged cumulative counters byte-identical across --jobs.
+     */
+    ResId resource(const std::string &name);
+
+    const std::vector<std::string> &names() const { return _names; }
+
+    /**
+     * Charge resource @p r busy for [start, end).  Always feeds the
+     * cumulative busy counter; captures the raw interval only while
+     * armed.
+     */
+    void
+    charge(ResId r, Tick start, Tick end)
+    {
+        if (end <= start)
+            return;
+        _busy[r] += end - start;
+        if (_armed)
+            _intervals[r].emplace_back(start, end);
+    }
+
+    /** Account @p ticks a request spent stalled waiting for @p r. */
+    void
+    stall(ResId r, Tick ticks)
+    {
+        _stall[r] += ticks;
+    }
+
+    Tick busyTicks(ResId r) const { return _busy[r]; }
+    Tick stallTicks(ResId r) const { return _stall[r]; }
+
+    /** Cumulative busy ticks by resource name; 0 when unknown. */
+    Tick busyTicks(const std::string &name) const;
+    /** Cumulative stall ticks by resource name; 0 when unknown. */
+    Tick stallTicks(const std::string &name) const;
+
+    /** Begin capturing intervals for one characterization point. */
+    void arm();
+    bool armed() const { return _armed; }
+
+    /**
+     * Drop intervals captured so far (the point's priming phase);
+     * keeps the armed flag.  Machine::resetTiming calls this so a
+     * kernel's measured region starts from a clean slate at tick 0.
+     */
+    void resetPoint();
+
+    /** The exact decomposition of one point's elapsed time. */
+    struct PointAttribution
+    {
+        Tick elapsed = 0;
+        /** Attributed share per resource, registration order;
+         *  sums to elapsed exactly. */
+        std::vector<Tick> attributed;
+        /** Raw busy per resource within [0, elapsed); the part not
+         *  attributed was hidden under higher-ranked resources. */
+        std::vector<Tick> busy;
+    };
+
+    /**
+     * Close the armed point: compute the layered attribution of
+     * [0, elapsed) described above, disarm, and drop the captured
+     * intervals.
+     */
+    PointAttribution finishPoint(Tick elapsed);
+
+    /** Zero the cumulative busy/stall counters (keeps resources). */
+    void resetCumulative();
+
+    /** Fold another account's cumulative counters in, by name. */
+    void mergeFrom(const TimeAccount &other);
+
+  private:
+    std::vector<std::string> _names;
+    std::vector<Tick> _busy;
+    std::vector<Tick> _stall;
+    std::vector<std::vector<std::pair<Tick, Tick>>> _intervals;
+    bool _armed = false;
+};
+
+/**
+ * Exposes a TimeAccount's cumulative busy/stall counters as one stat
+ * in the owning machine's group, so --stats-json carries the
+ * attribution ledger and parallel sweeps merge it like any other
+ * stat.
+ */
+class TimeAccountStat : public stats::StatBase
+{
+  public:
+    TimeAccountStat(stats::Group *group, std::string name,
+                    std::string desc, TimeAccount *acct);
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override;
+    void mergeFrom(const StatBase &other) override;
+
+  private:
+    TimeAccount *_acct;
+};
+
+} // namespace gasnub::sim
+
+#endif // GASNUB_SIM_TIME_ACCOUNT_HH

@@ -97,4 +97,76 @@ TEST(SurfaceIoDeath, RejectsTruncatedData)
                 ::testing::ExitedWithCode(1), "surface stream");
 }
 
+namespace {
+
+/** A surface with a full attribution layer attached. */
+Surface
+attributed()
+{
+    Surface s("Cray T3E local loads (test)", {512, 4_KiB}, {1, 96});
+    s.enableAttribution({"sw.overhead", "cpu.issue", "dram.chan"});
+    gasnub::Tick e = 1000;
+    for (std::uint64_t w : s.workingSets()) {
+        for (std::uint64_t st : s.strides()) {
+            s.set(w, st, 123.5);
+            // Shares always sum exactly to the elapsed ticks.
+            s.setAttribution(w, st, e, {e / 4, e / 4, e / 2});
+            e += 1000;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(SurfaceIo, AttributionRoundTripsAsVersion2)
+{
+    const Surface original = attributed();
+    std::stringstream ss;
+    saveSurface(original, ss);
+    EXPECT_EQ(ss.str().rfind("gasnub-surface 2", 0), 0u);
+    EXPECT_NE(ss.str().find("attribution 3 sw.overhead cpu.issue "
+                            "dram.chan"),
+              std::string::npos);
+
+    const Surface loaded = loadSurface(ss);
+    ASSERT_TRUE(loaded.hasAttribution());
+    EXPECT_EQ(loaded.attrResources(), original.attrResources());
+    for (std::uint64_t w : original.workingSets()) {
+        for (std::uint64_t st : original.strides()) {
+            EXPECT_DOUBLE_EQ(loaded.at(w, st), original.at(w, st));
+            EXPECT_EQ(loaded.elapsedAt(w, st),
+                      original.elapsedAt(w, st));
+            EXPECT_EQ(loaded.attributionAt(w, st),
+                      original.attributionAt(w, st));
+        }
+    }
+}
+
+TEST(SurfaceIo, PlainSurfacesStayVersion1)
+{
+    // No attribution -> the v1 bytes, so golden files and old readers
+    // are unaffected.
+    std::stringstream ss;
+    saveSurface(sample(), ss);
+    EXPECT_EQ(ss.str().rfind("gasnub-surface 1", 0), 0u);
+    EXPECT_EQ(ss.str().find("attribution"), std::string::npos);
+    EXPECT_FALSE(loadSurface(ss).hasAttribution());
+}
+
+TEST(SurfaceIoDeath, RejectsAttributionSharesNotSummingToElapsed)
+{
+    std::stringstream ss;
+    saveSurface(attributed(), ss);
+    std::string text = ss.str();
+    // Corrupt the first attribution row: 1000 250 250 500 -> 499.
+    const std::string good = "1000 250 250 500";
+    const std::size_t pos = text.find(good);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, good.size(), "1000 250 250 499");
+    std::stringstream corrupted(text);
+    EXPECT_EXIT(loadSurface(corrupted), ::testing::ExitedWithCode(1),
+                "attribution shares");
+}
+
 } // namespace

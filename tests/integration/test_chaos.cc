@@ -14,6 +14,7 @@
 #include "gas/runtime.hh"
 #include "machine/machine.hh"
 #include "sim/fault.hh"
+#include "sim/time_account.hh"
 #include "sim/units.hh"
 
 namespace {
@@ -198,6 +199,69 @@ TEST(ChaosSweeps, FaultsShiftTheMeasuredSurface)
     const core::Surface cs = core::Characterizer(cm).run(spec, cfg);
     const core::Surface fs = core::Characterizer(fm).run(spec, cfg);
     EXPECT_LT(fs.at(64_KiB, 1), cs.at(64_KiB, 1));
+}
+
+TEST(ChaosAttribution, FaultedResourcesShowUpInTheLedger)
+{
+    // Satellite of the bottleneck-attribution work: under a fault
+    // plan that slows links and flakes transfers, the ledger must
+    // attribute time to the faulted interconnect and to the retry
+    // backoff — chaos pain is visible per resource, not just as a
+    // slower total.
+    machine::SystemConfig sys;
+    sys.kind = machine::SystemKind::CrayT3E;
+    sys.numNodes = 4;
+    sys.attribution = true;
+    sys.faults = sim::FaultPlan::parse(
+        "seed=16;link-slow:factor=8;flaky-transfer:prob=.1");
+    machine::Machine m(sys);
+    ASSERT_NE(m.timeAccount(), nullptr);
+
+    gas::RuntimeConfig rcfg;
+    rcfg.regionsPerNode = 2;
+    rcfg.retry.maxAttempts = 6;
+    gas::Runtime rt(m, rcfg);
+    gas::Fft2d app(rt);
+    gas::Fft2dConfig cfg;
+    cfg.n = 32;
+    cfg.verifyNumerics = true;
+    const fft::Fft2dResult r = app.run(cfg);
+    EXPECT_LE(r.maxError, 1e-6);
+
+    const sim::TimeAccount &acct = *m.timeAccount();
+    // The slowed links were busy (their occupancy, fault factor
+    // included, is charged as link time).
+    EXPECT_GT(acct.busyTicks("noc.link"), 0u);
+    // Every retry's backoff window was charged to gas.retry.
+    EXPECT_GT(rt.retries(), 0u);
+    EXPECT_GT(acct.busyTicks("gas.retry"), 0u);
+}
+
+TEST(ChaosAttribution, AttributionDoesNotPerturbFaultyRuns)
+{
+    // Accounting under chaos is still observation-only: identical
+    // ticks, retries and bytes with the ledger on and off.
+    const std::string spec = "seed=16;flaky-transfer:prob=.1";
+    const ChaosRun off = runFft(machine::SystemKind::CrayT3D, spec);
+
+    machine::SystemConfig sys;
+    sys.kind = machine::SystemKind::CrayT3D;
+    sys.numNodes = 4;
+    sys.attribution = true;
+    sys.faults = sim::FaultPlan::parse(spec);
+    machine::Machine m(sys);
+    gas::RuntimeConfig rcfg;
+    rcfg.regionsPerNode = 2;
+    rcfg.retry.maxAttempts = 6;
+    gas::Runtime rt(m, rcfg);
+    gas::Fft2d app(rt);
+    gas::Fft2dConfig cfg;
+    cfg.n = 32;
+    cfg.verifyNumerics = true;
+    const fft::Fft2dResult r = app.run(cfg);
+    EXPECT_EQ(r.totalTicks, off.totalTicks);
+    EXPECT_EQ(rt.retries(), off.retries);
+    EXPECT_EQ(rt.deliveredBytes(), off.deliveredBytes);
 }
 
 } // namespace

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -229,6 +231,131 @@ TEST(Group, DumpJsonIsWellFormedAndStable)
               std::count(out.begin(), out.end(), ']'));
     // Byte-stable across identical dumps.
     EXPECT_EQ(out, dump());
+}
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo)
+{
+    // Bucket i holds [2^i, 2^(i+1)): 1 is alone in bucket 0; 2 and 3
+    // share bucket 1; 4..7 share bucket 2.
+    EXPECT_EQ(Histogram::bucketOf(1), 0u);
+    EXPECT_EQ(Histogram::bucketOf(2), 1u);
+    EXPECT_EQ(Histogram::bucketOf(3), 1u);
+    EXPECT_EQ(Histogram::bucketOf(4), 2u);
+    EXPECT_EQ(Histogram::bucketOf(7), 2u);
+    EXPECT_EQ(Histogram::bucketOf(8), 3u);
+    EXPECT_EQ(Histogram::bucketOf((std::uint64_t(1) << 40) - 1), 39u);
+    EXPECT_EQ(Histogram::bucketOf(std::uint64_t(1) << 40), 40u);
+
+    Group g("g");
+    Histogram h(&g, "g.h", "d");
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    h.sample(0, 4); // zeros are counted apart, not in bucket 0
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 6u);
+    EXPECT_EQ(h.zeros(), 4u);
+    EXPECT_EQ(h.minSeen(), 0u);
+    EXPECT_EQ(h.maxSeen(), 3u);
+    ASSERT_EQ(h.buckets().size(), 2u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+}
+
+TEST(Histogram, EmptyJsonShape)
+{
+    Group g("g");
+    Histogram h(&g, "g.h", "d");
+    std::ostringstream os;
+    h.printJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"g.h\",\"type\":\"histogram\","
+              "\"desc\":\"d\",\"count\":0,\"sum\":0,\"min\":0,"
+              "\"max\":0,\"zeros\":0,\"buckets\":[]}");
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Group g("g");
+    Histogram h(&g, "g.h", "d");
+    h.sample(100, 3);
+    h.sample(0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.zeros(), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+    // Same JSON shape as a never-sampled histogram.
+    std::ostringstream after;
+    h.printJson(after);
+    EXPECT_NE(after.str().find("\"count\":0"), std::string::npos);
+    EXPECT_NE(after.str().find("\"buckets\":[]"), std::string::npos);
+}
+
+namespace {
+
+/** JSON of a histogram built by merging @p parts in the given order. */
+std::string
+mergedJson(const std::vector<std::vector<std::uint64_t>> &parts,
+           const std::vector<std::size_t> &order)
+{
+    Group g("g");
+    Histogram acc(&g, "g.h", "d");
+    std::vector<std::unique_ptr<Histogram>> hs;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        hs.push_back(std::make_unique<Histogram>(
+            &g, "g.h", "d"));
+        for (std::uint64_t v : parts[i])
+            hs.back()->sample(v);
+    }
+    for (std::size_t i : order)
+        acc.mergeFrom(*hs[i]);
+    std::ostringstream os;
+    acc.printJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Histogram, MergeIsOrderIndependentByteForByte)
+{
+    const std::vector<std::vector<std::uint64_t>> parts = {
+        {1, 5, 1000, 0},
+        {},
+        {7, 7, 7, 123456789},
+        {2},
+    };
+    const std::string a = mergedJson(parts, {0, 1, 2, 3});
+    const std::string b = mergedJson(parts, {3, 2, 1, 0});
+    const std::string c = mergedJson(parts, {2, 0, 3, 1});
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    // And associativity: ((p0+p1)+p2)+p3 vs p0+((p1+p2)+p3) by
+    // pre-merging pairs.
+    Group g("g");
+    Histogram left(&g, "g.h", "d"), right(&g, "g.h", "d");
+    Histogram p01(&g, "g.h", "d"), p123(&g, "g.h", "d");
+    std::vector<std::unique_ptr<Histogram>> hs;
+    for (const auto &p : parts) {
+        hs.push_back(std::make_unique<Histogram>(&g, "g.h", "d"));
+        for (std::uint64_t v : p)
+            hs.back()->sample(v);
+    }
+    p01.mergeFrom(*hs[0]);
+    p01.mergeFrom(*hs[1]);
+    left.mergeFrom(p01);
+    left.mergeFrom(*hs[2]);
+    left.mergeFrom(*hs[3]);
+    p123.mergeFrom(*hs[1]);
+    p123.mergeFrom(*hs[2]);
+    p123.mergeFrom(*hs[3]);
+    right.mergeFrom(*hs[0]);
+    right.mergeFrom(p123);
+    std::ostringstream osl, osr;
+    left.printJson(osl);
+    right.printJson(osr);
+    EXPECT_EQ(osl.str(), osr.str());
+    EXPECT_EQ(osl.str(), a);
 }
 
 } // namespace

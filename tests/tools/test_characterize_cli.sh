@@ -80,4 +80,45 @@ else
     echo "ok: valid run"
 fi
 
+# --help documents that --stats-json and --attribution output is
+# byte-identical at any --jobs level.
+if ! "$bin" --help | grep -q "byte-identical"; then
+    echo "FAIL: --help does not document --stats-json byte-identity"
+    fails=1
+else
+    echo "ok: --help documents byte-identity"
+fi
+
+# --attribution writes a v2 surface whose bytes (and the --stats-json
+# ledger's) do not depend on --jobs.
+tmp=$(mktemp -d)
+trap 'rm -f "$err"; rm -rf "$tmp"' EXIT
+for j in 1 4; do
+    if ! "$bin" t3e loads --max-ws=8K --cap 4K --attribution \
+            --jobs "$j" --out "$tmp/s$j" \
+            --stats-json "$tmp/j$j" >/dev/null 2>"$err"; then
+        echo "FAIL: --attribution --jobs $j run failed"
+        cat "$err"
+        fails=1
+    fi
+done
+if ! head -1 "$tmp/s1" | grep -q "^gasnub-surface 2$"; then
+    echo "FAIL: --attribution surface is not format version 2"
+    fails=1
+elif ! grep -q "^attribution " "$tmp/s1"; then
+    echo "FAIL: --attribution surface has no attribution section"
+    fails=1
+else
+    echo "ok: --attribution writes a v2 surface"
+fi
+if ! cmp -s "$tmp/s1" "$tmp/s4"; then
+    echo "FAIL: attribution surface differs between --jobs 1 and 4"
+    fails=1
+elif ! cmp -s "$tmp/j1" "$tmp/j4"; then
+    echo "FAIL: --stats-json differs between --jobs 1 and 4"
+    fails=1
+else
+    echo "ok: --jobs 1 and --jobs 4 are byte-identical"
+fi
+
 exit $fails

@@ -21,12 +21,13 @@
  *     Machine, so disabled fault hooks perturb nothing.
  *
  *   chaos [--machine M] [--scenario S] [--faults SPEC] [--n N]
- *         [--watchdog SECONDS] [--list]
+ *         [--watchdog SECONDS] [--stats-json FILE] [--list]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -46,8 +47,8 @@ usage()
         stderr,
         "usage: chaos [--machine dec8400|t3d|t3e|all] "
         "[--scenario NAME|all]\n"
-        "             [--faults SPEC] [--n N] [--watchdog SECONDS] "
-        "[--list]\n"
+        "             [--faults SPEC] [--n N] [--watchdog SECONDS]\n"
+        "             [--stats-json FILE] [--list]\n"
         "  --machine M    machine(s) to sweep (default all)\n"
         "  --scenario S   built-in scenario to run (default all; "
         "--list names them)\n"
@@ -56,6 +57,9 @@ usage()
         "  --n N          FFT size (default 64)\n"
         "  --watchdog S   wall-clock budget per run in seconds "
         "(default 120)\n"
+        "  --stats-json FILE  write the stats tree (including the\n"
+        "                 timeAccount attribution ledger) of the last\n"
+        "                 scenario run to FILE; feed it to tools/report\n"
         "  --list         print the scenario library and exit\n");
     std::exit(2);
 }
@@ -77,15 +81,20 @@ struct RunResult
     }
 };
 
-/** The gas 2D-FFT under @p plan on a fresh machine of @p kind. */
+/**
+ * The gas 2D-FFT under @p plan on a fresh machine of @p kind.  A
+ * non-empty @p stats_json additionally builds the attribution ledger
+ * and dumps the machine's stats tree to that file.
+ */
 RunResult
 runOnce(machine::SystemKind kind, const sim::FaultPlan &plan,
-        std::uint64_t n)
+        std::uint64_t n, const std::string &stats_json = "")
 {
     machine::SystemConfig sys;
     sys.kind = kind;
     sys.numNodes = 4;
     sys.faults = plan;
+    sys.attribution = !stats_json.empty();
     machine::Machine m(sys);
 
     gas::RuntimeConfig rcfg;
@@ -109,6 +118,16 @@ runOnce(machine::SystemKind kind, const sim::FaultPlan &plan,
     out.failedOps = rt.failedOps();
     out.retries = rt.retries();
     out.deliveredBytes = rt.deliveredBytes();
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::fprintf(stderr, "chaos: cannot open %s\n",
+                         stats_json.c_str());
+            std::exit(2);
+        }
+        m.statsGroup().dumpJson(os);
+        os << "\n";
+    }
     return out;
 }
 
@@ -132,6 +151,7 @@ main(int argc, char **argv)
     std::string machine_arg = "all";
     std::string scenario_arg = "all";
     std::string faults_arg;
+    std::string stats_json;
     std::uint64_t n = 64;
     double watchdog_s = 120;
     for (int i = 1; i < argc; ++i) {
@@ -160,6 +180,8 @@ main(int argc, char **argv)
             n = std::strtoull(val.c_str(), nullptr, 10);
         else if (opt == "--watchdog")
             watchdog_s = std::strtod(val.c_str(), nullptr);
+        else if (opt == "--stats-json")
+            stats_json = val;
         else
             usage();
     }
@@ -222,11 +244,15 @@ main(int argc, char **argv)
             const std::string label = mname + "/" + s.name;
             sim::Watchdog wd(watchdog_s, label);
             const sim::FaultPlan plan = sim::FaultPlan::resolve(s.spec);
-            const RunResult a = runOnce(kind, plan, n);
+            // Run a carries the attribution ledger when requested,
+            // run b never does — so the determinism check doubles as
+            // proof that accounting perturbs no timing.
+            const RunResult a = runOnce(kind, plan, n, stats_json);
             const RunResult b = runOnce(kind, plan, n);
             check(a == b, label,
                   "two identical runs disagree; fault injection is "
-                  "not deterministic");
+                  "not deterministic (or attribution perturbs "
+                  "timing)");
             if (s.recoverable) {
                 check(a.failedOps == 0, label,
                       "recoverable scenario lost " +

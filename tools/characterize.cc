@@ -66,7 +66,8 @@ printUsage(std::ostream &os)
           "                    [--out FILE] [--procs N] [--jobs N]\n"
           "                    [--trace-out FILE] "
           "[--trace-categories LIST]\n"
-          "                    [--stats-json FILE] [--faults SPEC]\n"
+          "                    [--stats-json FILE] [--faults SPEC] "
+          "[--attribution]\n"
           "       characterize --help\n"
           "benchmarks: loads stores copy-sload copy-sstore pull\n"
           "            fetch-sload fetch-sstore deposit-sload "
@@ -105,7 +106,23 @@ help()
            "if FILE ends in .csv)\n"
            "  --trace-categories  comma-separated subset of "
            "mem,noc,remote,kernel,sim\n"
-           "  --stats-json FILE   stats tree as JSON\n"
+           "  --stats-json FILE   stats tree as JSON; with --jobs N "
+           "the workers'\n"
+           "                      stats are merged deterministically, "
+           "so the file is\n"
+           "                      byte-identical for any N (including "
+           "the timeAccount\n"
+           "                      ledger written with --attribution)\n"
+           "  --attribution       account every simulated tick to the "
+           "hardware\n"
+           "                      resource that consumed it; surfaces "
+           "saved with --out\n"
+           "                      gain per-point attribution rows "
+           "(format v2) and\n"
+           "                      --stats-json gains the cumulative "
+           "ledger; feed either\n"
+           "                      to tools/report for a ranked "
+           "bottleneck breakdown\n"
            "  --faults SPEC       inject faults while measuring "
            "(default: GASNUB_FAULTS;\n"
            "                      SPEC is a ';'-separated list or "
@@ -211,11 +228,16 @@ main(int argc, char **argv)
     std::string trace_categories = "all";
     std::string stats_json;
     std::string faults_arg;
+    bool attribution = false;
     for (int i = 3; i < argc; ++i) {
         std::string opt = argv[i];
         std::string val;
         if (opt.rfind("--", 0) != 0)
             fail("unexpected argument '" + opt + "'");
+        if (opt == "--attribution") {
+            attribution = true;
+            continue;
+        }
         // Accept both "--opt value" and "--opt=value".
         const std::size_t eq = opt.find('=');
         if (eq != std::string::npos) {
@@ -302,6 +324,7 @@ main(int argc, char **argv)
     sys.kind = kind;
     sys.numNodes = procs;
     sys.faults = sim::FaultPlan::fromEnvOr(faults_arg);
+    sys.attribution = attribution;
     if (!sys.faults.empty())
         std::cerr << "faults: " << sys.faults.describe() << "\n";
     machine::Machine m(sys);
