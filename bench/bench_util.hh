@@ -27,8 +27,11 @@
 
 #include "core/characterizer.hh"
 #include "core/sweep_runner.hh"
+#include "gas/fft2d.hh"
+#include "gas/runtime.hh"
 #include "machine/machine.hh"
 #include "sim/pool.hh"
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/units.hh"
@@ -54,6 +57,9 @@ fullRun(int argc, char **argv)
  *                            GASNUB_JOBS, then hardware concurrency;
  *                            1 = serial; output is byte-identical
  *                            either way)
+ *   --profile                profile the simulator itself: ranked
+ *                            host wall-clock zone report on stderr
+ *                            at finish() (GASNUB_PROFILE=1 works too)
  *
  * Construct at the top of main (enables tracing before the machine is
  * built) and call finish() with the machine's stats group at the end.
@@ -78,7 +84,10 @@ struct Observability
                 statsJson = a.substr(13);
             else if (a.rfind("--jobs=", 0) == 0)
                 jobs_arg = std::atoi(a.c_str() + 7);
+            else if (a == "--profile")
+                prof::Profiler::enable(true);
         }
+        prof::Profiler::enableFromEnv();
         jobs = sim::defaultJobs(jobs_arg);
         if (!traceOut.empty())
             trace::Tracer::instance().setMask(mask);
@@ -112,6 +121,8 @@ struct Observability
             os << "\n";
             std::fprintf(stderr, "stats: %s\n", statsJson.c_str());
         }
+        if (prof::enabled())
+            prof::Profiler::instance().report(std::cerr);
     }
 };
 
@@ -187,6 +198,141 @@ copySliceGrid(std::uint64_t cap_bytes)
     cfg.workingSets = {65 * 1_MiB};
     cfg.capBytes = cap_bytes;
     return cfg;
+}
+
+/**
+ * One pinned scenario of the benchmark protocol (tools/bench).
+ *
+ * Each scenario fixes a machine, a workload, and a grid; tools/bench
+ * times it and records simulation throughput (points/sec) in
+ * BENCH_<pr>.json, tracked across PRs (see docs/perf_tracking.md).
+ * Grids are pinned literals — never "full"/host-derived defaults — so
+ * the work per run is identical on every host and every PR.
+ */
+struct PerfScenario
+{
+    std::string name; ///< stable key, e.g. "t3d.local.loads"
+    machine::SystemKind kind = machine::SystemKind::CrayT3D;
+    int procs = 4;
+    core::SweepSpec spec; ///< ignored when fft
+    core::CharacterizeConfig cfg;
+    bool fft = false;      ///< run the gas 2D-FFT app, not a sweep
+    std::uint64_t fftN = 64;
+};
+
+/** Work counters from one scenario execution. */
+struct PerfRunCounts
+{
+    std::uint64_t points = 0;   ///< grid points (1 for the FFT)
+    std::uint64_t accesses = 0; ///< simulated word accesses
+};
+
+/** The fixed scenario registry of the benchmark protocol. */
+inline std::vector<PerfScenario>
+perfScenarios()
+{
+    using machine::SystemKind;
+    std::vector<PerfScenario> out;
+
+    // Local-load sweeps on all three machines: the dominant cost of
+    // figure regeneration, and the purest measure of the per-access
+    // simulation path (hierarchy read + cache model).
+    core::CharacterizeConfig local;
+    local.workingSets = {512, 2_KiB, 8_KiB, 32_KiB, 128_KiB};
+    local.strides = {1, 2, 4, 8, 16, 32, 64, 128};
+    local.capBytes = 128_KiB;
+    for (SystemKind kind : {SystemKind::Dec8400, SystemKind::CrayT3D,
+                            SystemKind::CrayT3E}) {
+        PerfScenario s;
+        s.name = std::string(kind == SystemKind::Dec8400 ? "dec8400"
+                             : kind == SystemKind::CrayT3D ? "t3d"
+                                                           : "t3e") +
+                 ".local.loads";
+        s.kind = kind;
+        s.spec = core::SweepSpec::localLoads(0);
+        s.cfg = local;
+        out.push_back(std::move(s));
+    }
+
+    // One remote sweep per machine, using its native method: remote
+    // points exercise the NoC, engines, and coherence paths.
+    core::CharacterizeConfig remote;
+    remote.workingSets = {512, 2_KiB, 8_KiB, 32_KiB};
+    remote.strides = {1, 4, 16, 64};
+    remote.capBytes = 128_KiB;
+    {
+        PerfScenario s;
+        s.name = "dec8400.remote.pull";
+        s.kind = SystemKind::Dec8400;
+        s.spec = core::SweepSpec::remote(
+            remote::TransferMethod::CoherentPull, true, 1, 0);
+        s.cfg = remote;
+        out.push_back(std::move(s));
+    }
+    {
+        PerfScenario s;
+        s.name = "t3d.remote.fetch";
+        s.kind = SystemKind::CrayT3D;
+        s.spec = core::SweepSpec::remote(remote::TransferMethod::Fetch,
+                                         true, 0, 2);
+        s.cfg = remote;
+        out.push_back(std::move(s));
+    }
+    {
+        PerfScenario s;
+        s.name = "t3e.remote.deposit";
+        s.kind = SystemKind::CrayT3E;
+        s.spec = core::SweepSpec::remote(
+            remote::TransferMethod::Deposit, false, 1, 0);
+        s.cfg = remote;
+        out.push_back(std::move(s));
+    }
+
+    // The gas-runtime application path: allocation, planner, barrier,
+    // and transfer-op overheads that no sweep touches.
+    {
+        PerfScenario s;
+        s.name = "t3e.gas.fft2d";
+        s.kind = SystemKind::CrayT3E;
+        s.fft = true;
+        s.fftN = 64;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+/** Run @p s once (serial or over @p jobs workers for sweeps). */
+inline PerfRunCounts
+runPerfScenario(const PerfScenario &s, int jobs = 1)
+{
+    machine::SystemConfig sys;
+    sys.kind = s.kind;
+    sys.numNodes = s.procs;
+    PerfRunCounts counts;
+    if (s.fft) {
+        machine::Machine m(sys);
+        gas::Runtime rt(m, gas::RuntimeConfig{});
+        gas::Fft2d app(rt);
+        gas::Fft2dConfig cfg;
+        cfg.n = s.fftN;
+        app.run(cfg);
+        counts.points = 1;
+        counts.accesses = rt.deliveredBytes() / 8;
+        return counts;
+    }
+    if (jobs <= 1) {
+        machine::Machine m(sys);
+        core::Characterizer chr(m);
+        chr.run(s.spec, s.cfg);
+        counts.points = chr.points();
+        counts.accesses = chr.accesses();
+    } else {
+        core::SweepRunner runner(sys, jobs);
+        runner.run(s.spec, s.cfg);
+        counts.points = runner.points();
+        counts.accesses = runner.accesses();
+    }
+    return counts;
 }
 
 /** A paper reference point for the comparison block. */

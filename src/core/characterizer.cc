@@ -1,6 +1,7 @@
 #include "core/characterizer.hh"
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/units.hh"
 
 namespace gasnub::core {
@@ -114,8 +115,10 @@ Characterizer::localLoads(NodeId node, const CharacterizeConfig &cfg)
     sim::TimeAccount *acct = _machine.timeAccount();
     if (acct)
         s.enableAttribution(acct->names());
+    GASNUB_PROF_ZONE("sweep.localLoads");
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
+            GASNUB_PROF_ZONE("point");
             kernels::KernelParams p;
             p.wsBytes = w;
             p.stride = st;
@@ -124,6 +127,7 @@ Characterizer::localLoads(NodeId node, const CharacterizeConfig &cfg)
                 acct->arm();
             const kernels::KernelResult r =
                 kernels::loadSumOn(_machine, node, p);
+            countPoint(r.accesses);
             s.set(w, st, r.mbs);
             if (acct) {
                 const auto pa = acct->finishPoint(r.elapsed);
@@ -149,8 +153,10 @@ Characterizer::localStores(NodeId node, const CharacterizeConfig &cfg)
     sim::TimeAccount *acct = _machine.timeAccount();
     if (acct)
         s.enableAttribution(acct->names());
+    GASNUB_PROF_ZONE("sweep.localStores");
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
+            GASNUB_PROF_ZONE("point");
             kernels::KernelParams p;
             p.wsBytes = w;
             p.stride = st;
@@ -159,6 +165,7 @@ Characterizer::localStores(NodeId node, const CharacterizeConfig &cfg)
                 acct->arm();
             const kernels::KernelResult r =
                 kernels::storeConstantOn(_machine, node, p);
+            countPoint(r.accesses);
             s.set(w, st, r.mbs);
             if (acct) {
                 const auto pa = acct->finishPoint(r.elapsed);
@@ -184,8 +191,10 @@ Characterizer::localCopy(NodeId node, kernels::CopyVariant variant,
     sim::TimeAccount *acct = _machine.timeAccount();
     if (acct)
         s.enableAttribution(acct->names());
+    GASNUB_PROF_ZONE("sweep.localCopy");
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
+            GASNUB_PROF_ZONE("point");
             kernels::KernelParams p;
             p.wsBytes = w;
             p.stride = st;
@@ -197,6 +206,7 @@ Characterizer::localCopy(NodeId node, kernels::CopyVariant variant,
                 acct->arm();
             const kernels::KernelResult r =
                 kernels::copyOn(_machine, node, p, variant, eff);
+            countPoint(r.accesses);
             s.set(w, st, r.mbs);
             if (acct) {
                 const auto pa = acct->finishPoint(r.elapsed);
@@ -225,8 +235,10 @@ Characterizer::remoteTransfer(remote::TransferMethod method,
     sim::TimeAccount *acct = _machine.timeAccount();
     if (acct)
         s.enableAttribution(acct->names());
+    GASNUB_PROF_ZONE("sweep.remote");
     for (std::uint64_t w : ws) {
         for (std::uint64_t st : strides) {
+            GASNUB_PROF_ZONE("point");
             kernels::RemoteParams p;
             p.src = src;
             p.dst = dst;
@@ -241,6 +253,7 @@ Characterizer::remoteTransfer(remote::TransferMethod method,
                 acct->arm();
             const kernels::KernelResult r =
                 kernels::remoteTransfer(_machine, p);
+            countPoint(r.accesses);
             s.set(w, st, r.mbs);
             if (acct) {
                 const auto pa = acct->finishPoint(r.elapsed);

@@ -136,9 +136,29 @@ class Characterizer
 
     machine::Machine &machine() { return _machine; }
 
+    /**
+     * Throughput counters, cumulative across this characterizer's
+     * sweeps: grid points simulated and word accesses performed.
+     * Two integer adds per grid point — cheap enough to maintain
+     * unconditionally — feeding the host-side points/sec and
+     * accesses/sec telemetry (core::SweepTelemetry, --profile).
+     */
+    std::uint64_t points() const { return _points; }
+    std::uint64_t accesses() const { return _accesses; }
+
   private:
+    /** Account one finished grid point to the throughput counters. */
+    void
+    countPoint(std::uint64_t accesses)
+    {
+        ++_points;
+        _accesses += accesses;
+    }
+
     machine::Machine &_machine;
     trace::TrackId _traceTrack;
+    std::uint64_t _points = 0;
+    std::uint64_t _accesses = 0;
 };
 
 } // namespace gasnub::core

@@ -1,6 +1,7 @@
 #include "core/sweep_runner.hh"
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace gasnub::core {
 
@@ -54,10 +55,12 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
 
     _pool.parallelFor(results.size(), [&](int w, std::size_t j) {
         Worker &ctx = *_workers[w];
+        GASNUB_PROF_ZONE("sweep.worker");
         // Route Tracer::instance() (machine construction registers
         // tracks; kernels record events) to this worker's buffer.
         trace::ScopedThreadTracer scoped(ctx.tracer, mask);
         if (!ctx.machine) {
+            GASNUB_PROF_ZONE("build-replica");
             ctx.tracer.setCapacity(capacity);
             ctx.machine = machine::makeMachine(_config);
             ctx.chr = std::make_unique<Characterizer>(*ctx.machine);
@@ -84,6 +87,7 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
             res.events = ctx.tracer.events();
     });
 
+    GASNUB_PROF_ZONE("sweep.merge");
     // Deterministic merge: fill the surface and replay trace events in
     // grid order, exactly the order a serial sweep produces them.
     // Track ids are worker-local, so remap by name; record() re-applies
@@ -149,6 +153,26 @@ SweepRunner::mergeStatsInto(stats::Group &target)
     for (const auto &w : _workers)
         if (w->machine)
             target.mergeFrom(w->machine->statsGroup());
+}
+
+std::uint64_t
+SweepRunner::points() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : _workers)
+        if (w->chr)
+            n += w->chr->points();
+    return n;
+}
+
+std::uint64_t
+SweepRunner::accesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : _workers)
+        if (w->chr)
+            n += w->chr->accesses();
+    return n;
 }
 
 } // namespace gasnub::core

@@ -80,6 +80,19 @@ class SweepRunner
      */
     void mergeStatsInto(stats::Group &target);
 
+    /**
+     * Throughput counters summed over the worker characterizers,
+     * cumulative across this runner's sweeps; equal to what a serial
+     * Characterizer doing the same sweeps would report.  Read between
+     * sweeps only (the parallelFor join publishes the workers'
+     * counters).
+     */
+    std::uint64_t points() const;
+    std::uint64_t accesses() const;
+
+    /** The pool, for per-worker utilization telemetry (--profile). */
+    const sim::ThreadPool &pool() const { return _pool; }
+
   private:
     /** One worker's private simulator state (lazily built). */
     struct Worker;

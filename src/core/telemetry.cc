@@ -1,0 +1,81 @@
+#include "core/telemetry.hh"
+
+#include <algorithm>
+
+namespace gasnub::core {
+
+SweepTelemetry::SweepTelemetry(stats::Group &parent, int workers)
+    : _parent(parent),
+      _group("perf"),
+      _sweeps(&_group, "sweeps", "characterization sweeps timed"),
+      _points(&_group, "points", "simulated grid points"),
+      _accesses(&_group, "accesses", "simulated word accesses"),
+      _wallSeconds(&_group, "wallSeconds",
+                   "host wall-clock seconds spent sweeping"),
+      _pointsPerSec(&_group, "pointsPerSec",
+                    "simulated grid points per wall-clock second",
+                    [this] {
+                        const double w = _wallSeconds.value();
+                        return w > 0 ? _points.value() / w : 0.0;
+                    }),
+      _accessesPerSec(&_group, "accessesPerSec",
+                      "simulated word accesses per wall-clock second",
+                      [this] {
+                          const double w = _wallSeconds.value();
+                          return w > 0 ? _accesses.value() / w : 0.0;
+                      }),
+      _workerBusySec(&_group, "workerBusySec",
+                     "per-worker seconds inside sweep jobs",
+                     std::max(workers, 1)),
+      _workerIdleSec(&_group, "workerIdleSec",
+                     "per-worker seconds scheduling/stealing",
+                     std::max(workers, 1)),
+      _workerJobs(&_group, "workerJobs", "grid points run per worker",
+                  std::max(workers, 1)),
+      _workerSteals(&_group, "workerSteals",
+                    "grid points stolen from a victim's queue",
+                    std::max(workers, 1)),
+      _utilization(&_group, "workerUtilization",
+                   "busy fraction of the workers' drain loops", [this] {
+                       double busy = 0, idle = 0;
+                       for (std::size_t i = 0;
+                            i < _workerBusySec.size(); ++i) {
+                           busy += _workerBusySec.value(i);
+                           idle += _workerIdleSec.value(i);
+                       }
+                       const double total = busy + idle;
+                       return total > 0 ? busy / total : 0.0;
+                   })
+{
+    _parent.addChild(&_group);
+}
+
+SweepTelemetry::~SweepTelemetry()
+{
+    _parent.removeChild(&_group);
+}
+
+void
+SweepTelemetry::recordSweep(double wallSeconds, std::uint64_t points,
+                            std::uint64_t accesses)
+{
+    ++_sweeps;
+    _points += static_cast<double>(points);
+    _accesses += static_cast<double>(accesses);
+    _wallSeconds += wallSeconds;
+}
+
+void
+SweepTelemetry::updateWorkers(
+    const std::vector<sim::ThreadPool::WorkerTelemetry> &w)
+{
+    for (std::size_t i = 0;
+         i < w.size() && i < _workerBusySec.size(); ++i) {
+        _workerBusySec[i] = w[i].busySeconds;
+        _workerIdleSec[i] = w[i].idleSeconds;
+        _workerJobs[i] = static_cast<double>(w[i].jobs);
+        _workerSteals[i] = static_cast<double>(w[i].steals);
+    }
+}
+
+} // namespace gasnub::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sweep throughput telemetry: how fast the *simulator* is simulating.
+ *
+ * Attaches a "perf" group of host-side throughput statistics to a
+ * machine's stats tree: simulated grid points and word accesses,
+ * wall-clock seconds spent sweeping, the derived points/sec and
+ * accesses/sec rates, and the per-worker utilization (busy vs. idle,
+ * jobs vs. steals) of the sim::ThreadPool that ran the sweep.
+ *
+ * The numbers are wall-clock derived and therefore vary run to run,
+ * so — unlike every other stat in the tree — they must not appear in
+ * byte-identity comparisons.  Harnesses only construct a
+ * SweepTelemetry when profiling is enabled (--profile /
+ * GASNUB_PROFILE), which keeps the default --stats-json output
+ * byte-identical across runs and --jobs values.  tools/report reads
+ * the "perf" group and surfaces points/sec in its summary header.
+ */
+
+#ifndef GASNUB_CORE_TELEMETRY_HH
+#define GASNUB_CORE_TELEMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/pool.hh"
+#include "sim/stats.hh"
+
+namespace gasnub::core {
+
+class SweepTelemetry
+{
+  public:
+    /**
+     * @param parent  Stats tree to attach the "perf" group to
+     *                (normally the machine's statsGroup()).
+     * @param workers Pool width for the per-worker vectors (1 for a
+     *                serial harness).
+     */
+    SweepTelemetry(stats::Group &parent, int workers);
+    ~SweepTelemetry();
+
+    SweepTelemetry(const SweepTelemetry &) = delete;
+    SweepTelemetry &operator=(const SweepTelemetry &) = delete;
+
+    /**
+     * Account one completed sweep: wall-clock duration plus the
+     * number of grid points and simulated word accesses it covered.
+     */
+    void recordSweep(double wallSeconds, std::uint64_t points,
+                     std::uint64_t accesses);
+
+    /**
+     * Overwrite the per-worker utilization vectors with the pool's
+     * cumulative telemetry (absolute values, not deltas).
+     */
+    void
+    updateWorkers(const std::vector<sim::ThreadPool::WorkerTelemetry> &w);
+
+    double wallSeconds() const { return _wallSeconds.value(); }
+    std::uint64_t points() const
+    {
+        return static_cast<std::uint64_t>(_points.value());
+    }
+
+  private:
+    stats::Group &_parent;
+    stats::Group _group;
+    stats::Scalar _sweeps, _points, _accesses, _wallSeconds;
+    stats::Formula _pointsPerSec, _accessesPerSec;
+    stats::Vector _workerBusySec, _workerIdleSec, _workerJobs,
+        _workerSteals;
+    stats::Formula _utilization;
+};
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_TELEMETRY_HH

@@ -6,6 +6,7 @@
 
 #include "fft/fft1d.hh"
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/units.hh"
 
 namespace gasnub::gas {
@@ -144,6 +145,7 @@ Fft2d::transposePhase(std::uint64_t n, GlobalArray &src,
 fft::Fft2dResult
 Fft2d::run(const Fft2dConfig &cfg)
 {
+    GASNUB_PROF_ZONE("gas.fft2d");
     machine::Machine &m = _rt.machine();
     const std::uint64_t n = cfg.n;
     const int procs = m.numNodes();

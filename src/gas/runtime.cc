@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/units.hh"
 
 namespace gasnub::gas {
@@ -461,6 +462,7 @@ Handle
 Runtime::transferOp(GlobalPtr src, GlobalPtr dst, const Strided &spec,
                     Method requested, bool is_put)
 {
+    GASNUB_PROF_ZONE("gas.transfer");
     validatePtr(src, "source");
     validatePtr(dst, "destination");
     if (spec.words == 0)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace gasnub::mem {
 
@@ -197,6 +198,7 @@ MemoryHierarchy::postWriteback(std::size_t from_level, Addr victim_line,
 Tick
 MemoryHierarchy::read(Addr addr)
 {
+    GASNUB_PROF_ZONE("mem.read");
     ++_reads;
     const Tick want = _nextIssue;
 
@@ -301,6 +303,7 @@ MemoryHierarchy::serveWrite(std::size_t level, Addr addr, Tick issue,
 Tick
 MemoryHierarchy::write(Addr addr)
 {
+    GASNUB_PROF_ZONE("mem.write");
     ++_writes;
     const Tick want = _nextIssue;
 

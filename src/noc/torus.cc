@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/units.hh"
 
 namespace gasnub::noc {
@@ -194,6 +195,7 @@ PacketResult
 Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
             Tick earliest)
 {
+    GASNUB_PROF_ZONE("noc.send");
     GASNUB_ASSERT(src >= 0 && src < _numNodes, "bad src node ", src);
     GASNUB_ASSERT(dst >= 0 && dst < _numNodes, "bad dst node ", dst);
     ++_packets;

@@ -1,8 +1,10 @@
 #include "sim/pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace gasnub::sim {
 
@@ -29,6 +31,7 @@ ThreadPool::ThreadPool(int workers)
     _queues.reserve(n);
     for (int i = 0; i < n; ++i)
         _queues.push_back(std::make_unique<Queue>());
+    _telemetry.resize(n);
     _threads.reserve(n);
     for (int i = 0; i < n; ++i)
         _threads.emplace_back([this, i] { workerLoop(i); });
@@ -46,7 +49,7 @@ ThreadPool::~ThreadPool()
 }
 
 bool
-ThreadPool::nextJob(int worker, std::size_t &job)
+ThreadPool::nextJob(int worker, std::size_t &job, bool &stolen)
 {
     // Own queue first, front end (cache-friendly contiguous block).
     {
@@ -55,6 +58,7 @@ ThreadPool::nextJob(int worker, std::size_t &job)
         if (!own.jobs.empty()) {
             job = own.jobs.front();
             own.jobs.pop_front();
+            stolen = false;
             return true;
         }
     }
@@ -66,6 +70,7 @@ ThreadPool::nextJob(int worker, std::size_t &job)
         if (!victim.jobs.empty()) {
             job = victim.jobs.back();
             victim.jobs.pop_back();
+            stolen = true;
             return true;
         }
     }
@@ -88,8 +93,19 @@ ThreadPool::workerLoop(int worker)
             seen = _generation;
             fn = _fn;
         }
+        // Per-worker utilization: wall time inside job callbacks vs
+        // the rest of this drain (scheduling + waiting out the
+        // generation).  Only measured under --profile / GASNUB_PROFILE
+        // so the default path never reads the host clock.
+        const bool profiled = prof::enabled();
+        const auto drainStart = std::chrono::steady_clock::now();
+        double busy = 0;
         std::size_t job;
-        while (nextJob(worker, job)) {
+        bool stolen = false;
+        while (nextJob(worker, job, stolen)) {
+            const auto jobStart = profiled
+                                      ? std::chrono::steady_clock::now()
+                                      : decltype(drainStart){};
             try {
                 (*fn)(worker, job);
             } catch (...) {
@@ -97,6 +113,24 @@ ThreadPool::workerLoop(int worker)
                 if (!_error)
                     _error = std::current_exception();
             }
+            if (profiled) {
+                busy += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - jobStart)
+                            .count();
+                WorkerTelemetry &t = _telemetry[worker];
+                ++t.jobs;
+                if (stolen)
+                    ++t.steals;
+            }
+        }
+        if (profiled) {
+            WorkerTelemetry &t = _telemetry[worker];
+            t.busySeconds += busy;
+            const double drain =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - drainStart)
+                    .count();
+            t.idleSeconds += drain > busy ? drain - busy : 0;
         }
         {
             std::lock_guard<std::mutex> lock(_mutex);

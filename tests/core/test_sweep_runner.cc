@@ -201,6 +201,29 @@ TEST(SweepRunner, MultiSweepStatsAccumulateLikeSerial)
     expectIdentical(serial, par);
 }
 
+TEST(SweepRunner, ThroughputCountersMatchSerial)
+{
+    // The points/accesses throughput counters feed --profile's
+    // points-per-second telemetry; parallel distribution must not
+    // change what they count.
+    const CharacterizeConfig cfg = tinyGrid();
+    const SweepSpec spec = SweepSpec::localLoads(0);
+    machine::SystemConfig sys;
+    sys.kind = machine::SystemKind::CrayT3E;
+
+    machine::Machine m(sys);
+    Characterizer serial(m);
+    serial.run(spec, cfg);
+    EXPECT_EQ(serial.points(),
+              cfg.workingSets.size() * cfg.strides.size());
+    EXPECT_GT(serial.accesses(), serial.points());
+
+    SweepRunner runner(sys, 6);
+    runner.run(spec, cfg);
+    EXPECT_EQ(runner.points(), serial.points());
+    EXPECT_EQ(runner.accesses(), serial.accesses());
+}
+
 TEST(SweepRunner, ConvenienceWrappersMatchRun)
 {
     machine::SystemConfig sys;

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for core::SweepTelemetry: the "perf" stats group attaches and
+ * detaches cleanly (preserving byte-identity when absent), the
+ * derived rate formulas compute from the recorded counters, and the
+ * per-worker vectors mirror the pool's telemetry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/telemetry.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace gasnub;
+
+std::string
+dump(stats::Group &g)
+{
+    std::ostringstream os;
+    g.dumpJson(os);
+    return os.str();
+}
+
+TEST(SweepTelemetry, AttachesAndDetachesPerfGroup)
+{
+    stats::Group root("machine");
+    const std::string before = dump(root);
+    EXPECT_EQ(before.find("\"perf\""), std::string::npos);
+    {
+        core::SweepTelemetry t(root, 2);
+        EXPECT_NE(dump(root).find("\"perf\""), std::string::npos);
+    }
+    // Detached on destruction: a --profile run's machine tree minus
+    // the perf group is byte-identical to a plain run's.
+    EXPECT_EQ(dump(root), before);
+}
+
+TEST(SweepTelemetry, RatesDeriveFromCounters)
+{
+    stats::Group root("machine");
+    core::SweepTelemetry t(root, 1);
+    t.recordSweep(2.0, 100, 50000);
+    t.recordSweep(2.0, 100, 50000);
+    EXPECT_EQ(t.points(), 200u);
+    EXPECT_DOUBLE_EQ(t.wallSeconds(), 4.0);
+    const std::string json = dump(root);
+    // 200 points / 4 s and 100000 accesses / 4 s.
+    EXPECT_NE(json.find("\"name\":\"pointsPerSec\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"value\":50"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"value\":25000"), std::string::npos)
+        << json;
+}
+
+TEST(SweepTelemetry, WorkerVectorsMirrorPool)
+{
+    stats::Group root("machine");
+    core::SweepTelemetry t(root, 2);
+    std::vector<sim::ThreadPool::WorkerTelemetry> w(2);
+    w[0].busySeconds = 3.0;
+    w[0].idleSeconds = 1.0;
+    w[0].jobs = 7;
+    w[0].steals = 2;
+    w[1].busySeconds = 2.0;
+    w[1].idleSeconds = 2.0;
+    w[1].jobs = 5;
+    w[1].steals = 0;
+    t.updateWorkers(w);
+    const std::string json = dump(root);
+    EXPECT_NE(json.find("\"name\":\"workerJobs\""),
+              std::string::npos);
+    // total jobs 12, total busy 5 of 8 worker-seconds = 0.625.
+    EXPECT_NE(json.find("\"total\":12"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"value\":0.625"), std::string::npos)
+        << json;
+
+    // updateWorkers overwrites (cumulative pool counters, not
+    // deltas): applying the same snapshot twice must not double.
+    t.updateWorkers(w);
+    EXPECT_EQ(dump(root), json);
+}
+
+} // namespace

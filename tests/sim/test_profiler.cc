@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the host-side scoped profiler (sim/profiler.hh): the
+ * self/total nesting invariant, deterministic cross-thread merging
+ * through a ThreadPool, zero side effects when disabled, and the
+ * exporter formats.  The Profiler is a process singleton, so every
+ * test uses zone names unique to itself and resets counters first.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/pool.hh"
+#include "sim/profiler.hh"
+
+namespace {
+
+using namespace gasnub;
+
+/** Spin for roughly @p us of wall time (zones need nonzero spans). */
+void
+spin(unsigned us)
+{
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(us);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+const prof::ZoneStats *
+findZone(const std::vector<prof::ZoneStats> &zones,
+         const std::string &path)
+{
+    for (const prof::ZoneStats &z : zones)
+        if (z.path == path)
+            return &z;
+    return nullptr;
+}
+
+/** Enable around a test body; leave the profiler off afterwards. */
+struct ScopedProfiling
+{
+    ScopedProfiling()
+    {
+        prof::Profiler::enable(true);
+        prof::Profiler::instance().reset();
+    }
+    ~ScopedProfiling() { prof::Profiler::enable(false); }
+};
+
+TEST(Profiler, DisabledRecordsNothing)
+{
+    prof::Profiler::enable(false);
+    prof::Profiler::instance().reset();
+    const std::vector<prof::ZoneStats> before =
+        prof::Profiler::instance().merged();
+    {
+        GASNUB_PROF_ZONE("off.outer");
+        GASNUB_PROF_ZONE("off.inner");
+        spin(50);
+    }
+    const std::vector<prof::ZoneStats> after =
+        prof::Profiler::instance().merged();
+    // No new zones, no new counts: the disabled path must not touch
+    // the registry at all (one atomic load per zone).
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(before[i].path, after[i].path);
+        EXPECT_EQ(before[i].calls, after[i].calls);
+        EXPECT_EQ(before[i].totalNs, after[i].totalNs);
+    }
+    EXPECT_EQ(findZone(after, "off.outer"), nullptr);
+}
+
+TEST(Profiler, NestingSelfTotalInvariant)
+{
+    ScopedProfiling on;
+    {
+        GASNUB_PROF_ZONE("nest.outer");
+        spin(200);
+        for (int i = 0; i < 3; ++i) {
+            GASNUB_PROF_ZONE("nest.inner");
+            spin(100);
+        }
+    }
+    const std::vector<prof::ZoneStats> zones =
+        prof::Profiler::instance().merged();
+    const prof::ZoneStats *outer = findZone(zones, "nest.outer");
+    const prof::ZoneStats *inner =
+        findZone(zones, "nest.outer;nest.inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->calls, 1u);
+    EXPECT_EQ(inner->calls, 3u);
+    EXPECT_EQ(outer->depth, 0u);
+    EXPECT_EQ(inner->depth, 1u);
+    // A leaf's self time is its total; a parent's self time is its
+    // total minus the children's totals, never negative.
+    EXPECT_EQ(inner->selfNs, inner->totalNs);
+    EXPECT_GE(outer->totalNs, inner->totalNs);
+    EXPECT_EQ(outer->selfNs, outer->totalNs - inner->totalNs);
+    EXPECT_GT(outer->selfNs, 0u);
+}
+
+TEST(Profiler, SiblingZonesFoldByName)
+{
+    ScopedProfiling on;
+    for (int i = 0; i < 5; ++i) {
+        GASNUB_PROF_ZONE("fold.same");
+        spin(20);
+    }
+    const std::vector<prof::ZoneStats> zones =
+        prof::Profiler::instance().merged();
+    const prof::ZoneStats *z = findZone(zones, "fold.same");
+    ASSERT_NE(z, nullptr);
+    EXPECT_EQ(z->calls, 5u);
+}
+
+TEST(Profiler, CrossThreadMergeIsExactAndDeterministic)
+{
+    ScopedProfiling on;
+    constexpr std::size_t kJobs = 64;
+    {
+        sim::ThreadPool pool(4);
+        pool.parallelFor(kJobs, [](int, std::size_t) {
+            GASNUB_PROF_ZONE("mt.job");
+            {
+                GASNUB_PROF_ZONE("mt.leaf");
+                spin(10);
+            }
+            {
+                GASNUB_PROF_ZONE("mt.leaf");
+                spin(10);
+            }
+        });
+        // Worker telemetry rides the same enable flag: every job is
+        // accounted to exactly one worker, stolen or not.
+        std::uint64_t jobs = 0;
+        for (const sim::ThreadPool::WorkerTelemetry &w :
+             pool.workerTelemetry())
+            jobs += w.jobs;
+        EXPECT_EQ(jobs, kJobs);
+    }
+    const std::vector<prof::ZoneStats> zones =
+        prof::Profiler::instance().merged();
+    const prof::ZoneStats *job = findZone(zones, "mt.job");
+    const prof::ZoneStats *leaf = findZone(zones, "mt.job;mt.leaf");
+    ASSERT_NE(job, nullptr);
+    ASSERT_NE(leaf, nullptr);
+    // However the pool scheduled (or stole) the jobs, the merged call
+    // counts are exact.
+    EXPECT_EQ(job->calls, kJobs);
+    EXPECT_EQ(leaf->calls, 2 * kJobs);
+    EXPECT_GE(job->totalNs, leaf->totalNs);
+
+    // Merging is a pure fold: a second merged() pass is identical.
+    const std::vector<prof::ZoneStats> again =
+        prof::Profiler::instance().merged();
+    ASSERT_EQ(zones.size(), again.size());
+    for (std::size_t i = 0; i < zones.size(); ++i) {
+        EXPECT_EQ(zones[i].path, again[i].path);
+        EXPECT_EQ(zones[i].calls, again[i].calls);
+        EXPECT_EQ(zones[i].totalNs, again[i].totalNs);
+        EXPECT_EQ(zones[i].selfNs, again[i].selfNs);
+    }
+}
+
+TEST(Profiler, ResetZeroesCounters)
+{
+    ScopedProfiling on;
+    {
+        GASNUB_PROF_ZONE("reset.zone");
+        spin(20);
+    }
+    ASSERT_NE(findZone(prof::Profiler::instance().merged(),
+                       "reset.zone"),
+              nullptr);
+    prof::Profiler::instance().reset();
+    for (const prof::ZoneStats &z :
+         prof::Profiler::instance().merged()) {
+        EXPECT_EQ(z.calls, 0u);
+        EXPECT_EQ(z.totalNs, 0u);
+    }
+}
+
+TEST(Profiler, Exporters)
+{
+    ScopedProfiling on;
+    {
+        GASNUB_PROF_ZONE("exp.outer");
+        GASNUB_PROF_ZONE("exp.leaf");
+        spin(1200);
+    }
+    const prof::Profiler &p = prof::Profiler::instance();
+
+    std::ostringstream text;
+    p.report(text);
+    EXPECT_NE(text.str().find("== profile:"), std::string::npos);
+    EXPECT_NE(text.str().find("exp.outer;exp.leaf"),
+              std::string::npos);
+
+    std::ostringstream json;
+    p.reportJson(json);
+    EXPECT_EQ(json.str().find("\"schema\":\"gasnub-profile-1\""), 1u);
+    EXPECT_NE(json.str().find("\"path\":\"exp.outer;exp.leaf\""),
+              std::string::npos);
+
+    // Folded stacks: "path;sub;leaf <self-us>" lines, leaf spun for
+    // >= 1 ms so its self time survives the µs rounding.
+    std::ostringstream folded;
+    p.reportFolded(folded);
+    EXPECT_NE(folded.str().find("exp.outer;exp.leaf "),
+              std::string::npos);
+}
+
+TEST(Profiler, EnableFromEnvRespectsValue)
+{
+    prof::Profiler::enable(false);
+    setenv("GASNUB_PROFILE", "0", 1);
+    prof::Profiler::enableFromEnv();
+    EXPECT_FALSE(prof::enabled());
+    setenv("GASNUB_PROFILE", "1", 1);
+    prof::Profiler::enableFromEnv();
+    EXPECT_TRUE(prof::enabled());
+    unsetenv("GASNUB_PROFILE");
+    prof::Profiler::enable(false);
+}
+
+} // namespace

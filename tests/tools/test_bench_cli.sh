@@ -1,0 +1,111 @@
+#!/bin/sh
+# CLI contract tests for the bench protocol runner: --compare's
+# pass/regression/schema-mismatch exit codes on synthetic BENCH files,
+# plus a real single-scenario smoke run that self-compares clean.
+# Usage: test_bench_cli.sh /path/to/bench
+set -u
+
+bin="$1"
+fails=0
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# expect_exit <code> <description> <args...>
+expect_exit() {
+    want="$1"
+    desc="$2"
+    shift 2
+    "$bin" "$@" >"$tmp/out" 2>"$tmp/err"
+    code=$?
+    if [ "$code" -ne "$want" ]; then
+        echo "FAIL: $desc: exit $code, expected $want"
+        cat "$tmp/err"
+        fails=1
+    else
+        echo "ok: $desc"
+    fi
+}
+
+expect_exit 0 "--help exits 0" --help
+if ! "$bin" --help | grep -q "usage: bench"; then
+    echo "FAIL: --help does not print the usage"
+    fails=1
+else
+    echo "ok: --help prints the usage"
+fi
+expect_exit 2 "unknown option" --bogus
+expect_exit 2 "unknown scenario" --scenario no.such.thing
+expect_exit 2 "compare needs two files" --compare only-one.json
+expect_exit 2 "compare on missing file" --compare "$tmp/a" "$tmp/b"
+
+# --list names every protocol scenario.
+if ! "$bin" --list | grep -q "t3d.local.loads"; then
+    echo "FAIL: --list does not name t3d.local.loads"
+    fails=1
+else
+    echo "ok: --list names the scenarios"
+fi
+
+# Synthetic BENCH files for the compare semantics.
+mkbench() {
+    # mkbench <file> <schema> <pps1> [<pps2>]
+    out="$1"
+    schema="$2"
+    pps1="$3"
+    pps2="${4:-}"
+    {
+        echo "{\"schema\": \"$schema\", \"pr\": 1, \"jobs\": 1,"
+        echo " \"scenarios\": ["
+        echo "  {\"name\": \"a.local.loads\", \"pointsPerSec\": $pps1}"
+        if [ -n "$pps2" ]; then
+            echo " ,{\"name\": \"b.remote.pull\", \"pointsPerSec\": $pps2}"
+        fi
+        echo " ]}"
+    } >"$out"
+}
+
+mkbench "$tmp/old.json" gasnub-bench-1 1000 2000
+mkbench "$tmp/same.json" gasnub-bench-1 1005 1990
+mkbench "$tmp/slow.json" gasnub-bench-1 1000 1500
+mkbench "$tmp/fewer.json" gasnub-bench-1 1000
+mkbench "$tmp/otherschema.json" gasnub-bench-9 1000 2000
+
+expect_exit 0 "within threshold passes" \
+    --compare "$tmp/old.json" "$tmp/same.json" --threshold 10
+expect_exit 1 "25% drop beyond 10% threshold regresses" \
+    --compare "$tmp/old.json" "$tmp/slow.json" --threshold 10
+expect_exit 0 "25% drop within 30% threshold passes" \
+    --compare "$tmp/old.json" "$tmp/slow.json" --threshold 30
+expect_exit 1 "missing scenario regresses" \
+    --compare "$tmp/old.json" "$tmp/fewer.json"
+expect_exit 2 "schema mismatch exits 2" \
+    --compare "$tmp/old.json" "$tmp/otherschema.json"
+
+if ! "$bin" --compare "$tmp/old.json" "$tmp/slow.json" \
+        2>/dev/null | grep -q "REGRESSION"; then
+    echo "FAIL: compare table does not flag the regression"
+    fails=1
+else
+    echo "ok: compare table flags the regression"
+fi
+
+# A real smoke run of one cheap scenario writes a valid protocol file
+# that self-compares clean.
+if ! "$bin" --scenario t3d.local.loads --repeats 1 --pr 0 \
+        --out "$tmp/run.json" >/dev/null 2>"$tmp/err"; then
+    echo "FAIL: smoke run failed"
+    cat "$tmp/err"
+    fails=1
+elif ! grep -q '"schema": "gasnub-bench-1"' "$tmp/run.json"; then
+    echo "FAIL: smoke run output lacks the schema marker"
+    fails=1
+elif ! grep -q '"pointsPerSec"' "$tmp/run.json"; then
+    echo "FAIL: smoke run output lacks pointsPerSec"
+    fails=1
+else
+    echo "ok: smoke run writes a protocol file"
+fi
+expect_exit 0 "smoke run self-compares clean" \
+    --compare "$tmp/run.json" "$tmp/run.json"
+
+exit $fails

@@ -121,4 +121,46 @@ else
     echo "ok: --jobs 1 and --jobs 4 are byte-identical"
 fi
 
+# --profile must not perturb the measured surface (byte-identical
+# with and without), while its stderr report names the sweep hot path
+# and the stats tree gains the perf throughput group.
+if ! "$bin" t3e loads --max-ws=8K --cap 4K --jobs 2 \
+        --out "$tmp/plain" >/dev/null 2>"$err"; then
+    echo "FAIL: plain run for --profile comparison failed"
+    cat "$err"
+    fails=1
+fi
+if ! "$bin" t3e loads --max-ws=8K --cap 4K --jobs 2 --profile \
+        --out "$tmp/profiled" \
+        --stats-json "$tmp/jprof" >/dev/null 2>"$err"; then
+    echo "FAIL: --profile run failed"
+    cat "$err"
+    fails=1
+fi
+if ! cmp -s "$tmp/plain" "$tmp/profiled"; then
+    echo "FAIL: --profile perturbed the measured surface"
+    fails=1
+elif ! grep -q "== profile:" "$err"; then
+    echo "FAIL: --profile printed no zone report"
+    fails=1
+elif ! grep -q "sweep.localLoads;point" "$err"; then
+    echo "FAIL: profile report does not name the sweep hot path"
+    fails=1
+elif ! grep -q '"name":"pointsPerSec"' "$tmp/jprof"; then
+    echo "FAIL: --profile stats tree has no perf throughput group"
+    fails=1
+else
+    echo "ok: --profile reports zones without perturbing the surface"
+fi
+
+# GASNUB_PROFILE=1 enables the same report without the flag.
+if ! GASNUB_PROFILE=1 "$bin" t3e loads --max-ws=4K --cap 4K \
+        --jobs 1 >/dev/null 2>"$err" || \
+        ! grep -q "== profile:" "$err"; then
+    echo "FAIL: GASNUB_PROFILE=1 did not enable profiling"
+    fails=1
+else
+    echo "ok: GASNUB_PROFILE=1 enables profiling"
+fi
+
 exit $fails

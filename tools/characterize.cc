@@ -44,13 +44,18 @@
 #include <iostream>
 #include <string>
 
+#include <chrono>
+#include <optional>
+
 #include "core/characterizer.hh"
 #include "core/surface_io.hh"
 #include "core/sweep_runner.hh"
+#include "core/telemetry.hh"
 #include "machine/machine.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/pool.hh"
+#include "sim/profiler.hh"
 #include "sim/trace.hh"
 #include "sim/units.hh"
 
@@ -68,6 +73,8 @@ printUsage(std::ostream &os)
           "[--trace-categories LIST]\n"
           "                    [--stats-json FILE] [--faults SPEC] "
           "[--attribution]\n"
+          "                    [--profile] [--profile-json FILE] "
+          "[--profile-folded FILE]\n"
           "       characterize --help\n"
           "benchmarks: loads stores copy-sload copy-sstore pull\n"
           "            fetch-sload fetch-sstore deposit-sload "
@@ -123,6 +130,22 @@ help()
            "ledger; feed either\n"
            "                      to tools/report for a ranked "
            "bottleneck breakdown\n"
+           "  --profile           profile the simulator itself "
+           "(host wall clock):\n"
+           "                      ranked zone report on stderr, plus "
+           "points/sec,\n"
+           "                      accesses/sec and per-worker "
+           "utilization under the\n"
+           "                      'perf' group of --stats-json "
+           "(GASNUB_PROFILE=1 works\n"
+           "                      too); measured surfaces stay "
+           "byte-identical\n"
+           "  --profile-json FILE  write the zone profile as JSON "
+           "(implies --profile)\n"
+           "  --profile-folded FILE  write folded stacks for "
+           "flamegraph.pl /\n"
+           "                      speedscope (implies --profile); see "
+           "docs/perf_tracking.md\n"
            "  --faults SPEC       inject faults while measuring "
            "(default: GASNUB_FAULTS;\n"
            "                      SPEC is a ';'-separated list or "
@@ -229,6 +252,9 @@ main(int argc, char **argv)
     std::string stats_json;
     std::string faults_arg;
     bool attribution = false;
+    bool profile = false;
+    std::string profile_json;
+    std::string profile_folded;
     for (int i = 3; i < argc; ++i) {
         std::string opt = argv[i];
         std::string val;
@@ -236,6 +262,10 @@ main(int argc, char **argv)
             fail("unexpected argument '" + opt + "'");
         if (opt == "--attribution") {
             attribution = true;
+            continue;
+        }
+        if (opt == "--profile") {
+            profile = true;
             continue;
         }
         // Accept both "--opt value" and "--opt=value".
@@ -271,9 +301,17 @@ main(int argc, char **argv)
             stats_json = val;
         else if (opt == "--faults")
             faults_arg = val;
+        else if (opt == "--profile-json")
+            profile_json = val;
+        else if (opt == "--profile-folded")
+            profile_folded = val;
         else
             fail("unknown option '" + opt + "'");
     }
+
+    if (profile || !profile_json.empty() || !profile_folded.empty())
+        prof::Profiler::enable(true);
+    prof::Profiler::enableFromEnv();
 
     if (!trace_out.empty())
         trace::Tracer::instance().setMask(
@@ -331,14 +369,40 @@ main(int argc, char **argv)
     core::Characterizer c(m);
 
     const int jobs = sim::defaultJobs(jobs_arg);
+    // Throughput telemetry rides the stats tree only under --profile:
+    // the rates are wall-clock derived, and the default --stats-json
+    // must stay byte-identical across runs and --jobs values.  The
+    // "perf" group attaches only after the sweep (and after the
+    // parallel workers' exact-structure stats merge, which the extra
+    // child would otherwise break).
+    std::optional<core::SweepTelemetry> telemetry;
+    const auto wallStart = std::chrono::steady_clock::now();
     core::Surface s("", {512}, {1});
     try {
         if (jobs <= 1) {
             s = c.run(spec, cfg);
+            if (prof::enabled()) {
+                telemetry.emplace(m.statsGroup(), jobs);
+                telemetry->recordSweep(
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wallStart)
+                        .count(),
+                    c.points(), c.accesses());
+            }
         } else {
             core::SweepRunner runner(sys, jobs);
             s = runner.run(spec, cfg);
             runner.mergeStatsInto(m.statsGroup());
+            if (prof::enabled()) {
+                telemetry.emplace(m.statsGroup(), jobs);
+                telemetry->recordSweep(
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wallStart)
+                        .count(),
+                    runner.points(), runner.accesses());
+                telemetry->updateWorkers(
+                    runner.pool().workerTelemetry());
+            }
         }
     } catch (const sim::FaultError &e) {
         // Characterization kernels do not retry: a fault that severs
@@ -378,6 +442,28 @@ main(int argc, char **argv)
         m.statsGroup().dumpJson(os);
         os << "\n";
         std::cerr << "stats: " << stats_json << "\n";
+    }
+    if (prof::enabled()) {
+        const prof::Profiler &profiler = prof::Profiler::instance();
+        profiler.report(std::cerr);
+        if (telemetry)
+            std::cerr << "throughput: " << telemetry->points()
+                      << " points in " << telemetry->wallSeconds()
+                      << " s\n";
+        if (!profile_json.empty()) {
+            std::ofstream os(profile_json);
+            if (!os)
+                GASNUB_FATAL("cannot open ", profile_json);
+            profiler.reportJson(os);
+            std::cerr << "profile: " << profile_json << "\n";
+        }
+        if (!profile_folded.empty()) {
+            std::ofstream os(profile_folded);
+            if (!os)
+                GASNUB_FATAL("cannot open ", profile_folded);
+            profiler.reportFolded(os);
+            std::cerr << "profile: " << profile_folded << "\n";
+        }
     }
     return 0;
 }

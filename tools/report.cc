@@ -38,7 +38,11 @@
 #include "core/surface_io.hh"
 #include "sim/units.hh"
 
+#include "json_util.hh"
+
 using namespace gasnub;
+using tooljson::JsonParser;
+using tooljson::JsonValue;
 
 namespace {
 
@@ -57,205 +61,6 @@ usage()
            "bad usage/input\n";
     std::exit(2);
 }
-
-// ------------------------------------------------------------------
-// Minimal JSON reader for the stats trees this repo writes
-// (Group::dumpJson): objects, arrays, strings, numbers, bools/null.
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *find(const std::string &key) const
-    {
-        for (const auto &kv : object)
-            if (kv.first == key)
-                return &kv.second;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    JsonParser(const std::string &text, const std::string &context)
-        : _s(text), _ctx(context)
-    {
-    }
-
-    JsonValue parse()
-    {
-        const JsonValue v = value();
-        skipWs();
-        if (_i != _s.size())
-            fail("trailing garbage");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void fail(const std::string &what)
-    {
-        std::cerr << "report: " << _ctx << ": JSON error at byte "
-                  << _i << ": " << what << "\n";
-        std::exit(2);
-    }
-
-    void skipWs()
-    {
-        while (_i < _s.size() &&
-               (_s[_i] == ' ' || _s[_i] == '\t' || _s[_i] == '\n' ||
-                _s[_i] == '\r'))
-            ++_i;
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (_i >= _s.size())
-            fail("unexpected end of input");
-        return _s[_i];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++_i;
-    }
-
-    JsonValue value()
-    {
-        switch (peek()) {
-          case '{':
-            return object();
-          case '[':
-            return array();
-          case '"': {
-            JsonValue v;
-            v.kind = JsonValue::Kind::String;
-            v.string = string();
-            return v;
-          }
-          case 't':
-          case 'f': {
-            JsonValue v;
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = _s[_i] == 't';
-            _i += v.boolean ? 4 : 5;
-            return v;
-          }
-          case 'n': {
-            _i += 4;
-            return JsonValue{};
-          }
-          default:
-            return number();
-        }
-    }
-
-    std::string string()
-    {
-        expect('"');
-        std::string out;
-        while (_i < _s.size() && _s[_i] != '"') {
-            char c = _s[_i++];
-            if (c == '\\') {
-                if (_i >= _s.size())
-                    fail("truncated escape");
-                const char e = _s[_i++];
-                switch (e) {
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  case 'r': c = '\r'; break;
-                  case 'b': c = '\b'; break;
-                  case 'f': c = '\f'; break;
-                  case 'u':
-                    // The stats writer only escapes control bytes;
-                    // decode the low byte and move on.
-                    if (_i + 4 > _s.size())
-                        fail("truncated \\u escape");
-                    c = static_cast<char>(
-                        std::stoi(_s.substr(_i, 4), nullptr, 16));
-                    _i += 4;
-                    break;
-                  default: c = e; break;
-                }
-            }
-            out.push_back(c);
-        }
-        expect('"');
-        return out;
-    }
-
-    JsonValue number()
-    {
-        const std::size_t start = _i;
-        while (_i < _s.size() &&
-               (std::isdigit(static_cast<unsigned char>(_s[_i])) ||
-                _s[_i] == '-' || _s[_i] == '+' || _s[_i] == '.' ||
-                _s[_i] == 'e' || _s[_i] == 'E'))
-            ++_i;
-        if (_i == start)
-            fail("expected a value");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.number = std::strtod(_s.substr(start, _i - start).c_str(),
-                               nullptr);
-        return v;
-    }
-
-    JsonValue array()
-    {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        if (peek() == ']') {
-            ++_i;
-            return v;
-        }
-        for (;;) {
-            v.array.push_back(value());
-            if (peek() == ',') {
-                ++_i;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue object()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        if (peek() == '}') {
-            ++_i;
-            return v;
-        }
-        for (;;) {
-            std::string key = string();
-            expect(':');
-            v.object.emplace_back(std::move(key), value());
-            if (peek() == ',') {
-                ++_i;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    const std::string &_s;
-    std::string _ctx;
-    std::size_t _i = 0;
-};
 
 // ------------------------------------------------------------------
 // Report model
@@ -492,12 +297,82 @@ collectLedgers(const JsonValue &group, const std::string &path,
             collectLedgers(g, here, out);
 }
 
+/**
+ * Throughput telemetry from a --profile run's stats tree (the "perf"
+ * group core::SweepTelemetry attaches; see docs/perf_tracking.md).
+ */
+struct Throughput
+{
+    bool present = false;
+    double points = 0;
+    double accesses = 0;
+    double wallSeconds = 0;
+    double pointsPerSec = 0;
+    double accessesPerSec = 0;
+    double workerUtilization = -1; ///< < 0 = not reported
+};
+
+void
+collectThroughput(const JsonValue &group, Throughput &out)
+{
+    const JsonValue *name = group.find("name");
+    if (name && name->string == "perf") {
+        const JsonValue *stats = group.find("stats");
+        if (stats) {
+            for (const JsonValue &st : stats->array) {
+                const JsonValue *sn = st.find("name");
+                const JsonValue *v = st.find("value");
+                if (!sn || !v)
+                    continue;
+                if (sn->string == "points")
+                    out.points = v->number;
+                else if (sn->string == "accesses")
+                    out.accesses = v->number;
+                else if (sn->string == "wallSeconds")
+                    out.wallSeconds = v->number;
+                else if (sn->string == "pointsPerSec") {
+                    out.pointsPerSec = v->number;
+                    out.present = true;
+                } else if (sn->string == "accessesPerSec")
+                    out.accessesPerSec = v->number;
+                else if (sn->string == "workerUtilization")
+                    out.workerUtilization = v->number;
+            }
+        }
+    }
+    if (const JsonValue *groups = group.find("groups"))
+        for (const JsonValue &g : groups->array)
+            collectThroughput(g, out);
+}
+
+std::string
+throughputLine(const Throughput &t)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%.0f points/s, %.3g accesses/s (%.0f points in "
+                  "%.4g s)",
+                  t.pointsPerSec, t.accessesPerSec, t.points,
+                  t.wallSeconds);
+    std::string line = buf;
+    if (t.workerUtilization >= 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", worker utilization %.0f%%",
+                      100.0 * t.workerUtilization);
+        line += buf;
+    }
+    return line;
+}
+
 // ------------------------------------------------------------------
 // Formatting
 
 void
-printText(const std::vector<Report> &reports, std::ostream &os)
+printText(const std::vector<Report> &reports, const Throughput &thr,
+          std::ostream &os)
 {
+    if (thr.present)
+        os << "throughput: " << throughputLine(thr) << "\n\n";
     for (const Report &rep : reports) {
         os << "== " << rep.title << " (" << rep.source << ") ==\n";
         for (const Region &r : rep.regions) {
@@ -523,8 +398,11 @@ printText(const std::vector<Report> &reports, std::ostream &os)
 }
 
 void
-printMd(const std::vector<Report> &reports, std::ostream &os)
+printMd(const std::vector<Report> &reports, const Throughput &thr,
+        std::ostream &os)
 {
+    if (thr.present)
+        os << "**throughput:** " << throughputLine(thr) << "\n\n";
     for (const Report &rep : reports) {
         os << "## " << rep.title << " (" << rep.source << ")\n\n";
         os << "| region | points | share | resource | meaning |\n";
@@ -557,9 +435,29 @@ jsonEscape(const std::string &s)
 }
 
 void
-printJson(const std::vector<Report> &reports, std::ostream &os)
+printJson(const std::vector<Report> &reports, const Throughput &thr,
+          std::ostream &os)
 {
-    os << "{\"reports\":[";
+    os << "{";
+    if (thr.present) {
+        char buf[200];
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"throughput\":{\"points\":%.0f,\"accesses\":%.0f,"
+            "\"wallSeconds\":%.9g,\"pointsPerSec\":%.9g,"
+            "\"accessesPerSec\":%.9g",
+            thr.points, thr.accesses, thr.wallSeconds,
+            thr.pointsPerSec, thr.accessesPerSec);
+        os << buf;
+        if (thr.workerUtilization >= 0) {
+            std::snprintf(buf, sizeof(buf),
+                          ",\"workerUtilization\":%.9g",
+                          thr.workerUtilization);
+            os << buf;
+        }
+        os << "},";
+    }
+    os << "\"reports\":[";
     bool firstRep = true;
     for (const Report &rep : reports) {
         os << (firstRep ? "" : ",") << "{\"title\":\""
@@ -623,6 +521,7 @@ main(int argc, char **argv)
         usage();
 
     std::vector<Report> reports;
+    Throughput throughput;
     for (const std::string &path : surfaces)
         reports.push_back(reportSurface(path));
     if (!stats_json.empty()) {
@@ -634,11 +533,14 @@ main(int argc, char **argv)
         std::ostringstream ss;
         ss << is.rdbuf();
         const std::string text = ss.str();
-        JsonParser parser(text, stats_json);
+        JsonParser parser(text, "report: " + stats_json);
         const JsonValue root = parser.parse();
         const std::size_t before = reports.size();
         collectLedgers(root, "", reports);
-        if (reports.size() == before) {
+        collectThroughput(root, throughput);
+        // A --profile tree carries throughput telemetry but not
+        // necessarily a ledger; only a tree with neither is an error.
+        if (reports.size() == before && !throughput.present) {
             std::cerr << "report: " << stats_json
                       << ": no timeAccount ledger found (re-run with "
                          "--attribution)\n";
@@ -647,11 +549,11 @@ main(int argc, char **argv)
     }
 
     if (format == "json")
-        printJson(reports, std::cout);
+        printJson(reports, throughput, std::cout);
     else if (format == "md")
-        printMd(reports, std::cout);
+        printMd(reports, throughput, std::cout);
     else
-        printText(reports, std::cout);
+        printText(reports, throughput, std::cout);
 
     if (violation) {
         std::cerr << "report: attribution invariant violated\n";
