@@ -17,6 +17,62 @@ nsToTicks(double ns)
 
 } // namespace
 
+Dec8400Memory::LineState &
+Dec8400Memory::LineDir::operator[](Addr line)
+{
+    // Grow at 75% occupancy so probe chains stay short.
+    if ((_used + 1) * 4 > _slots.size() * 3)
+        grow();
+    std::size_t i = indexOf(line);
+    const std::size_t mask = _slots.size() - 1;
+    while (_slots[i].used && _slots[i].line != line)
+        i = (i + 1) & mask;
+    Slot &s = _slots[i];
+    if (!s.used) {
+        s.used = true;
+        s.line = line;
+        s.state = LineState{};
+        ++_used;
+    }
+    return s.state;
+}
+
+void
+Dec8400Memory::LineDir::clear()
+{
+    for (Slot &s : _slots)
+        s.used = false;
+    _used = 0;
+}
+
+void
+Dec8400Memory::LineDir::reset(std::size_t slots)
+{
+    _slots.assign(slots, Slot{});
+    _used = 0;
+    _shift = 64;
+    while ((std::size_t{1} << (64 - _shift)) < slots)
+        --_shift;
+}
+
+void
+Dec8400Memory::LineDir::grow()
+{
+    std::vector<Slot> old = std::move(_slots);
+    reset(old.size() * 2);
+    const std::size_t mask = _slots.size() - 1;
+    for (const Slot &s : old) {
+        if (!s.used)
+            continue;
+        std::size_t i = indexOf(s.line);
+        while (_slots[i].used)
+            i = (i + 1) & mask;
+        _slots[i] = s;
+    }
+    for (const Slot &s : old)
+        _used += s.used ? 1 : 0;
+}
+
 Dec8400Memory::Dec8400Memory(const BusConfig &bus_config,
                              const mem::DramConfig &dram_config,
                              stats::Group *parent)
@@ -63,6 +119,37 @@ Dec8400Memory::attach(NodeId id, mem::MemoryHierarchy *h)
                               Tick earliest, std::uint32_t bytes) {
         return access(id, addr, intent, earliest, bytes);
     });
+    h->setPrimeHook([this, id](Addr addr) { primeFill(id, addr); });
+}
+
+void
+Dec8400Memory::primeFill(NodeId requester, Addr addr)
+{
+    // Mirrors the directory updates of the Read branches of access()
+    // exactly — priming reads are plain (non-exclusive) fills, so only
+    // the intervention and memory-read cases can occur.  Timing,
+    // stats, and trace events are deliberately omitted: resetTiming()
+    // would discard the former and a priming pass is not part of the
+    // measured experiment.
+    const Addr line = lineOf(addr);
+    LineState &st = _dir[line];
+    const std::uint32_t me = 1u << requester;
+
+    if (st.dirtyOwner != invalidNode && st.dirtyOwner != requester) {
+        // Intervention: the owner's copy stays valid but is now
+        // clean/shared; memory is (functionally) up to date.
+        const NodeId owner = st.dirtyOwner;
+        if (owner < static_cast<NodeId>(_nodes.size()) &&
+            _nodes[owner]) {
+            for (std::size_t l = 0; l < _nodes[owner]->numLevels();
+                 ++l)
+                _nodes[owner]->level(l).clean(line);
+        }
+        st.dirtyOwner = invalidNode;
+        st.sharers |= me | (1u << owner);
+        return;
+    }
+    st.sharers |= me;
 }
 
 mem::DramResult

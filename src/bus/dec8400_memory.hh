@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/dram.hh"
@@ -117,12 +116,66 @@ class Dec8400Memory
                            mem::FetchIntent intent, Tick earliest,
                            std::uint32_t bytes);
 
+    /**
+     * State-only replay of a priming read fill for @p requester: the
+     * directory/ownership updates of the Read intent of access(),
+     * with no bus or DRAM time charged and no transactions counted
+     * (MemoryHierarchy::primeBatch calls this through the prime hook).
+     */
+    void primeFill(NodeId requester, Addr addr);
+
     /** Per-line directory entry. */
     struct LineState
     {
         std::uint32_t sharers = 0; ///< bitmask of nodes with a copy
         NodeId dirtyOwner = invalidNode;
         NodeId lastWriter = invalidNode;
+    };
+
+    /**
+     * Flat open-addressing line directory: power-of-two table with
+     * linear probing and Fibonacci hashing.  Only find-or-insert and
+     * clear are needed, so the probe loop beats the former
+     * std::unordered_map's node allocations and pointer chases on the
+     * per-line bus fast path.  Fully deterministic: layout depends
+     * only on the insertion set, never on pointer values.
+     */
+    class LineDir
+    {
+      public:
+        LineDir() { reset(kInitialSlots); }
+
+        /** Find the entry for @p line, default-inserting if absent. */
+        LineState &operator[](Addr line);
+
+        /** Forget all coherence state (capacity is retained). */
+        void clear();
+
+      private:
+        struct Slot
+        {
+            Addr line = 0;
+            LineState state;
+            bool used = false;
+        };
+
+        static constexpr std::size_t kInitialSlots = 1024;
+
+        std::size_t indexOf(Addr line) const
+        {
+            // Line addresses are aligned, so their low bits carry no
+            // entropy; Fibonacci hashing pushes the mix into the high
+            // bits and the shift selects them.
+            return static_cast<std::size_t>(
+                (line * 0x9e3779b97f4a7c15ULL) >> _shift);
+        }
+
+        void reset(std::size_t slots);
+        void grow();
+
+        std::vector<Slot> _slots;
+        std::size_t _used = 0;
+        unsigned _shift = 64; ///< 64 - log2(_slots.size())
     };
 
     Addr lineOf(Addr addr) const
@@ -141,7 +194,7 @@ class Dec8400Memory
     sim::TimeAccount *_acct = nullptr;
     sim::TimeAccount::ResId _addrRes = 0;
     std::vector<mem::MemoryHierarchy *> _nodes;
-    std::unordered_map<Addr, LineState> _dir;
+    LineDir _dir;
 
     stats::Group _stats;
     stats::Scalar _transactions;

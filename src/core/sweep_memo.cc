@@ -1,0 +1,72 @@
+#include "core/sweep_memo.hh"
+
+#include "core/characterizer.hh"
+
+namespace gasnub::core {
+
+std::size_t
+SweepMemo::PointKeyHash::operator()(const PointKey &k) const
+{
+    // FNV-1a over the five words; the map resolves any collisions via
+    // the field-wise equality, so this only needs to spread well.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint64_t v :
+         {k.cfg, k.sweep, k.ws, k.stride, k.cap}) {
+        for (unsigned i = 0; i < 64; i += 8) {
+            h ^= (v >> i) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return static_cast<std::size_t>(h);
+}
+
+std::uint64_t
+SweepMemo::packSweep(const SweepSpec &spec)
+{
+    // All fields are tiny enums / node ids; 8 bits each is ample.
+    std::uint64_t v = static_cast<std::uint64_t>(spec.kind);
+    v = (v << 8) | static_cast<std::uint8_t>(spec.node);
+    v = (v << 8) | static_cast<std::uint64_t>(spec.variant);
+    v = (v << 8) | static_cast<std::uint64_t>(spec.method);
+    v = (v << 8) | (spec.strideOnSource ? 1 : 0);
+    v = (v << 8) | static_cast<std::uint8_t>(spec.src);
+    v = (v << 8) | static_cast<std::uint8_t>(spec.dst);
+    return v;
+}
+
+const SweepMemo::Entry *
+SweepMemo::find(std::uint64_t cfg_hash, const SweepSpec &spec,
+                std::uint64_t ws_bytes, std::uint64_t stride,
+                std::uint64_t cap_bytes)
+{
+    const PointKey key{cfg_hash, packSweep(spec), ws_bytes, stride,
+                       cap_bytes};
+    const auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        return nullptr;
+    }
+    ++_hits;
+    return &it->second;
+}
+
+void
+SweepMemo::insert(std::uint64_t cfg_hash, const SweepSpec &spec,
+                  std::uint64_t ws_bytes, std::uint64_t stride,
+                  std::uint64_t cap_bytes, Entry entry)
+{
+    const PointKey key{cfg_hash, packSweep(spec), ws_bytes, stride,
+                       cap_bytes};
+    _entries.insert_or_assign(key, std::move(entry));
+}
+
+void
+SweepMemo::clear()
+{
+    _entries.clear();
+    _attrNames.clear();
+    _hits = 0;
+    _misses = 0;
+}
+
+} // namespace gasnub::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Incremental characterization sweeps.
+ *
+ * A characterization grid point is a pure function of (machine
+ * recipe, sweep kind, working set, stride, truncation cap): every
+ * kernel resets the machine before measuring, so re-running the same
+ * point on the same config always reproduces the same bandwidth,
+ * elapsed time, and attribution vector bit for bit.  SweepMemo
+ * exploits that: it remembers finished points keyed on
+ * machine::systemConfigFingerprint() plus the packed sweep identity,
+ * so a re-sweep after a config or fault-plan change only re-simulates
+ * the points whose key actually changed — untouched points are served
+ * from the memo, bit-equal to a fresh run.
+ *
+ * What a memo hit does NOT do: it advances no simulator state, no
+ * stats, no throughput counters, and records no trace events.  Sweeps
+ * run with a non-zero trace mask therefore bypass the memo entirely
+ * (SweepRunner enforces this), and stats-comparison tests must not
+ * reuse a memo across runs they expect to accumulate stats.
+ */
+
+#ifndef GASNUB_CORE_SWEEP_MEMO_HH
+#define GASNUB_CORE_SWEEP_MEMO_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gasnub::core {
+
+struct SweepSpec;
+
+/**
+ * Memoized grid-point results for incremental sweeps.
+ *
+ * Not thread-safe: SweepRunner performs all lookups before and all
+ * inserts after its parallel section, on the calling thread.
+ */
+class SweepMemo
+{
+  public:
+    /** Everything a sweep point contributes to a Surface. */
+    struct Entry
+    {
+        double mbs = 0;
+        Tick elapsed = 0;          ///< 0 unless attribution was on
+        std::vector<Tick> attr;    ///< empty unless attribution was on
+    };
+
+    /**
+     * Look up one point; returns null (and counts a miss) when the
+     * exact (config, sweep, point) combination was never inserted.
+     */
+    const Entry *find(std::uint64_t cfg_hash, const SweepSpec &spec,
+                      std::uint64_t ws_bytes, std::uint64_t stride,
+                      std::uint64_t cap_bytes);
+
+    /** Remember a freshly simulated point. */
+    void insert(std::uint64_t cfg_hash, const SweepSpec &spec,
+                std::uint64_t ws_bytes, std::uint64_t stride,
+                std::uint64_t cap_bytes, Entry entry);
+
+    /**
+     * Attribution resource names, recorded once by the first runner
+     * that inserts attributed points; lets a fully memoized sweep
+     * build its Surface without any live machine replica.
+     */
+    const std::vector<std::string> &attrNames() const
+    {
+        return _attrNames;
+    }
+    void setAttrNames(std::vector<std::string> names)
+    {
+        _attrNames = std::move(names);
+    }
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::size_t size() const { return _entries.size(); }
+
+    /** Drop all memoized points (counters included). */
+    void clear();
+
+  private:
+    /** Full identity of one grid point; compared field-wise. */
+    struct PointKey
+    {
+        std::uint64_t cfg = 0;   ///< systemConfigFingerprint
+        std::uint64_t sweep = 0; ///< packed SweepSpec fields
+        std::uint64_t ws = 0;
+        std::uint64_t stride = 0;
+        std::uint64_t cap = 0;
+
+        bool operator==(const PointKey &) const = default;
+    };
+
+    struct PointKeyHash
+    {
+        std::size_t operator()(const PointKey &k) const;
+    };
+
+    static std::uint64_t packSweep(const SweepSpec &spec);
+
+    std::unordered_map<PointKey, Entry, PointKeyHash> _entries;
+    std::vector<std::string> _attrNames;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace gasnub::core
+
+#endif // GASNUB_CORE_SWEEP_MEMO_HH

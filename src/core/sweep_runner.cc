@@ -1,5 +1,6 @@
 #include "core/sweep_runner.hh"
 
+#include "core/sweep_memo.hh"
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
 
@@ -14,7 +15,8 @@ struct SweepRunner::Worker
 };
 
 SweepRunner::SweepRunner(machine::SystemConfig cfg, int jobs)
-    : _config(std::move(cfg)), _pool(jobs)
+    : _config(std::move(cfg)),
+      _cfgHash(machine::systemConfigFingerprint(_config)), _pool(jobs)
 {
     // A serial run interns the characterizer's trace track at
     // Characterizer construction — before any lazily-created component
@@ -53,7 +55,29 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
     };
     std::vector<PointResult> results(ws.size() * cols);
 
-    _pool.parallelFor(results.size(), [&](int w, std::size_t j) {
+    // Incremental sweeps: serve memoized points up front and simulate
+    // only the dirty remainder.  Tracing bypasses the memo — a hit
+    // re-simulates nothing, so it has no events to replay.
+    SweepMemo *const memo = mask == 0 ? _memo : nullptr;
+    std::vector<std::size_t> dirty;
+    dirty.reserve(results.size());
+    for (std::size_t j = 0; j < results.size(); ++j) {
+        if (memo) {
+            const SweepMemo::Entry *e =
+                memo->find(_cfgHash, spec, ws[j / cols],
+                           strides[j % cols], cfg.capBytes);
+            if (e) {
+                results[j].mbs = e->mbs;
+                results[j].elapsed = e->elapsed;
+                results[j].attr = e->attr;
+                continue;
+            }
+        }
+        dirty.push_back(j);
+    }
+
+    _pool.parallelFor(dirty.size(), [&](int w, std::size_t d) {
+        const std::size_t j = dirty[d];
         Worker &ctx = *_workers[w];
         GASNUB_PROF_ZONE("sweep.worker");
         // Route Tracer::instance() (machine construction registers
@@ -87,6 +111,23 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
             res.events = ctx.tracer.events();
     });
 
+    if (memo) {
+        for (const std::size_t j : dirty) {
+            SweepMemo::Entry e;
+            e.mbs = results[j].mbs;
+            e.elapsed = results[j].elapsed;
+            e.attr = results[j].attr;
+            memo->insert(_cfgHash, spec, ws[j / cols],
+                         strides[j % cols], cfg.capBytes,
+                         std::move(e));
+        }
+        if (_config.attribution && !dirty.empty() &&
+            memo->attrNames().empty())
+            memo->setAttrNames(_workers[results[dirty.front()].worker]
+                                   ->machine->timeAccount()
+                                   ->names());
+    }
+
     GASNUB_PROF_ZONE("sweep.merge");
     // Deterministic merge: fill the surface and replay trace events in
     // grid order, exactly the order a serial sweep produces them.
@@ -94,11 +135,17 @@ SweepRunner::run(const SweepSpec &spec, const CharacterizeConfig &cfg)
     // the global capacity bound.
     Surface s(sweepName(_config.kind, spec), ws, strides);
     if (_config.attribution) {
-        // Every replica registers the identical resource list (see
-        // Machine's attribution block), so any worker's names apply.
-        s.enableAttribution(_workers[results.front().worker]
-                                ->machine->timeAccount()
-                                ->names());
+        if (!dirty.empty()) {
+            // Every replica registers the identical resource list (see
+            // Machine's attribution block), so any worker's names
+            // apply.
+            s.enableAttribution(_workers[results[dirty.front()].worker]
+                                    ->machine->timeAccount()
+                                    ->names());
+        } else {
+            // Fully memoized sweep: no replica was ever built.
+            s.enableAttribution(memo->attrNames());
+        }
     }
     for (std::size_t j = 0; j < results.size(); ++j) {
         const PointResult &res = results[j];

@@ -13,6 +13,7 @@
 #ifndef GASNUB_MACHINE_CONFIGS_HH
 #define GASNUB_MACHINE_CONFIGS_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -107,6 +108,18 @@ struct SystemConfig
  * machines built from the same config never share mutable state.
  */
 std::unique_ptr<Machine> makeMachine(const SystemConfig &cfg);
+
+/**
+ * Order-sensitive FNV-1a digest of every field that influences a
+ * Machine built from @p cfg: kind, node count, the full node memory
+ * system (geometry, timing, stream/WBQ parameters), the fault plan
+ * (seed and every spec field), and the attribution switch.  Two
+ * configs with equal fingerprints build behaviourally identical
+ * machines, so the incremental-sweep memo keys on this value.
+ * Doubles are hashed by bit pattern — any calibration nudge, however
+ * small, changes the fingerprint.
+ */
+std::uint64_t systemConfigFingerprint(const SystemConfig &cfg);
 
 } // namespace gasnub::machine
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mem/simmode.hh"
 #include "remote/cray_engine.hh"
 #include "remote/smp_pull.hh"
 #include "sim/logging.hh"
@@ -310,8 +311,19 @@ void
 Machine::produce(NodeId id, Addr base, std::uint64_t words)
 {
     mem::MemoryHierarchy &h = node(id);
-    for (std::uint64_t i = 0; i < words; ++i)
-        h.write(base + i * wordBytes);
+    if (mem::batchedSimEnabled()) {
+        Addr buf[mem::AccessBatch::kCapacity];
+        std::uint64_t i = 0;
+        while (i < words) {
+            std::size_t n = 0;
+            while (n < mem::AccessBatch::kCapacity && i < words)
+                buf[n++] = base + i++ * wordBytes;
+            h.writeBatch(buf, n);
+        }
+    } else {
+        for (std::uint64_t i = 0; i < words; ++i)
+            h.write(base + i * wordBytes);
+    }
     h.drain();
 }
 

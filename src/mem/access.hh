@@ -13,6 +13,7 @@
 #ifndef GASNUB_MEM_ACCESS_HH
 #define GASNUB_MEM_ACCESS_HH
 
+#include <array>
 #include <cstdint>
 
 #include "sim/logging.hh"
@@ -28,6 +29,38 @@ struct MemAccess
 {
     Addr addr;
     AccessType type;
+};
+
+/**
+ * A struct-of-arrays block of accesses, the unit the kernels hand to
+ * MemoryHierarchy::processBatch().  Batching lets the hierarchy hoist
+ * the per-access profiler zone and stats increments out of the loop
+ * (doubles used as counters stay exact under a single `+= n` below
+ * 2^53, so batched stats are bit-identical to per-access updates).
+ */
+struct AccessBatch
+{
+    static constexpr std::size_t kCapacity = 512;
+
+    std::array<Addr, kCapacity> addrs;
+    std::array<AccessType, kCapacity> kinds;
+    std::array<std::uint8_t, kCapacity> sizes; ///< bytes per access
+    std::size_t count = 0;
+
+    bool full() const { return count == kCapacity; }
+    bool empty() const { return count == 0; }
+    void clear() { count = 0; }
+
+    void
+    push(Addr a, AccessType t,
+         std::uint8_t bytes = static_cast<std::uint8_t>(wordBytes))
+    {
+        GASNUB_ASSERT(count < kCapacity, "AccessBatch overflow");
+        addrs[count] = a;
+        kinds[count] = t;
+        sizes[count] = bytes;
+        ++count;
+    }
 };
 
 /**
@@ -55,6 +88,13 @@ class StridedSweep
         GASNUB_ASSERT(base % wordBytes == 0, "unaligned base");
         GASNUB_ASSERT(words >= 1, "empty working set");
         GASNUB_ASSERT(stride >= 1, "stride must be >= 1");
+        // The first `longPasses` passes have `perPassLong` elements,
+        // the rest one fewer; precomputed once so neither operator[]
+        // nor Cursor::fill divides per access.
+        _perPassLong = (words + stride - 1) / stride;
+        const std::uint64_t rem = words % stride;
+        _longPasses = rem == 0 ? stride : rem;
+        _longTotal = _longPasses * _perPassLong;
     }
 
     /** Total number of accesses the sweep generates (== words). */
@@ -70,33 +110,77 @@ class StridedSweep
     Addr
     operator[](std::uint64_t i) const
     {
-        // Number of accesses in one full pass at offset o is
-        // ceil((words - o) / stride); walk passes in order.
-        // To stay O(1), compute directly: the first `longPasses`
-        // passes have `perPassLong` elements.
-        const std::uint64_t per_pass_long =
-            (_words + _stride - 1) / _stride;
-        const std::uint64_t rem = _words % _stride;
-        const std::uint64_t long_passes = rem == 0 ? _stride : rem;
         std::uint64_t pass, idx;
-        const std::uint64_t long_total = long_passes * per_pass_long;
-        if (i < long_total) {
-            pass = i / per_pass_long;
-            idx = i % per_pass_long;
+        if (i < _longTotal) {
+            pass = i / _perPassLong;
+            idx = i % _perPassLong;
         } else {
-            const std::uint64_t j = i - long_total;
-            const std::uint64_t per_pass_short = per_pass_long - 1;
-            pass = long_passes + j / per_pass_short;
+            const std::uint64_t j = i - _longTotal;
+            const std::uint64_t per_pass_short = _perPassLong - 1;
+            pass = _longPasses + j / per_pass_short;
             idx = j % per_pass_short;
         }
         const std::uint64_t word = pass + idx * _stride;
         return _base + word * wordBytes;
     }
 
+    /**
+     * Forward-only iteration state emitting addresses in blocks.
+     * fill() walks pass/index counters directly, so the per-access
+     * divisions of operator[] disappear from the sweep inner loop —
+     * the "sweep.localLoads;point" self-time named by --profile.
+     */
+    class Cursor
+    {
+      public:
+        explicit Cursor(const StridedSweep &s) : _s(&s) {}
+
+        /**
+         * Append up to @p max addresses, in sweep order, to @p out.
+         * @return the number written; 0 once the sweep is exhausted.
+         */
+        std::size_t
+        fill(Addr *out, std::size_t max)
+        {
+            std::size_t n = 0;
+            const Addr step = _s->_stride * wordBytes;
+            while (n < max && _emitted < _s->_words) {
+                const std::uint64_t len = _pass < _s->_longPasses
+                                              ? _s->_perPassLong
+                                              : _s->_perPassLong - 1;
+                Addr a = _s->_base +
+                         (_pass + _idx * _s->_stride) * wordBytes;
+                while (n < max && _idx < len) {
+                    out[n++] = a;
+                    a += step;
+                    ++_idx;
+                    ++_emitted;
+                }
+                if (_idx == len) {
+                    _idx = 0;
+                    ++_pass;
+                }
+            }
+            return n;
+        }
+
+        /** Accesses emitted so far. */
+        std::uint64_t emitted() const { return _emitted; }
+
+      private:
+        const StridedSweep *_s;
+        std::uint64_t _pass = 0;
+        std::uint64_t _idx = 0;
+        std::uint64_t _emitted = 0;
+    };
+
   private:
     Addr _base;
     std::uint64_t _words;
     std::uint64_t _stride;
+    std::uint64_t _perPassLong;
+    std::uint64_t _longPasses;
+    std::uint64_t _longTotal;
 };
 
 } // namespace gasnub::mem

@@ -17,6 +17,8 @@ isPow2(std::uint64_t v)
 Cache::Cache(const CacheConfig &config, stats::Group *parent)
     : _config(config),
       _lineMask(config.lineBytes - 1),
+      _lineShift(static_cast<unsigned>(
+          std::countr_zero(std::uint64_t(config.lineBytes)))),
       _numSets(config.sizeBytes / (config.lineBytes * config.assoc)),
       _stats(config.name),
       _hits(&_stats, config.name + ".hits", "accesses that hit"),
@@ -45,12 +47,6 @@ Cache::Cache(const CacheConfig &config, stats::Group *parent)
         parent->addChild(&_stats);
 }
 
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr / _config.lineBytes) & (_numSets - 1);
-}
-
 CacheResult
 Cache::access(Addr addr, AccessType type)
 {
@@ -59,10 +55,48 @@ Cache::access(Addr addr, AccessType type)
     const std::size_t set = setIndex(addr);
     Line *ways = &_lines[set * _config.assoc];
 
+    // Direct-mapped fast path: the only way is both the probe and the
+    // victim, so the generic probe + victim scan collapses to one
+    // line touch.  Two of the modelled structures (the 21064/21164 L1
+    // and the 8400's 4 MB board cache) are direct mapped, and this
+    // runs per access per probed level.
+    if (_config.assoc == 1) {
+        Line &l = ways[0];
+        if (live(l) && l.tag == line) {
+            res.hit = true;
+            res.wasDirty = l.dirty;
+            l.lru = ++_lruClock;
+            if (type == AccessType::Write &&
+                _config.writePolicy == WritePolicy::WriteBack) {
+                l.dirty = true;
+            }
+            ++_hits;
+            return res;
+        }
+        ++_misses;
+        const bool allocate =
+            type == AccessType::Read ||
+            _config.allocPolicy == AllocPolicy::ReadWriteAllocate;
+        if (!allocate)
+            return res;
+        if (live(l) && l.dirty) {
+            res.evictedDirty = true;
+            res.victimAddr = l.tag;
+            ++_writebacks;
+        }
+        l.tag = line;
+        l.epoch = _epoch;
+        l.dirty = type == AccessType::Write &&
+                  _config.writePolicy == WritePolicy::WriteBack;
+        l.lru = ++_lruClock;
+        res.allocated = true;
+        return res;
+    }
+
     // Probe all ways.
     for (std::uint32_t w = 0; w < _config.assoc; ++w) {
         Line &l = ways[w];
-        if (l.valid && l.tag == line) {
+        if (live(l) && l.tag == line) {
             res.hit = true;
             res.wasDirty = l.dirty;
             l.lru = ++_lruClock;
@@ -84,11 +118,11 @@ Cache::access(Addr addr, AccessType type)
     if (!allocate)
         return res;
 
-    // Choose a victim: invalid way first, else LRU.
+    // Choose a victim: dead way first, else LRU.
     Line *victim = &ways[0];
     for (std::uint32_t w = 0; w < _config.assoc; ++w) {
         Line &l = ways[w];
-        if (!l.valid) {
+        if (!live(l)) {
             victim = &l;
             break;
         }
@@ -96,14 +130,14 @@ Cache::access(Addr addr, AccessType type)
             victim = &l;
     }
 
-    if (victim->valid && victim->dirty) {
+    if (live(*victim) && victim->dirty) {
         res.evictedDirty = true;
         res.victimAddr = victim->tag;
         ++_writebacks;
     }
 
     victim->tag = line;
-    victim->valid = true;
+    victim->epoch = _epoch;
     victim->dirty = type == AccessType::Write &&
                     _config.writePolicy == WritePolicy::WriteBack;
     victim->lru = ++_lruClock;
@@ -122,7 +156,7 @@ Cache::install(Addr line_addr)
     // Already present: just mark dirty.
     for (std::uint32_t w = 0; w < _config.assoc; ++w) {
         Line &l = ways[w];
-        if (l.valid && l.tag == line) {
+        if (live(l) && l.tag == line) {
             l.dirty = true;
             l.lru = ++_lruClock;
             res.hit = true;
@@ -133,20 +167,20 @@ Cache::install(Addr line_addr)
     Line *victim = &ways[0];
     for (std::uint32_t w = 0; w < _config.assoc; ++w) {
         Line &l = ways[w];
-        if (!l.valid) {
+        if (!live(l)) {
             victim = &l;
             break;
         }
         if (l.lru < victim->lru)
             victim = &l;
     }
-    if (victim->valid && victim->dirty) {
+    if (live(*victim) && victim->dirty) {
         res.evictedDirty = true;
         res.victimAddr = victim->tag;
         ++_writebacks;
     }
     victim->tag = line;
-    victim->valid = true;
+    victim->epoch = _epoch;
     victim->dirty = true;
     victim->lru = ++_lruClock;
     res.allocated = true;
@@ -160,7 +194,7 @@ Cache::contains(Addr addr) const
     const std::size_t set = setIndex(addr);
     const Line *ways = &_lines[set * _config.assoc];
     for (std::uint32_t w = 0; w < _config.assoc; ++w)
-        if (ways[w].valid && ways[w].tag == line)
+        if (live(ways[w]) && ways[w].tag == line)
             return true;
     return false;
 }
@@ -173,8 +207,8 @@ Cache::invalidate(Addr addr)
     Line *ways = &_lines[set * _config.assoc];
     for (std::uint32_t w = 0; w < _config.assoc; ++w) {
         Line &l = ways[w];
-        if (l.valid && l.tag == line) {
-            l.valid = false;
+        if (live(l) && l.tag == line) {
+            l.epoch = 0;
             l.dirty = false;
             ++_invalidations;
             return;
@@ -189,10 +223,11 @@ Cache::invalidateAll()
     // T3D's whole-L1 flush), not a coherence event: it is not counted
     // in the invalidations stat, which would otherwise depend on what
     // the *previous* experiment happened to leave cached.
-    for (Line &l : _lines) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    //
+    // Bumping the epoch retires every line in O(1); the 8400's 4 MB
+    // board cache made the old full-array clear the single biggest
+    // per-grid-point cost in a characterization sweep.
+    ++_epoch;
 }
 
 bool
@@ -203,7 +238,7 @@ Cache::clean(Addr addr)
     Line *ways = &_lines[set * _config.assoc];
     for (std::uint32_t w = 0; w < _config.assoc; ++w) {
         Line &l = ways[w];
-        if (l.valid && l.tag == line && l.dirty) {
+        if (live(l) && l.tag == line && l.dirty) {
             l.dirty = false;
             return true;
         }

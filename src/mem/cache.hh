@@ -135,17 +135,37 @@ class Cache
     struct Line
     {
         Addr tag = 0;
-        bool valid = false;
+        std::uint64_t epoch = 0; ///< live only when == cache epoch
+        std::uint64_t lru = 0;   ///< larger = more recently used
         bool dirty = false;
-        std::uint64_t lru = 0; ///< larger = more recently used
     };
 
-    std::size_t setIndex(Addr addr) const;
+    /**
+     * A line is live when stamped with the current epoch; epoch 0 is
+     * never live (_epoch starts at 1 and only grows), so a default
+     * line is invalid and invalidate() just zeroes the stamp.
+     * invalidateAll() — the per-experiment harness reset, called once
+     * per grid point over line arrays up to megabytes long — is then
+     * a single epoch bump instead of a full-array clear.  Stale-epoch
+     * lines behave exactly like invalid ones: probes skip them and
+     * victim selection prefers them in way order, the same order a
+     * cleared array yields.
+     */
+    bool live(const Line &l) const { return l.epoch == _epoch; }
+
+    std::size_t setIndex(Addr addr) const
+    {
+        // lineBytes is asserted pow2; shift instead of dividing —
+        // this runs once per access per probed level.
+        return (addr >> _lineShift) & (_numSets - 1);
+    }
 
     CacheConfig _config;
     Addr _lineMask;
+    unsigned _lineShift;
     std::size_t _numSets;
     std::uint64_t _lruClock = 0;
+    std::uint64_t _epoch = 1;
     std::vector<Line> _lines; ///< numSets x assoc, row major
 
     stats::Group _stats;

@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <bit>
+
 #include "sim/units.hh"
 
 namespace gasnub::mem {
@@ -64,6 +66,14 @@ Dram::Dram(const DramConfig &config, stats::Group *parent)
                   "interleave must be pow2");
     GASNUB_ASSERT(isPow2(config.rowBytes), "row size must be pow2");
     GASNUB_ASSERT(config.busMBs > 0, "bus bandwidth must be positive");
+    _interleaveShift = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(
+            config.interleaveBytes)));
+    _bankShift = static_cast<std::uint32_t>(std::countr_zero(
+        static_cast<std::uint64_t>(config.banks)));
+    _rowShift = static_cast<std::uint32_t>(std::countr_zero(
+        static_cast<std::uint64_t>(config.rowBytes)));
+    _interleaveMask = static_cast<Addr>(config.interleaveBytes) - 1;
     // The channel and banks are shared between the processor's demand
     // stream and the network engine's accesses: allow backfill.
     _bus.enableBackfill();
@@ -77,19 +87,20 @@ std::uint32_t
 Dram::bankOf(Addr addr) const
 {
     return static_cast<std::uint32_t>(
-        (addr / _config.interleaveBytes) & (_config.banks - 1));
+        (addr >> _interleaveShift) & (_config.banks - 1));
 }
 
 std::uint64_t
 Dram::rowOf(Addr addr) const
 {
-    // Within-bank byte address: strip the bank-select bits.
+    // Within-bank byte address: strip the bank-select bits.  All
+    // geometry is pow2 (asserted at construction), so the legacy
+    // divide/modulo chain reduces to shifts and masks.
     const std::uint64_t chunk =
-        addr / (static_cast<std::uint64_t>(_config.interleaveBytes) *
-                _config.banks);
+        addr >> (_interleaveShift + _bankShift);
     const std::uint64_t within =
-        chunk * _config.interleaveBytes + addr % _config.interleaveBytes;
-    return within / _config.rowBytes;
+        (chunk << _interleaveShift) + (addr & _interleaveMask);
+    return within >> _rowShift;
 }
 
 DramResult
@@ -117,7 +128,13 @@ Dram::access(Addr addr, AccessType type, Tick earliest,
         }
     }
 
-    const Tick transfer_t = ticksForBytes(bytes, _config.busMBs);
+    // Accesses come in a handful of sizes (line fills, word writes);
+    // cache the last conversion so the hot path skips the FP math.
+    if (bytes != _lastTfBytes) {
+        _lastTfBytes = bytes;
+        _lastTfTicks = ticksForBytes(bytes, _config.busMBs);
+    }
+    const Tick transfer_t = _lastTfTicks;
 
     // Accesses wider than the full interleave span stripe across all
     // banks; no single bank serializes them and the row buffers are

@@ -153,6 +153,14 @@ class Dram
     Tick _rowMissTicks;
     Tick _bankBusyTicks;
     Tick _writeBusyTicks;
+    // Address-decode shift/mask forms of the pow2 geometry (asserted
+    // in the constructor), so bankOf/rowOf divide-free on the hot path.
+    std::uint32_t _interleaveShift = 0;
+    std::uint32_t _bankShift = 0;
+    std::uint32_t _rowShift = 0;
+    Addr _interleaveMask = 0;
+    std::uint64_t _lastTfBytes = 0; ///< ticksForBytes memo key
+    Tick _lastTfTicks = 0;          ///< ... and its value
     std::vector<Bank> _banks;
     Resource _bus;
     sim::FaultSite *_faults = nullptr;

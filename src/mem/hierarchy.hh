@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "mem/access.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/resource.hh"
@@ -139,6 +140,38 @@ class MemoryHierarchy
     Tick write(Addr addr);
 
     /**
+     * Batched fast path: issue @p n word loads in program order.
+     * Timing, functional state, and stats are bit-identical to n
+     * read() calls; the per-access profiler zone, stats increments,
+     * and the double cache walk (peek + access) are hoisted out of
+     * the loop.
+     */
+    void readBatch(const Addr *addrs, std::size_t n);
+
+    /** Batched fast path for @p n word stores (see readBatch). */
+    void writeBatch(const Addr *addrs, std::size_t n);
+
+    /**
+     * Consume a mixed read/write batch in order (copy kernels pair a
+     * load with a store per element).  Equivalent to dispatching each
+     * entry through read()/write().
+     */
+    void processBatch(const AccessBatch &batch);
+
+    /**
+     * Functional priming pass: walk @p n word loads through the cache
+     * tags only, with no timing, stream detection, window accounting,
+     * or access counting.  Starting from resetAll()-clean caches this
+     * leaves exactly the state a timed read sweep followed by
+     * resetTiming() would — warm tags/LRU here, plus whatever the
+     * prime hook records memory-side (the 8400 bus replays its
+     * directory updates through it).  Must not be used on caches that
+     * may hold dirty lines: a priming read never sources victim
+     * writebacks, so the walk asserts no dirty line is evicted.
+     */
+    void primeBatch(const Addr *addrs, std::size_t n);
+
+    /**
      * Complete all buffered work (write-back queue) — a
      * synchronization point. @return tick everything is globally
      * visible (>= all previous completions).
@@ -217,6 +250,18 @@ class MemoryHierarchy
     void setDramHook(DramHook hook) { _dramHook = std::move(hook); }
 
     /**
+     * State-only companion of the DRAM hook for primeBatch(): called
+     * with the line address of every priming read that misses all
+     * cache levels, so a coherent shared memory (the 8400 bus) can
+     * replay the directory/ownership updates a timed fill would have
+     * made — without charging time or counting transactions.
+     */
+    using PrimeHook = std::function<void(Addr)>;
+
+    /** Install (or clear, with nullptr) the priming hook. */
+    void setPrimeHook(PrimeHook hook) { _primeHook = std::move(hook); }
+
+    /**
      * Attach the machine's time account.  The hierarchy charges the
      * processor's issue slots, cache-port occupancy, and the stream
      * engine's pipelined line intervals; the DRAM and write-back
@@ -288,11 +333,46 @@ class MemoryHierarchy
     Tick dramLineRead(Addr line_addr, std::uint32_t line_bytes,
                       Tick issue, bool &covered, bool exclusive);
 
+    /**
+     * dramLineRead for a fill the caller already ran through
+     * ReadAhead::note() — the fast path notes once and reuses the
+     * verdict for both window accounting and the fill itself, where
+     * the legacy path pays a wouldCover() preview scan plus the
+     * note() scan per off-chip miss.
+     */
+    Tick dramLineReadNoted(Addr line_addr, std::uint32_t line_bytes,
+                           Tick issue, const StreamHit &sh,
+                           bool exclusive);
+
     /** Route one memory-side access via the hook or local DRAM. */
     DramResult memorySide(Addr addr, FetchIntent intent, Tick earliest,
                           std::uint32_t bytes);
 
+    /**
+     * One load on the fast path: a single mutating cache walk decides
+     * hit level, window use, and eviction unwinding — replacing the
+     * legacy contains() peek + serveRead() descent with identical
+     * resource-acquisition and accounting order.
+     */
+    Tick readFastOne(Addr addr);
+
+    /** One store, shared by write() and the batch paths (no
+     * prof-zone/stat updates — callers hoist those). */
+    Tick writeOne(Addr addr);
+
     Tick nsTicks(double ns) const;
+
+    /** Upper bound on cache levels (fast-path walk scratch array). */
+    static constexpr std::size_t kMaxLevels = 8;
+
+    /** Per-level timing precomputed from the config (== nsTicks of
+     * the LevelTiming fields, so both paths share exact values). */
+    struct LevelTicks
+    {
+        Tick hit = 0;
+        Tick hitOcc = 0;
+        Tick fillOcc = 0;
+    };
 
     HierarchyConfig _config;
     Tick _loadIssueTicks;
@@ -300,6 +380,9 @@ class MemoryHierarchy
     Tick _dramFrontTicks;
     Tick _dramBackTicks;
     Tick _streamLineTicks;
+    std::vector<LevelTicks> _levelTicks;
+    std::uint32_t _lastLineBytes = 0;
+    Addr _lastLineMask = 0;
 
     std::vector<std::unique_ptr<Cache>> _caches;
     std::vector<Resource> _ports; ///< one per cache level
@@ -308,6 +391,7 @@ class MemoryHierarchy
     std::unique_ptr<WriteBackQueue> _wbq;
 
     DramHook _dramHook;
+    PrimeHook _primeHook;
     sim::TimeAccount *_acct = nullptr;
     sim::TimeAccount::ResId _issueRes = 0;
     sim::TimeAccount::ResId _cacheRes = 0;

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -57,12 +58,12 @@ class Resource
         // appended after the previous busy tail; splits stay in
         // place), so gaps that end too early are skipped with a
         // binary search.
-        if (_maxGaps != 0 && !_gaps.empty() &&
+        if (_maxGaps != 0 && _head != _gaps.size() &&
             earliest + occupancy <= _maxGapEnd &&
             occupancy <= _maxGapLen) {
             bool fit = false;
             Tick start = 0;
-            std::size_t lo = 0;
+            std::size_t lo = _head;
             std::size_t hi = _gaps.size();
             const Tick need_end = earliest + occupancy;
             while (lo < hi) {
@@ -105,13 +106,22 @@ class Resource
         const Tick start = earliest > _busyUntil ? earliest
                                                  : _busyUntil;
         if (_maxGaps != 0 && start > _busyUntil && _busyUntil > 0) {
+            // Single-flow streams append one gap per request and never
+            // claim any; dropping the oldest is a head-index bump, and
+            // the dead prefix is compacted away once it matches the
+            // live window, keeping the append path amortized O(1).
             _gaps.push_back(Gap{_busyUntil, start});
             if (start > _maxGapEnd)
                 _maxGapEnd = start;
             if (start - _busyUntil > _maxGapLen)
                 _maxGapLen = start - _busyUntil;
-            if (_gaps.size() > _maxGaps)
-                _gaps.pop_front();
+            if (_gaps.size() - _head > _maxGaps)
+                ++_head;
+            if (_head >= _maxGaps) {
+                _gaps.erase(_gaps.begin(),
+                            _gaps.begin() + static_cast<long>(_head));
+                _head = 0;
+            }
         }
         _busyUntil = start + occupancy;
         return start;
@@ -126,6 +136,7 @@ class Resource
     {
         _busyUntil = 0;
         _gaps.clear();
+        _head = 0;
         _maxGapEnd = 0;
         _maxGapLen = 0;
     }
@@ -142,7 +153,8 @@ class Resource
     {
         _maxGapEnd = 0;
         _maxGapLen = 0;
-        for (const Gap &g : _gaps) {
+        for (std::size_t i = _head; i < _gaps.size(); ++i) {
+            const Gap &g = _gaps[i];
             if (g.end > _maxGapEnd)
                 _maxGapEnd = g.end;
             if (g.end - g.start > _maxGapLen)
@@ -154,7 +166,10 @@ class Resource
     Tick _maxGapEnd = 0;
     Tick _maxGapLen = 0;
     std::size_t _maxGaps = 0;
-    std::deque<Gap> _gaps;
+    // Live gaps are _gaps[_head, size): a vector ring whose head bump
+    // replaces deque::pop_front on the once-per-request append path.
+    std::size_t _head = 0;
+    std::vector<Gap> _gaps;
 };
 
 /**
@@ -170,7 +185,8 @@ class OutstandingWindow
 {
   public:
     /** @param depth Maximum operations in flight (>= 1). */
-    explicit OutstandingWindow(std::size_t depth) : _depth(depth)
+    explicit OutstandingWindow(std::size_t depth)
+        : _depth(depth), _buf(depth + 1)
     {
         GASNUB_ASSERT(depth >= 1, "window depth must be >= 1");
     }
@@ -182,10 +198,10 @@ class OutstandingWindow
     Tick
     admit(Tick want)
     {
-        if (_inflight.size() < _depth)
+        if (_size < _depth)
             return want;
-        Tick oldest = _inflight.front();
-        _inflight.pop_front();
+        const Tick oldest = _buf[_head];
+        popFront();
         return want > oldest ? want : oldest;
     }
 
@@ -194,23 +210,51 @@ class OutstandingWindow
     complete(Tick when)
     {
         // Completions are monotone for in-order pipelines; keep the
-        // deque sorted even if a caller violates that slightly.
-        if (!_inflight.empty() && when < _inflight.back())
-            when = _inflight.back();
-        _inflight.push_back(when);
-        while (_inflight.size() > _depth)
-            _inflight.pop_front();
+        // ring sorted even if a caller violates that slightly.
+        if (_size != 0) {
+            const Tick back = _buf[wrap(_head + _size - 1)];
+            if (when < back)
+                when = back;
+        }
+        // Capacity is depth + 1, so one push can never overwrite the
+        // live region before the trim below restores size <= depth.
+        _buf[wrap(_head + _size)] = when;
+        ++_size;
+        while (_size > _depth)
+            popFront();
     }
 
     /** Maximum in-flight operations. */
     std::size_t depth() const { return _depth; }
 
     /** Forget in-flight state (between experiments). */
-    void reset() { _inflight.clear(); }
+    void
+    reset()
+    {
+        _head = 0;
+        _size = 0;
+    }
 
   private:
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= _buf.size() ? i - _buf.size() : i;
+    }
+
+    void
+    popFront()
+    {
+        _head = wrap(_head + 1);
+        --_size;
+    }
+
     std::size_t _depth;
-    std::deque<Tick> _inflight;
+    // In-flight completion times, oldest first, as a fixed ring of
+    // depth + 1 slots — admit/complete run once per windowed access.
+    std::vector<Tick> _buf;
+    std::size_t _head = 0;
+    std::size_t _size = 0;
 };
 
 } // namespace gasnub::mem

@@ -1,0 +1,39 @@
+#include "mem/simmode.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace gasnub::mem {
+
+namespace {
+
+bool
+initialMode()
+{
+    const char *env = std::getenv("GASNUB_LEGACY_SIM");
+    return !(env && std::strcmp(env, "1") == 0);
+}
+
+std::atomic<bool> &
+mode()
+{
+    static std::atomic<bool> enabled{initialMode()};
+    return enabled;
+}
+
+} // namespace
+
+bool
+batchedSimEnabled()
+{
+    return mode().load(std::memory_order_relaxed);
+}
+
+void
+setBatchedSim(bool enabled)
+{
+    mode().store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace gasnub::mem

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Global switch between the batched access-stream fast path and the
+ * legacy per-access simulation path.
+ *
+ * Both paths are maintained and must stay byte-identical (the
+ * differential harness in tests/core/test_differential.cc enforces
+ * it); the legacy path exists as the reference implementation and as
+ * an escape hatch (GASNUB_LEGACY_SIM=1) if a divergence is ever
+ * suspected in the field.
+ */
+
+#ifndef GASNUB_MEM_SIMMODE_HH
+#define GASNUB_MEM_SIMMODE_HH
+
+namespace gasnub::mem {
+
+/**
+ * @return true when the kernels should emit access batches and the
+ * hierarchy should consume them through the fast path (the default);
+ * false when every access goes through the legacy read()/write()
+ * calls.  Initialized once from GASNUB_LEGACY_SIM (=1 disables
+ * batching).
+ */
+bool batchedSimEnabled();
+
+/** Override the mode at runtime (differential tests). */
+void setBatchedSim(bool enabled);
+
+} // namespace gasnub::mem
+
+#endif // GASNUB_MEM_SIMMODE_HH

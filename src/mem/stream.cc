@@ -53,7 +53,13 @@ ReadAhead::note(Addr line_addr, std::uint32_t line_bytes)
 
     // Allocation filter: promote to a stream slot only when this
     // fill sequentially follows a previous one, so isolated misses
-    // (write allocations, gathers) cannot steal live streams.
+    // (write allocations, gathers) cannot steal live streams.  The
+    // replacement victim for the no-match case is tracked in the same
+    // pass (invalid entry first, else LRU) — non-sequential access
+    // patterns hit this path on every single fill, so the filter is
+    // scanned exactly once instead of twice.
+    Candidate *cv = &_filter[0];
+    bool cv_invalid = !cv->valid;
     for (Candidate &c : _filter) {
         if (c.valid && c.nextLine == line_addr) {
             c.valid = false;
@@ -79,18 +85,17 @@ ReadAhead::note(Addr line_addr, std::uint32_t line_bytes)
             }
             return hit;
         }
+        if (!cv_invalid) {
+            if (!c.valid) {
+                cv = &c;
+                cv_invalid = true;
+            } else if (c.lru < cv->lru) {
+                cv = &c;
+            }
+        }
     }
 
-    // New candidate in the filter (LRU replacement).
-    Candidate *cv = &_filter[0];
-    for (Candidate &c : _filter) {
-        if (!c.valid) {
-            cv = &c;
-            break;
-        }
-        if (c.lru < cv->lru)
-            cv = &c;
-    }
+    // New candidate in the filter.
     cv->valid = true;
     cv->nextLine = line_addr + line_bytes;
     cv->lru = ++_lruClock;

@@ -258,16 +258,25 @@ Torus::send(NodeId src, NodeId dst, std::uint32_t payload_bytes,
         return res;
     }
 
-    int detours = 0;
-    route(src, dst, _routeScratch, detours);
-    if (detours)
-        _faultDetours += detours;
-    res.hops = static_cast<int>(_routeScratch.size());
+    if (src != _routeCacheSrc || dst != _routeCacheDst) {
+        // Invalidate first: route() throws when every direction of a
+        // ring is severed, and a half-written cache must not survive.
+        _routeCacheSrc = invalidNode;
+        _routeCacheDst = invalidNode;
+        int detours = 0;
+        route(src, dst, _routeCache, detours);
+        _routeCacheDetours = detours;
+        _routeCacheSrc = src;
+        _routeCacheDst = dst;
+    }
+    if (_routeCacheDetours)
+        _faultDetours += _routeCacheDetours;
+    res.hops = static_cast<int>(_routeCache.size());
 
     // Cut-through: the head advances one hop latency per router; each
     // link is occupied for the full wire time of the packet.
     Tick head = injected + _nicTicks;
-    for (const std::size_t l : _routeScratch) {
+    for (const std::size_t l : _routeCache) {
         Tick occupy = wire_ticks;
         if (_anyLinkSlow && _linkSlow[l] != 1.0) {
             // A slow link carries the same bytes at a fraction of the
@@ -307,6 +316,10 @@ Torus::setFaults(sim::FaultDomain *domain)
     _nicFault.clear();
     _anyLinkSlow = false;
     _anyLinkDown = false;
+    // Severed links change the detour structure: drop the route cache.
+    _routeCacheSrc = invalidNode;
+    _routeCacheDst = invalidNode;
+    _routeCacheDetours = 0;
     if (!domain)
         return;
     for (const sim::FaultSpec &s : domain->plan().specs()) {

@@ -168,7 +168,18 @@ class Torus
     std::vector<mem::Resource> _nicsIn;
     std::vector<NodeId> _lastPartner;  ///< per NIC
 
-    mutable std::vector<std::size_t> _routeScratch;
+    /**
+     * Single-entry route cache: bulk transfers send long runs of
+     * packets between the same (src, dst) pair, so the dimension-order
+     * walk (and its fault detour count) is computed once per pair
+     * instead of once per packet.  Invalidated when the fault topology
+     * changes (setFaults); reset() keeps it — calendars change between
+     * experiments, link geometry does not.
+     */
+    std::vector<std::size_t> _routeCache;
+    NodeId _routeCacheSrc = invalidNode;
+    NodeId _routeCacheDst = invalidNode;
+    int _routeCacheDetours = 0;
 
     sim::TimeAccount *_acct = nullptr;
     sim::TimeAccount::ResId _linkRes = 0;

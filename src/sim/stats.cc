@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <iomanip>
 #include <limits>
@@ -266,10 +267,7 @@ unsigned
 Histogram::bucketOf(std::uint64_t v)
 {
     GASNUB_ASSERT(v >= 1, "bucketOf is defined for v >= 1");
-    unsigned i = 0;
-    while (v >>= 1)
-        ++i;
-    return i;
+    return static_cast<unsigned>(std::bit_width(v)) - 1;
 }
 
 void

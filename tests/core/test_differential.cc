@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Differential lockdown of the batched access-stream fast path.
+ *
+ * The batched simulation path (mem::AccessBatch + readBatch/
+ * writeBatch/processBatch) is a pure software-overhead optimisation:
+ * it must produce, tick for tick and byte for byte, the outputs of
+ * the legacy one-call-per-access path it replaces.  These tests run
+ * the same sweeps through both paths — on all three machines, serial
+ * and with a 4-worker SweepRunner, with and without an injected fault
+ * plan — and compare the saved surfaces (attribution rows included)
+ * and the full stats JSON as strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "core/surface_io.hh"
+#include "core/sweep_runner.hh"
+#include "kernels/kernels.hh"
+#include "kernels/remote_kernels.hh"
+#include "machine/configs.hh"
+#include "machine/machine.hh"
+#include "mem/simmode.hh"
+#include "sim/trace.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::core;
+
+/** Flip the batched/legacy switch and restore it on scope exit. */
+class ScopedSimMode
+{
+  public:
+    explicit ScopedSimMode(bool batched)
+        : _saved(mem::batchedSimEnabled())
+    {
+        mem::setBatchedSim(batched);
+    }
+    ~ScopedSimMode() { mem::setBatchedSim(_saved); }
+
+  private:
+    bool _saved;
+};
+
+constexpr const char *kFaultPlan = "seed=7;dram-stall:prob=.3,extra=300";
+
+CharacterizeConfig
+smallGrid()
+{
+    CharacterizeConfig cfg;
+    cfg.workingSets = {2_KiB, 32_KiB};
+    cfg.strides = {1, 3, 8, 64};
+    cfg.capBytes = 1_MiB;
+    return cfg;
+}
+
+/** Every kernel family the batched path rewrote. */
+std::vector<SweepSpec>
+localSpecs()
+{
+    return {SweepSpec::localLoads(0), SweepSpec::localStores(0),
+            SweepSpec::localCopy(kernels::CopyVariant::StridedLoads, 0),
+            SweepSpec::localCopy(kernels::CopyVariant::StridedStores,
+                                 0)};
+}
+
+struct Output
+{
+    std::string surface;
+    std::string stats;
+};
+
+/**
+ * Run the local sweeps on one machine.  @p jobs <= 0 runs a serial
+ * Characterizer; otherwise a SweepRunner with that many workers, its
+ * stats merged into the main machine as production drivers do.
+ */
+Output
+runLocal(machine::SystemKind kind, bool batched, int jobs,
+         const std::string &faults)
+{
+    ScopedSimMode mode(batched);
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    machine::SystemConfig sys;
+    sys.kind = kind;
+    sys.attribution = true;
+    if (!faults.empty())
+        sys.faults = sim::FaultPlan::parse(faults);
+    machine::Machine m(sys);
+    const CharacterizeConfig cfg = smallGrid();
+    Output out;
+    std::ostringstream so;
+    if (jobs <= 0) {
+        Characterizer c(m);
+        for (const SweepSpec &spec : localSpecs())
+            saveSurface(c.run(spec, cfg), so);
+    } else {
+        SweepRunner runner(sys, jobs);
+        for (const SweepSpec &spec : localSpecs())
+            saveSurface(runner.run(spec, cfg), so);
+        runner.mergeStatsInto(m.statsGroup());
+    }
+    out.surface = so.str();
+    std::ostringstream st;
+    m.statsGroup().dumpJson(st);
+    out.stats = st.str();
+    return out;
+}
+
+void
+expectIdentical(const Output &legacy, const Output &batched)
+{
+    EXPECT_FALSE(legacy.surface.empty());
+    EXPECT_EQ(legacy.surface, batched.surface);
+    EXPECT_EQ(legacy.stats, batched.stats);
+}
+
+class Differential
+    : public ::testing::TestWithParam<machine::SystemKind>
+{
+};
+
+TEST_P(Differential, SerialBatchedMatchesLegacy)
+{
+    expectIdentical(runLocal(GetParam(), false, 0, ""),
+                    runLocal(GetParam(), true, 0, ""));
+}
+
+TEST_P(Differential, ParallelBatchedMatchesLegacy)
+{
+    expectIdentical(runLocal(GetParam(), false, 4, ""),
+                    runLocal(GetParam(), true, 4, ""));
+}
+
+TEST_P(Differential, FaultySerialBatchedMatchesLegacy)
+{
+    expectIdentical(runLocal(GetParam(), false, 0, kFaultPlan),
+                    runLocal(GetParam(), true, 0, kFaultPlan));
+}
+
+TEST_P(Differential, FaultyParallelBatchedMatchesLegacy)
+{
+    expectIdentical(runLocal(GetParam(), false, 4, kFaultPlan),
+                    runLocal(GetParam(), true, 4, kFaultPlan));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, Differential,
+    ::testing::Values(machine::SystemKind::Dec8400,
+                      machine::SystemKind::CrayT3D,
+                      machine::SystemKind::CrayT3E),
+    [](const ::testing::TestParamInfo<machine::SystemKind> &info) {
+        switch (info.param) {
+          case machine::SystemKind::Dec8400: return "Dec8400";
+          case machine::SystemKind::CrayT3D: return "CrayT3D";
+          case machine::SystemKind::CrayT3E: return "CrayT3E";
+        }
+        return "Unknown";
+    });
+
+/** Remote transfers exercise the batched Machine::produce() path. */
+Output
+runRemote(machine::SystemKind kind, remote::TransferMethod method,
+          bool batched)
+{
+    ScopedSimMode mode(batched);
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    machine::SystemConfig sys;
+    sys.kind = kind;
+    machine::Machine m(sys);
+    Characterizer c(m);
+    CharacterizeConfig cfg;
+    cfg.workingSets = {16_KiB, 64_KiB};
+    cfg.strides = {1, 2};
+    cfg.capBytes = 64_KiB;
+    Output out;
+    std::ostringstream so;
+    saveSurface(c.run(SweepSpec::remote(method, false, 1, 0), cfg),
+                so);
+    out.surface = so.str();
+    std::ostringstream st;
+    m.statsGroup().dumpJson(st);
+    out.stats = st.str();
+    return out;
+}
+
+TEST(DifferentialRemote, T3dDepositMatchesLegacy)
+{
+    expectIdentical(runRemote(machine::SystemKind::CrayT3D,
+                              remote::TransferMethod::Deposit, false),
+                    runRemote(machine::SystemKind::CrayT3D,
+                              remote::TransferMethod::Deposit, true));
+}
+
+TEST(DifferentialRemote, T3eFetchMatchesLegacy)
+{
+    expectIdentical(runRemote(machine::SystemKind::CrayT3E,
+                              remote::TransferMethod::Fetch, false),
+                    runRemote(machine::SystemKind::CrayT3E,
+                              remote::TransferMethod::Fetch, true));
+}
+
+/**
+ * The functional prime (tag walk + state-only bus replay) must leave
+ * exactly the warm state a fully timed priming pass leaves once
+ * resetTiming() has discarded the latter's timing — so the measured
+ * region of every kernel must come out identical under both.
+ * KernelParams::timedPrime keeps the timed pass alive as the oracle.
+ */
+void
+expectSameResult(const kernels::KernelResult &timed,
+                 const kernels::KernelResult &functional)
+{
+    EXPECT_EQ(timed.elapsed, functional.elapsed);
+    EXPECT_EQ(timed.accesses, functional.accesses);
+    EXPECT_EQ(timed.bytes, functional.bytes);
+    EXPECT_DOUBLE_EQ(timed.mbs, functional.mbs);
+}
+
+class PrimeEquivalence
+    : public ::testing::TestWithParam<machine::SystemKind>
+{
+  protected:
+    static constexpr std::uint64_t kWorkingSets[] = {2_KiB, 8_KiB,
+                                                     32_KiB};
+    static constexpr std::uint64_t kStrides[] = {1, 3, 8};
+
+    template <typename Run>
+    void
+    compareOverGrid(Run &&run)
+    {
+        for (const std::uint64_t ws : kWorkingSets) {
+            for (const std::uint64_t stride : kStrides) {
+                kernels::KernelParams p;
+                p.wsBytes = ws;
+                p.stride = stride;
+                p.capBytes = 1_MiB;
+                p.timedPrime = true;
+                const kernels::KernelResult timed = run(p);
+                p.timedPrime = false;
+                const kernels::KernelResult functional = run(p);
+                SCOPED_TRACE("ws=" + std::to_string(ws) +
+                             " stride=" + std::to_string(stride));
+                expectSameResult(timed, functional);
+            }
+        }
+    }
+};
+
+TEST_P(PrimeEquivalence, MachineLoadSweep)
+{
+    compareOverGrid([&](const kernels::KernelParams &p) {
+        machine::SystemConfig sys;
+        sys.kind = GetParam();
+        machine::Machine m(sys);
+        return kernels::loadSumOn(m, 0, p);
+    });
+}
+
+TEST_P(PrimeEquivalence, MachineLoadedSweep)
+{
+    compareOverGrid([&](const kernels::KernelParams &p) {
+        machine::SystemConfig sys;
+        sys.kind = GetParam();
+        machine::Machine m(sys);
+        return kernels::loadSumLoaded(m, p);
+    });
+}
+
+TEST_P(PrimeEquivalence, NodeLoadAndStoreSweeps)
+{
+    // The node-level drivers (runSweep/runSweepBatched) on a
+    // standalone hierarchy, through both sim modes.
+    for (const bool batched : {false, true}) {
+        ScopedSimMode mode(batched);
+        compareOverGrid([&](const kernels::KernelParams &p) {
+            mem::MemoryHierarchy h(
+                machine::nodeConfig(GetParam(), "prime_eq"));
+            return kernels::loadSum(h, p);
+        });
+        compareOverGrid([&](const kernels::KernelParams &p) {
+            mem::MemoryHierarchy h(
+                machine::nodeConfig(GetParam(), "prime_eq"));
+            return kernels::storeConstant(h, p);
+        });
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, PrimeEquivalence,
+    ::testing::Values(machine::SystemKind::Dec8400,
+                      machine::SystemKind::CrayT3D,
+                      machine::SystemKind::CrayT3E),
+    [](const ::testing::TestParamInfo<machine::SystemKind> &info) {
+        switch (info.param) {
+          case machine::SystemKind::Dec8400: return "Dec8400";
+          case machine::SystemKind::CrayT3D: return "CrayT3D";
+          case machine::SystemKind::CrayT3E: return "CrayT3E";
+        }
+        return "Unknown";
+    });
+
+/**
+ * The 8400-specific piece of the functional prime: priming a line
+ * that is dirty in another processor's caches must replay the
+ * intervention's directory and cache-state updates (owner cleaned,
+ * ownership returned to memory, both nodes recorded as sharers).
+ * Runs the same dirty-then-prime scenario through the timed and
+ * functional passes and requires identical post-reset timing for
+ * reads AND writes — the latter are sensitive to the sharer sets.
+ */
+TEST(PrimeEquivalence8400, InterventionStateIsReplayed)
+{
+    constexpr int kLines = 64;
+    const auto run = [](bool timed) {
+        machine::SystemConfig sys;
+        sys.kind = machine::SystemKind::Dec8400;
+        machine::Machine m(sys);
+        EXPECT_GE(m.numNodes(), 2);
+        m.resetAll();
+        std::vector<Addr> lines;
+        for (int i = 0; i < kLines; ++i)
+            lines.push_back(0x40000 + static_cast<Addr>(i) * 64);
+        // Node 1 dirties the lines through the bus.
+        for (const Addr a : lines)
+            m.node(1).write(a);
+        m.node(1).drain();
+        // Node 0 primes them: timed reads or the functional walk.
+        if (timed) {
+            for (const Addr a : lines)
+                m.node(0).read(a);
+            m.node(0).drain();
+        } else {
+            m.node(0).primeBatch(lines.data(), lines.size());
+        }
+        m.resetTiming();
+        // Measured phase over the warmed state.
+        for (const Addr a : lines)
+            m.node(0).read(a);
+        for (const Addr a : lines)
+            m.node(1).read(a);
+        const Tick reads =
+            std::max(m.node(0).drain(), m.node(1).drain());
+        for (const Addr a : lines)
+            m.node(1).write(a);
+        const Tick writes = m.node(1).drain();
+        return std::pair<Tick, Tick>(reads, writes);
+    };
+    const auto timed = run(true);
+    const auto functional = run(false);
+    EXPECT_EQ(timed.first, functional.first);
+    EXPECT_EQ(timed.second, functional.second);
+}
+
+TEST(DifferentialEnv, LegacyEscapeHatchIsReadable)
+{
+    // GASNUB_LEGACY_SIM only affects the process-start default; the
+    // runtime switch always reports the current mode.
+    const bool was = mem::batchedSimEnabled();
+    mem::setBatchedSim(false);
+    EXPECT_FALSE(mem::batchedSimEnabled());
+    mem::setBatchedSim(true);
+    EXPECT_TRUE(mem::batchedSimEnabled());
+    mem::setBatchedSim(was);
+}
+
+} // namespace

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Incremental-sweep memo tests.
+ *
+ * The SweepMemo caches finished sweep points keyed on the machine
+ * config fingerprint, the sweep spec, and the point coordinates.  The
+ * contract under test: memo hits are bit-equal to fresh simulation,
+ * any config / fault-plan / kernel change forces re-simulation, memo
+ * hits advance no simulation counters, and tracing bypasses the memo
+ * entirely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/surface_io.hh"
+#include "core/sweep_memo.hh"
+#include "core/sweep_runner.hh"
+#include "machine/configs.hh"
+#include "sim/trace.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::core;
+
+CharacterizeConfig
+grid()
+{
+    CharacterizeConfig cfg;
+    cfg.workingSets = {4_KiB, 64_KiB};
+    cfg.strides = {1, 8};
+    cfg.capBytes = 1_MiB;
+    return cfg;
+}
+
+machine::SystemConfig
+t3eConfig()
+{
+    machine::SystemConfig sys;
+    sys.kind = machine::SystemKind::CrayT3E;
+    sys.attribution = true;
+    return sys;
+}
+
+std::string
+bytes(const Surface &s)
+{
+    std::ostringstream out;
+    saveSurface(s, out);
+    return out.str();
+}
+
+TEST(SweepMemo, RepeatSweepIsFullyMemoizedAndBitEqual)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    const machine::SystemConfig sys = t3eConfig();
+    SweepMemo memo;
+    SweepRunner runner(sys, 2);
+    runner.setMemo(&memo);
+
+    const std::string first = bytes(runner.localLoads(0, grid()));
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 4u);
+    EXPECT_EQ(memo.size(), 4u);
+    const std::uint64_t points = runner.points();
+    const std::uint64_t accesses = runner.accesses();
+
+    const std::string second = bytes(runner.localLoads(0, grid()));
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(memo.hits(), 4u);
+    EXPECT_EQ(memo.misses(), 4u);
+    // Memo hits re-simulate nothing.
+    EXPECT_EQ(runner.points(), points);
+    EXPECT_EQ(runner.accesses(), accesses);
+
+    // A memo-less runner agrees byte for byte, attribution rows
+    // included — the memo returns exactly what simulation would.
+    SweepRunner fresh(sys, 2);
+    EXPECT_EQ(bytes(fresh.localLoads(0, grid())), first);
+}
+
+TEST(SweepMemo, FullyMemoizedSweepOnNewRunnerBuildsNoReplica)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    const machine::SystemConfig sys = t3eConfig();
+    SweepMemo memo;
+    SweepRunner first(sys, 2);
+    first.setMemo(&memo);
+    const std::string want = bytes(first.localLoads(0, grid()));
+
+    // The second runner serves every point from the memo, so it never
+    // builds a worker replica; attribution names come from the memo.
+    SweepRunner second(sys, 2);
+    second.setMemo(&memo);
+    EXPECT_EQ(bytes(second.localLoads(0, grid())), want);
+    EXPECT_EQ(second.points(), 0u);
+    EXPECT_EQ(memo.hits(), 4u);
+}
+
+TEST(SweepMemo, ConfigChangeForcesResimulation)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    machine::SystemConfig sys = t3eConfig();
+    SweepMemo memo;
+    {
+        SweepRunner runner(sys, 2);
+        runner.setMemo(&memo);
+        runner.localLoads(0, grid());
+    }
+    EXPECT_EQ(memo.misses(), 4u);
+
+    sys.numNodes = sys.numNodes > 2 ? 2 : 4;
+    SweepRunner changed(sys, 2);
+    changed.setMemo(&memo);
+    changed.localLoads(0, grid());
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 8u);
+}
+
+TEST(SweepMemo, FaultPlanChangeForcesResimulation)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    machine::SystemConfig sys = t3eConfig();
+    SweepMemo memo;
+    {
+        SweepRunner runner(sys, 2);
+        runner.setMemo(&memo);
+        runner.localLoads(0, grid());
+    }
+    EXPECT_EQ(memo.misses(), 4u);
+
+    sys.faults =
+        sim::FaultPlan::parse("seed=7;dram-stall:prob=.3,extra=300");
+    SweepRunner faulty(sys, 2);
+    faulty.setMemo(&memo);
+    const std::string withFaults = bytes(faulty.localLoads(0, grid()));
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 8u);
+
+    // And the faulty entries are keyed separately: a repeat run hits.
+    SweepRunner again(sys, 2);
+    again.setMemo(&memo);
+    EXPECT_EQ(bytes(again.localLoads(0, grid())), withFaults);
+    EXPECT_EQ(memo.hits(), 4u);
+}
+
+TEST(SweepMemo, KernelChangeForcesResimulation)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    SweepMemo memo;
+    SweepRunner runner(t3eConfig(), 2);
+    runner.setMemo(&memo);
+    runner.localLoads(0, grid());
+    EXPECT_EQ(memo.misses(), 4u);
+    runner.localStores(0, grid());
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 8u);
+}
+
+TEST(SweepMemo, PartialOverlapSimulatesOnlyDirtyPoints)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    const machine::SystemConfig sys = t3eConfig();
+
+    CharacterizeConfig small;
+    small.workingSets = {4_KiB};
+    small.strides = {1, 8};
+    small.capBytes = 1_MiB;
+
+    SweepMemo memo;
+    SweepRunner runner(sys, 2);
+    runner.setMemo(&memo);
+    runner.localLoads(0, small);
+    EXPECT_EQ(memo.misses(), 2u);
+
+    // Growing the grid re-simulates only the new working set; the
+    // memoized half is served, and the merged surface is bit-equal to
+    // a fresh full-grid run.
+    const std::string grown = bytes(runner.localLoads(0, grid()));
+    EXPECT_EQ(memo.hits(), 2u);
+    EXPECT_EQ(memo.misses(), 4u);
+
+    SweepRunner fresh(sys, 2);
+    EXPECT_EQ(bytes(fresh.localLoads(0, grid())), grown);
+}
+
+TEST(SweepMemo, TracingBypassesTheMemo)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, trace::allCategories);
+    SweepMemo memo;
+    SweepRunner runner(t3eConfig(), 2);
+    runner.setMemo(&memo);
+    runner.localLoads(0, grid());
+    runner.localLoads(0, grid());
+    // Traced sweeps neither consult nor populate the memo: a hit would
+    // have no events to replay into the caller's trace.
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 0u);
+    EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(ConfigFingerprint, SensitiveToConfigurationKnobs)
+{
+    machine::SystemConfig base;
+    base.kind = machine::SystemKind::CrayT3E;
+    const std::uint64_t h0 = machine::systemConfigFingerprint(base);
+
+    machine::SystemConfig same = base;
+    EXPECT_EQ(machine::systemConfigFingerprint(same), h0);
+
+    machine::SystemConfig kind = base;
+    kind.kind = machine::SystemKind::CrayT3D;
+    EXPECT_NE(machine::systemConfigFingerprint(kind), h0);
+
+    machine::SystemConfig nodes = base;
+    nodes.numNodes = base.numNodes > 2 ? 2 : 4;
+    EXPECT_NE(machine::systemConfigFingerprint(nodes), h0);
+
+    machine::SystemConfig attr = base;
+    attr.attribution = !base.attribution;
+    EXPECT_NE(machine::systemConfigFingerprint(attr), h0);
+
+    machine::SystemConfig faults = base;
+    faults.faults =
+        sim::FaultPlan::parse("seed=7;dram-stall:prob=.3,extra=300");
+    EXPECT_NE(machine::systemConfigFingerprint(faults), h0);
+
+    machine::SystemConfig seed = base;
+    seed.faults = sim::FaultPlan::parse("seed=7");
+    machine::SystemConfig seed2 = base;
+    seed2.faults = sim::FaultPlan::parse("seed=8");
+    EXPECT_NE(machine::systemConfigFingerprint(seed),
+              machine::systemConfigFingerprint(seed2));
+}
+
+TEST(SweepMemo, ClearEmptiesTheCache)
+{
+    trace::Tracer tracer;
+    trace::ScopedThreadTracer scoped(tracer, 0);
+    SweepMemo memo;
+    SweepRunner runner(t3eConfig(), 2);
+    runner.setMemo(&memo);
+    runner.localLoads(0, grid());
+    EXPECT_EQ(memo.size(), 4u);
+    memo.clear();
+    // clear() drops entries and restarts the hit/miss telemetry.
+    EXPECT_EQ(memo.size(), 0u);
+    EXPECT_EQ(memo.misses(), 0u);
+    runner.localLoads(0, grid());
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 4u);
+}
+
+} // namespace

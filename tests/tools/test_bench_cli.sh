@@ -76,8 +76,12 @@ expect_exit 1 "25% drop beyond 10% threshold regresses" \
     --compare "$tmp/old.json" "$tmp/slow.json" --threshold 10
 expect_exit 0 "25% drop within 30% threshold passes" \
     --compare "$tmp/old.json" "$tmp/slow.json" --threshold 30
-expect_exit 1 "missing scenario regresses" \
+# Differing scenario sets are a schema mismatch (the two files do not
+# measure the same protocol), not a regression — in both directions.
+expect_exit 2 "scenario missing from new file exits 2" \
     --compare "$tmp/old.json" "$tmp/fewer.json"
+expect_exit 2 "scenario missing from old file exits 2" \
+    --compare "$tmp/fewer.json" "$tmp/old.json"
 expect_exit 2 "schema mismatch exits 2" \
     --compare "$tmp/old.json" "$tmp/otherschema.json"
 
@@ -87,6 +91,22 @@ if ! "$bin" --compare "$tmp/old.json" "$tmp/slow.json" \
     fails=1
 else
     echo "ok: compare table flags the regression"
+fi
+
+# The delta table names the odd scenario out on a mismatch.
+if ! "$bin" --compare "$tmp/old.json" "$tmp/fewer.json" \
+        2>/dev/null | grep -q "ONLY-IN-OLD"; then
+    echo "FAIL: compare table does not flag the old-only scenario"
+    fails=1
+else
+    echo "ok: compare table flags the old-only scenario"
+fi
+if ! "$bin" --compare "$tmp/fewer.json" "$tmp/old.json" \
+        2>/dev/null | grep -q "ONLY-IN-NEW"; then
+    echo "FAIL: compare table does not flag the new-only scenario"
+    fails=1
+else
+    echo "ok: compare table flags the new-only scenario"
 fi
 
 # A real smoke run of one cheap scenario writes a valid protocol file

@@ -14,10 +14,13 @@
  * making the simulator's own speed a tracked, reviewable trajectory
  * (ROADMAP item 2; protocol in docs/perf_tracking.md).
  *
- * --compare reads two protocol files and fails (exit 1) when any
- * scenario's points/sec dropped by more than the threshold (default
- * 10%), or a scenario disappeared; mismatched schemas exit 2.  CI
- * runs a smoke pass against the checked-in baseline.
+ * --compare reads two protocol files, prints one delta row per
+ * scenario in the union of both files, and fails (exit 1) when any
+ * common scenario's points/sec dropped by more than the threshold
+ * (default 10%).  A scenario present in only one file is a schema
+ * mismatch — the two runs did not measure the same protocol — and
+ * exits 2, like a mismatched schema string.  CI runs a smoke pass
+ * against the checked-in baseline.
  *
  * --perf-sim runs a google-benchmark binary (bench/perf_simulator)
  * with --benchmark_format=json and embeds its output under
@@ -75,8 +78,11 @@ printUsage(std::ostream &os)
            "  --compare        regression gate: exit 1 when NEW is "
            "slower than OLD by\n"
            "                   more than --threshold percent "
-           "(default 10) on any scenario\n"
-           "exit status: 0 ok, 1 regression, 2 bad usage/input\n";
+           "(default 10) on any scenario;\n"
+           "                   differing scenario sets are a schema "
+           "mismatch (exit 2)\n"
+           "exit status: 0 ok, 1 regression, 2 bad usage/input/"
+           "schema\n";
 }
 
 [[noreturn]] void
@@ -259,42 +265,62 @@ compareBench(const std::string &oldPath, const std::string &newPath,
         std::cerr << "bench: note: comparing runs with different "
                      "--jobs; rates are not strictly comparable\n";
 
+    // Per-file name -> pointsPerSec, in file order; the table walks
+    // the union so a scenario present in only one file still gets a
+    // row before the exit-2 verdict.
+    auto rates = [](const JsonValue &scen, const std::string &path) {
+        std::vector<std::pair<std::string, double>> out;
+        for (const JsonValue &s : scen.array) {
+            const JsonValue *name = s.find("name");
+            const JsonValue *pps = s.find("pointsPerSec");
+            if (!name || !pps)
+                fail(path + ": scenario missing name/pointsPerSec");
+            out.emplace_back(name->string, pps->number);
+        }
+        return out;
+    };
+    const auto oldRates = rates(*oldScen, oldPath);
+    const auto newRates = rates(*newScen, newPath);
+    auto lookup = [](const std::vector<std::pair<std::string, double>>
+                         &v,
+                     const std::string &name) -> const double * {
+        for (const auto &[n, r] : v)
+            if (n == name)
+                return &r;
+        return nullptr;
+    };
+
     std::printf("%-22s %12s %12s %8s  %s\n", "scenario", "old pts/s",
                 "new pts/s", "delta", "verdict");
     bool regression = false;
-    for (const JsonValue &o : oldScen->array) {
-        const JsonValue *name = o.find("name");
-        const JsonValue *oldPps = o.find("pointsPerSec");
-        if (!name || !oldPps)
-            fail(oldPath + ": scenario missing name/pointsPerSec");
-        const JsonValue *match = nullptr;
-        for (const JsonValue &n : newScen->array) {
-            const JsonValue *nn = n.find("name");
-            if (nn && nn->string == name->string) {
-                match = &n;
-                break;
-            }
-        }
-        if (!match) {
-            std::printf("%-22s %12.0f %12s %8s  MISSING\n",
-                        name->string.c_str(), oldPps->number, "-",
-                        "-");
-            regression = true;
+    bool mismatch = false;
+    for (const auto &[name, oldPps] : oldRates) {
+        const double *newPps = lookup(newRates, name);
+        if (!newPps) {
+            std::printf("%-22s %12.0f %12s %8s  ONLY-IN-OLD\n",
+                        name.c_str(), oldPps, "-", "-");
+            mismatch = true;
             continue;
         }
-        const JsonValue *newPps = match->find("pointsPerSec");
-        if (!newPps)
-            fail(newPath + ": scenario missing pointsPerSec");
-        const double delta =
-            100.0 * (newPps->number - oldPps->number) /
-            oldPps->number;
+        const double delta = 100.0 * (*newPps - oldPps) / oldPps;
         const bool bad = delta < -thresholdPct;
-        std::printf("%-22s %12.0f %12.0f %+7.1f%%  %s\n",
-                    name->string.c_str(), oldPps->number,
-                    newPps->number, delta,
-                    bad ? "REGRESSION" : "ok");
+        std::printf("%-22s %12.0f %12.0f %+7.1f%%  %s\n", name.c_str(),
+                    oldPps, *newPps, delta, bad ? "REGRESSION" : "ok");
         if (bad)
             regression = true;
+    }
+    for (const auto &[name, newPps] : newRates) {
+        if (lookup(oldRates, name))
+            continue;
+        std::printf("%-22s %12s %12.0f %8s  ONLY-IN-NEW\n",
+                    name.c_str(), "-", newPps, "-");
+        mismatch = true;
+    }
+    if (mismatch) {
+        std::fprintf(stderr,
+                     "bench: scenario sets differ; the files do not "
+                     "measure the same protocol\n");
+        return 2;
     }
     if (regression) {
         std::fprintf(stderr,

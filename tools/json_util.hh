@@ -92,10 +92,22 @@ class JsonParser
     JsonValue value()
     {
         switch (peek()) {
-          case '{':
-            return object();
-          case '[':
-            return array();
+          case '{': {
+            // Recursive descent: bound the nesting so adversarial
+            // input ("[[[[...") cannot blow the stack.
+            if (++_depth > kMaxDepth)
+                fail("nesting too deep");
+            const JsonValue v = object();
+            --_depth;
+            return v;
+          }
+          case '[': {
+            if (++_depth > kMaxDepth)
+                fail("nesting too deep");
+            const JsonValue v = array();
+            --_depth;
+            return v;
+          }
           case '"': {
             JsonValue v;
             v.kind = JsonValue::Kind::String;
@@ -135,15 +147,30 @@ class JsonParser
                   case 'r': c = '\r'; break;
                   case 'b': c = '\b'; break;
                   case 'f': c = '\f'; break;
-                  case 'u':
+                  case 'u': {
                     // The stats writer only escapes control bytes;
-                    // decode the low byte and move on.
+                    // decode the low byte and move on.  Checked by
+                    // hand: std::stoi would throw (not fail) on
+                    // non-hex digits.
                     if (_i + 4 > _s.size())
                         fail("truncated \\u escape");
-                    c = static_cast<char>(
-                        std::stoi(_s.substr(_i, 4), nullptr, 16));
+                    int code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = _s[_i + k];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            fail("bad \\u escape");
+                    }
+                    c = static_cast<char>(code);
                     _i += 4;
                     break;
+                  }
                   default: c = e; break;
                 }
             }
@@ -212,9 +239,13 @@ class JsonParser
         }
     }
 
+    /** Far deeper than any writer in this repo emits. */
+    static constexpr int kMaxDepth = 128;
+
     const std::string &_s;
     std::string _ctx;
     std::size_t _i = 0;
+    int _depth = 0;
 };
 
 } // namespace gasnub::tooljson
