@@ -30,8 +30,10 @@
 #include "gas/fft2d.hh"
 #include "gas/runtime.hh"
 #include "machine/machine.hh"
+#include "serve/planner_index.hh"
 #include "sim/pool.hh"
 #include "sim/profiler.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/units.hh"
@@ -218,6 +220,10 @@ struct PerfScenario
     core::CharacterizeConfig cfg;
     bool fft = false;      ///< run the gas 2D-FFT app, not a sweep
     std::uint64_t fftN = 64;
+    bool serve = false; ///< run plan queries against a PlannerIndex
+    std::uint64_t serveQueries = 0;
+    std::size_t serveCacheCapacity = 1 << 16; ///< 0 = no cache
+    bool serveHotMix = false; ///< hot 64-key mix vs uniform keys
 };
 
 /** Work counters from one scenario execution. */
@@ -298,13 +304,142 @@ perfScenarios()
         s.fftN = 64;
         out.push_back(std::move(s));
     }
+
+    // The serving path (serve::PlannerIndex): plan-query throughput
+    // over a synthetic three-machine index.  hot = repetitive stream
+    // (cache-hit path), uniform = diverse stream (cost-model compute
+    // path), nocache = the same diverse stream with the decision
+    // cache disabled (isolates the cache's benefit as a tracked
+    // number).
+    {
+        PerfScenario s;
+        s.name = "serve.qps.hot";
+        s.serve = true;
+        s.serveQueries = 2'000'000;
+        s.serveHotMix = true;
+        out.push_back(std::move(s));
+    }
+    {
+        PerfScenario s;
+        s.name = "serve.qps.uniform";
+        s.serve = true;
+        s.serveQueries = 1'000'000;
+        out.push_back(std::move(s));
+    }
+    {
+        PerfScenario s;
+        s.name = "serve.qps.nocache";
+        s.serve = true;
+        s.serveQueries = 1'000'000;
+        s.serveCacheCapacity = 0;
+        out.push_back(std::move(s));
+    }
     return out;
+}
+
+/**
+ * A deterministic three-machine pack set for the serve scenarios:
+ * synthetic surfaces (smooth analytic bandwidth shapes over an
+ * 8 x 6 grid) so the scenario needs no measured files and every host
+ * runs the identical index.
+ */
+inline std::vector<serve::MachinePack>
+servePerfPacks()
+{
+    std::vector<serve::MachinePack> packs;
+    const std::vector<std::uint64_t> ws = {1_KiB,   4_KiB,  16_KiB,
+                                           64_KiB, 256_KiB, 1_MiB,
+                                           4_MiB,  16_MiB};
+    const std::vector<std::uint64_t> strides = {1, 2, 4, 8, 16, 64};
+    int seed = 1;
+    for (const char *name : {"t3e", "t3d", "dec8400"}) {
+        serve::MachinePack p;
+        p.machine = name;
+        for (const char *label : {"pull", "fetch-sload",
+                                  "deposit-sstore"}) {
+            core::Surface s(std::string(name) + " " + label, ws,
+                            strides);
+            double v = 40.0 * seed;
+            for (std::uint64_t w : ws) {
+                for (std::uint64_t st : strides) {
+                    v = v * 1.0001 + 1.0 / static_cast<double>(st);
+                    s.set(w, st,
+                          v / (1.0 + static_cast<double>(w) / 8_MiB));
+                }
+            }
+            const auto kind =
+                label[0] == 'p'
+                    ? remote::TransferMethod::CoherentPull
+                    : label[0] == 'f' ? remote::TransferMethod::Fetch
+                                      : remote::TransferMethod::Deposit;
+            p.options.emplace_back(label, kind, label[0] != 'd',
+                                   std::move(s));
+            ++seed;
+        }
+        packs.push_back(std::move(p));
+    }
+    return packs;
+}
+
+/**
+ * Issue @p s.serveQueries single-threaded plan queries against a
+ * fresh index; the same seeded stream as tools/loadgen's mixes.  The
+ * XOR fold keeps the answers observable so the loop cannot be
+ * optimized away.
+ */
+inline PerfRunCounts
+runServeScenario(const PerfScenario &s)
+{
+    serve::IndexConfig config;
+    config.cacheCapacity = s.serveCacheCapacity;
+    const serve::PlannerIndex index(servePerfPacks(), config);
+    sim::Rng rng(42);
+    const std::size_t machines = index.numMachines();
+
+    core::TransferQuery hot[64];
+    std::size_t hot_machine[64];
+    for (int i = 0; i < 64; ++i) {
+        hot_machine[i] = rng.below(machines);
+        hot[i].wsBytes = (std::uint64_t(1024) << rng.below(15)) +
+                         8 * rng.below(4096);
+        hot[i].bytes = hot[i].wsBytes;
+        hot[i].stride = std::uint64_t(1) << rng.below(8);
+    }
+
+    std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < s.serveQueries; ++i) {
+        std::size_t machine;
+        core::TransferQuery q;
+        if (s.serveHotMix && rng.below(20) < 19) {
+            const std::uint64_t k = rng.below(64);
+            machine = hot_machine[k];
+            q = hot[k];
+        } else {
+            machine = rng.below(machines);
+            q.wsBytes = (std::uint64_t(1024) << rng.below(15)) +
+                        8 * rng.below(4096);
+            q.bytes = q.wsBytes;
+            q.stride = std::uint64_t(1) << rng.below(8);
+        }
+        const serve::PlanAnswer a = index.plan(machine, q);
+        sink ^= a.optionIndex;
+    }
+    // Publish the fold so the optimizer must keep the plan calls.
+    static volatile std::uint64_t published;
+    published = sink;
+
+    PerfRunCounts counts;
+    counts.points = s.serveQueries;
+    counts.accesses = s.serveQueries;
+    return counts;
 }
 
 /** Run @p s once (serial or over @p jobs workers for sweeps). */
 inline PerfRunCounts
 runPerfScenario(const PerfScenario &s, int jobs = 1)
 {
+    if (s.serve)
+        return runServeScenario(s);
     machine::SystemConfig sys;
     sys.kind = s.kind;
     sys.numNodes = s.procs;

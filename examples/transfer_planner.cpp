@@ -47,8 +47,8 @@ main()
          c.remoteTransfer(remote::TransferMethod::Deposit, false,
                           cfg)});
 
-    planner.option(0).surface.print(std::cout);
-    planner.option(1).surface.print(std::cout);
+    planner.option(0).surface->print(std::cout);
+    planner.option(1).surface->print(std::cout);
 
     std::printf("planner decisions for a 2 MB communication "
                 "working set:\n");

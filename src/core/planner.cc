@@ -10,7 +10,9 @@ namespace gasnub::core {
 void
 TransferPlanner::addOption(PlanOption option)
 {
-    GASNUB_ASSERT(option.surface.complete(),
+    GASNUB_ASSERT(option.surface, "option '", option.label,
+                  "' has no surface");
+    GASNUB_ASSERT(option.surface->complete(),
                   "option '", option.label,
                   "' has an incomplete surface");
     _options.push_back(std::move(option));
@@ -41,19 +43,9 @@ TransferPlanner::predictAll(const TransferQuery &query) const
                      "are in words and start at 1 (contiguous)");
     std::vector<double> out;
     out.reserve(_options.size());
-    const double ws = query.wsBytes != 0
-                          ? static_cast<double>(query.wsBytes)
-                          : static_cast<double>(query.bytes);
-    for (const PlanOption &o : _options) {
-        // A blocked option works on cache-sized chunks: its working
-        // set — and therefore its bandwidth row — is capped.
-        const double eff_ws =
-            o.blockBytes != 0
-                ? std::min(ws, static_cast<double>(o.blockBytes))
-                : ws;
-        out.push_back(o.surface.interpolate(
-            eff_ws, static_cast<double>(query.stride)));
-    }
+    const double ws = planQueryWorkingSet(query);
+    for (const PlanOption &o : _options)
+        out.push_back(predictOptionMBs(o, ws, query.stride));
     return out;
 }
 

@@ -17,7 +17,9 @@
 #define GASNUB_CORE_PLANNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/surface.hh"
@@ -25,14 +27,45 @@
 
 namespace gasnub::core {
 
-/** One way to implement a communication step. */
+/**
+ * One way to implement a communication step.
+ *
+ * The characterization surface is held by shared_ptr so copying an
+ * option — replicating a planner per sweep worker, registering the
+ * same recipe into many runtimes, building a serving index — shares
+ * the immutable measurement instead of deep-copying its grid.
+ */
 struct PlanOption
 {
+    PlanOption() = default;
+
+    /** Wrap a freshly measured surface (moved into shared storage). */
+    PlanOption(std::string label_, remote::TransferMethod method_,
+               bool stride_on_source, Surface surface_,
+               std::uint64_t block_bytes = 0)
+        : label(std::move(label_)), method(method_),
+          strideOnSource(stride_on_source),
+          surface(std::make_shared<const Surface>(
+              std::move(surface_))),
+          blockBytes(block_bytes)
+    {}
+
+    /** Share an already-immutable surface (no copy). */
+    PlanOption(std::string label_, remote::TransferMethod method_,
+               bool stride_on_source,
+               std::shared_ptr<const Surface> surface_,
+               std::uint64_t block_bytes = 0)
+        : label(std::move(label_)), method(method_),
+          strideOnSource(stride_on_source),
+          surface(std::move(surface_)), blockBytes(block_bytes)
+    {}
+
     std::string label;
     remote::TransferMethod method =
         remote::TransferMethod::Deposit;
     bool strideOnSource = true; ///< which side carries the stride
-    Surface surface;            ///< measured characterization
+    /** Measured characterization, shared between option copies. */
+    std::shared_ptr<const Surface> surface;
     /**
      * Cache blocking: when nonzero, this option processes the
      * transfer in blocks of at most this many bytes, so its
@@ -64,6 +97,38 @@ struct Plan
     double predictedMBs = 0;
     double predictedSeconds = 0;
 };
+
+/**
+ * The working set the cost model looks up for @p query: the explicit
+ * communication working set when given, otherwise the transfer size
+ * itself.  Shared by TransferPlanner and serve::PlannerIndex so both
+ * consumers evaluate the model identically (bit-for-bit).
+ */
+inline double
+planQueryWorkingSet(const TransferQuery &query)
+{
+    return query.wsBytes != 0 ? static_cast<double>(query.wsBytes)
+                              : static_cast<double>(query.bytes);
+}
+
+/**
+ * Predicted bandwidth of one option at working set @p ws (from
+ * planQueryWorkingSet) and @p stride.  A blocked option works on
+ * cache-sized chunks: its working set — and therefore its bandwidth
+ * row — is capped at blockBytes.
+ */
+inline double
+predictOptionMBs(const PlanOption &option, double ws,
+                 std::uint64_t stride)
+{
+    const double eff_ws =
+        option.blockBytes != 0 &&
+                static_cast<double>(option.blockBytes) < ws
+            ? static_cast<double>(option.blockBytes)
+            : ws;
+    return option.surface->interpolate(eff_ws,
+                                       static_cast<double>(stride));
+}
 
 /**
  * When does an option get demoted for under-delivering?  A demotion

@@ -12,7 +12,7 @@ namespace gasnub::core {
 namespace fs = std::filesystem;
 
 PlanOptionKind
-planOptionKind(const std::string &stem)
+planOptionKind(const std::string &stem, const std::string &context)
 {
     using remote::TransferMethod;
     if (stem == "pull")
@@ -25,8 +25,13 @@ planOptionKind(const std::string &stem)
         return {TransferMethod::Deposit, true};
     if (stem == "deposit-sstore")
         return {TransferMethod::Deposit, false};
-    GASNUB_FATAL("unknown plan option name '", stem,
-                 "'; expected pull, fetch-sload, fetch-sstore, "
+    // Name the offending file when decoding a directory manifest, so
+    // the user knows which file to rename — matching the surface
+    // loader's file/line diagnostics.
+    const std::string in =
+        context.empty() ? std::string() : " in '" + context + "'";
+    GASNUB_FATAL("unknown plan option name '", stem, "'", in,
+                 "; expected pull, fetch-sload, fetch-sstore, "
                  "deposit-sload or deposit-sstore");
 }
 
@@ -88,7 +93,8 @@ loadPlanOptionsDir(const std::string &dir)
     options.reserve(files.size());
     for (const fs::path &path : files) {
         const std::string stem = path.stem().string();
-        const PlanOptionKind kind = planOptionKind(stem);
+        const PlanOptionKind kind =
+            planOptionKind(stem, path.string());
         Surface s = loadSurfaceFile(path.string());
         validatePlannerSurface(s, path.string());
         options.push_back(PlanOption{stem, kind.method,

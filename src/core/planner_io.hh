@@ -41,9 +41,12 @@ struct PlanOptionKind
 /**
  * Decode an option name ("pull", "fetch-sload", ...; see file
  * comment).  Fatal with the list of valid names when @p stem is not
- * one of them.
+ * one of them; when @p context is non-empty (e.g.\ the file path the
+ * stem came from) the diagnostic names it, so directory loads point
+ * at the offending file.
  */
-PlanOptionKind planOptionKind(const std::string &stem);
+PlanOptionKind planOptionKind(const std::string &stem,
+                              const std::string &context = "");
 
 /**
  * Validate a surface destined for the planner: every bandwidth entry

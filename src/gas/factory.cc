@@ -74,6 +74,9 @@ makeRuntime(const RuntimeRecipe &recipe)
         std::make_unique<Runtime>(*built.machine, recipe.runtime);
     if (!recipe.plannerOptions.empty()) {
         core::TransferPlanner planner;
+        // Copying an option shares its immutable surface (shared_ptr
+        // in PlanOption), so replicating the cost model onto every
+        // worker costs a refcount, not a grid deep-copy.
         for (const core::PlanOption &o : recipe.plannerOptions)
             planner.addOption(o);
         built.runtime->setPlanner(std::move(planner));

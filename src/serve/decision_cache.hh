@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The serving layer's decision cache: query key -> plan.
+ *
+ * Real compiler/runtime query streams are heavily repetitive — the
+ * same (machine, transfer shape) arrives once per loop iteration or
+ * per rank — so the index fronts its cost-model evaluation with a
+ * bounded, sharded, direct-mapped cache.  Properties the serving path
+ * needs:
+ *
+ *  - zero allocation: all slots are laid out at construction; a
+ *    lookup or insert never touches the heap;
+ *  - bounded: capacity is fixed, a colliding insert evicts the slot's
+ *    previous occupant (counted);
+ *  - sharded: one mutex per shard keeps concurrent readers on
+ *    different shards uncontended without the memory-ordering
+ *    subtleties a lock-free table would need to keep TSan-clean;
+ *  - transparent: the cached value is exactly the computed plan, so
+ *    answers are byte-identical with the cache on or off (locked by
+ *    tests/serve/test_decision_cache.cc).
+ */
+
+#ifndef GASNUB_SERVE_DECISION_CACHE_HH
+#define GASNUB_SERVE_DECISION_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gasnub::serve {
+
+/** What a plan query is, for caching purposes. */
+struct QueryKey
+{
+    std::uint32_t machine = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t wsBytes = 0;
+    std::uint64_t stride = 0;
+
+    bool
+    operator==(const QueryKey &o) const
+    {
+        return machine == o.machine && bytes == o.bytes &&
+               wsBytes == o.wsBytes && stride == o.stride;
+    }
+};
+
+/** The cacheable part of an answer (label etc.\ derive from the
+ *  option index against the immutable PlannerIndex). */
+struct CachedPlan
+{
+    std::uint32_t optionIndex = 0;
+    double predictedMBs = 0;
+    double predictedSeconds = 0;
+};
+
+/** Aggregated counters across all shards. */
+struct DecisionCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;  ///< currently occupied slots
+    std::uint64_t capacity = 0; ///< total slots
+};
+
+class DecisionCache
+{
+  public:
+    /**
+     * @param capacity Total slot budget; rounded so every shard gets
+     *                 at least one slot.  0 disables the cache
+     *                 (lookup always misses without counting).
+     * @param shards   Concurrency grain (clamped to [1, capacity]).
+     */
+    explicit DecisionCache(std::size_t capacity = 1 << 16,
+                           std::size_t shards = 16)
+    {
+        if (capacity == 0)
+            return;
+        if (shards == 0)
+            shards = 1;
+        if (shards > capacity)
+            shards = capacity;
+        const std::size_t per =
+            (capacity + shards - 1) / shards;
+        _shards = std::vector<Shard>(shards);
+        for (Shard &s : _shards)
+            s.slots.resize(per);
+    }
+
+    bool enabled() const { return !_shards.empty(); }
+
+    /**
+     * @return true and fill @p out when @p key is cached; counts a
+     * hit or a miss either way.
+     */
+    bool
+    lookup(const QueryKey &key, CachedPlan &out)
+    {
+        if (!enabled())
+            return false;
+        const std::uint64_t h = hash(key);
+        Shard &s = shardOf(h);
+        const std::size_t i = slotOf(s, h);
+        std::lock_guard<std::mutex> lock(s.mu);
+        Slot &slot = s.slots[i];
+        if (slot.used && slot.key == key) {
+            ++s.hits;
+            out = slot.value;
+            return true;
+        }
+        ++s.misses;
+        return false;
+    }
+
+    /** Store @p value; displacing a different live key counts as an
+     *  eviction. */
+    void
+    insert(const QueryKey &key, const CachedPlan &value)
+    {
+        if (!enabled())
+            return;
+        const std::uint64_t h = hash(key);
+        Shard &s = shardOf(h);
+        const std::size_t i = slotOf(s, h);
+        std::lock_guard<std::mutex> lock(s.mu);
+        Slot &slot = s.slots[i];
+        if (slot.used && !(slot.key == key))
+            ++s.evictions;
+        slot.used = true;
+        slot.key = key;
+        slot.value = value;
+    }
+
+    DecisionCacheStats
+    stats() const
+    {
+        DecisionCacheStats out;
+        for (const Shard &s : _shards) {
+            std::lock_guard<std::mutex> lock(s.mu);
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.evictions += s.evictions;
+            out.capacity += s.slots.size();
+            for (const Slot &slot : s.slots)
+                out.entries += slot.used ? 1 : 0;
+        }
+        return out;
+    }
+
+    void
+    resetStats()
+    {
+        for (Shard &s : _shards) {
+            std::lock_guard<std::mutex> lock(s.mu);
+            s.hits = s.misses = s.evictions = 0;
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        QueryKey key;
+        CachedPlan value;
+        bool used = false;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::vector<Slot> slots;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+
+        Shard() = default;
+        // vector<Shard> needs these; shards are only ever
+        // moved/copied at construction, before any concurrency.
+        Shard(const Shard &o)
+            : slots(o.slots), hits(o.hits), misses(o.misses),
+              evictions(o.evictions)
+        {}
+        Shard &operator=(const Shard &) = delete;
+    };
+
+    static std::uint64_t
+    hash(const QueryKey &k)
+    {
+        // splitmix64 over the packed fields: cheap, and good enough
+        // dispersion that direct mapping behaves like a real cache.
+        auto mix = [](std::uint64_t x) {
+            x += 0x9e3779b97f4a7c15ull;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            return x ^ (x >> 31);
+        };
+        std::uint64_t h = mix(k.bytes);
+        h = mix(h ^ k.wsBytes);
+        h = mix(h ^ k.stride);
+        h = mix(h ^ k.machine);
+        return h;
+    }
+
+    Shard &
+    shardOf(std::uint64_t h)
+    {
+        return _shards[(h >> 32) % _shards.size()];
+    }
+
+    static std::size_t
+    slotOf(const Shard &s, std::uint64_t h)
+    {
+        return static_cast<std::size_t>(h % s.slots.size());
+    }
+
+    std::vector<Shard> _shards;
+};
+
+} // namespace gasnub::serve
+
+#endif // GASNUB_SERVE_DECISION_CACHE_HH

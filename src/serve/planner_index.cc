@@ -1,0 +1,177 @@
+#include "serve/planner_index.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gasnub::serve {
+
+PlannerIndex::PlannerIndex(std::vector<MachinePack> packs,
+                           IndexConfig config)
+    : _cache(config.cacheCapacity, config.cacheShards)
+{
+    GASNUB_ASSERT(!packs.empty(),
+                  "a planner index needs at least one pack");
+    _machines.reserve(packs.size());
+    for (MachinePack &p : packs) {
+        GASNUB_ASSERT(!p.machine.empty(), "pack has no machine name");
+        if (machineId(p.machine) >= 0)
+            GASNUB_FATAL("duplicate machine '", p.machine,
+                         "' in planner index; each machine must come "
+                         "from exactly one pack");
+        GASNUB_ASSERT(!p.options.empty(), "machine '", p.machine,
+                      "' has no planner options");
+        for (const core::PlanOption &o : p.options) {
+            GASNUB_ASSERT(o.surface && o.surface->complete(),
+                          "machine '", p.machine, "' option '",
+                          o.label, "' has an incomplete surface");
+        }
+        _machines.push_back(
+            Machine{std::move(p.machine), std::move(p.options)});
+    }
+}
+
+PlannerIndex
+PlannerIndex::fromPackFiles(const std::vector<std::string> &paths,
+                            IndexConfig config)
+{
+    std::vector<MachinePack> packs;
+    packs.reserve(paths.size());
+    for (const std::string &path : paths)
+        packs.push_back(loadPackFile(path));
+    return PlannerIndex(std::move(packs), config);
+}
+
+int
+PlannerIndex::machineId(std::string_view name) const
+{
+    for (std::size_t i = 0; i < _machines.size(); ++i)
+        if (_machines[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+const core::PlanOption &
+PlannerIndex::option(std::size_t machine_id, std::size_t i) const
+{
+    GASNUB_ASSERT(machine_id < _machines.size(), "bad machine id ",
+                  machine_id);
+    GASNUB_ASSERT(i < _machines[machine_id].options.size(),
+                  "bad option index ", i);
+    return _machines[machine_id].options[i];
+}
+
+namespace {
+
+/** The planner's fatal preconditions, with the serving context. */
+void
+validateQuery(std::size_t machine_id, std::size_t num_machines,
+              const core::TransferQuery &query)
+{
+    if (machine_id >= num_machines)
+        GASNUB_FATAL("plan query names machine id ", machine_id,
+                     " but the index serves ", num_machines,
+                     " machine(s)");
+    if (query.bytes == 0 && query.wsBytes == 0)
+        GASNUB_FATAL("plan query moves zero words: both bytes and "
+                     "wsBytes are 0, so there is no working set to "
+                     "look up");
+    if (query.stride == 0)
+        GASNUB_FATAL("plan query has stride 0; strides are in words "
+                     "and start at 1 (contiguous)");
+}
+
+} // namespace
+
+PlanAnswer
+PlannerIndex::compute(std::size_t machine_id,
+                      const core::TransferQuery &query) const
+{
+    const Machine &m = _machines[machine_id];
+    // Strict > keeps the first-registered option on ties — the same
+    // selection rule as TransferPlanner::best with no demotions, so
+    // the two consumers never disagree on a winner.
+    const double ws = core::planQueryWorkingSet(query);
+    std::size_t best_i = 0;
+    double best_mbs =
+        core::predictOptionMBs(m.options[0], ws, query.stride);
+    for (std::size_t i = 1; i < m.options.size(); ++i) {
+        const double mbs =
+            core::predictOptionMBs(m.options[i], ws, query.stride);
+        if (mbs > best_mbs) {
+            best_mbs = mbs;
+            best_i = i;
+        }
+    }
+    const core::PlanOption &o = m.options[best_i];
+    PlanAnswer a;
+    a.machine = static_cast<std::uint32_t>(machine_id);
+    a.optionIndex = static_cast<std::uint32_t>(best_i);
+    a.method = o.method;
+    a.strideOnSource = o.strideOnSource;
+    a.predictedMBs = best_mbs;
+    a.predictedSeconds =
+        query.bytes > 0
+            ? static_cast<double>(query.bytes) / (best_mbs * 1e6)
+            : 0.0;
+    a.label = o.label;
+    return a;
+}
+
+PlanAnswer
+PlannerIndex::plan(std::size_t machine_id,
+                   const core::TransferQuery &query) const
+{
+    validateQuery(machine_id, _machines.size(), query);
+    const QueryKey key{static_cast<std::uint32_t>(machine_id),
+                       query.bytes, query.wsBytes, query.stride};
+    CachedPlan cached;
+    if (_cache.lookup(key, cached)) {
+        const core::PlanOption &o =
+            _machines[machine_id].options[cached.optionIndex];
+        PlanAnswer a;
+        a.machine = key.machine;
+        a.optionIndex = cached.optionIndex;
+        a.method = o.method;
+        a.strideOnSource = o.strideOnSource;
+        a.predictedMBs = cached.predictedMBs;
+        a.predictedSeconds = cached.predictedSeconds;
+        a.label = o.label;
+        return a;
+    }
+    const PlanAnswer a = compute(machine_id, query);
+    _cache.insert(key, CachedPlan{a.optionIndex, a.predictedMBs,
+                                  a.predictedSeconds});
+    return a;
+}
+
+core::Plan
+PlannerIndex::planFull(std::size_t machine_id,
+                       const core::TransferQuery &query) const
+{
+    const PlanAnswer a = plan(machine_id, query);
+    core::Plan p;
+    p.optionIndex = a.optionIndex;
+    p.label = std::string(a.label);
+    p.method = a.method;
+    p.strideOnSource = a.strideOnSource;
+    p.predictedMBs = a.predictedMBs;
+    p.predictedSeconds = a.predictedSeconds;
+    return p;
+}
+
+void
+PlannerIndex::predictAll(std::size_t machine_id,
+                         const core::TransferQuery &query,
+                         std::vector<double> &out) const
+{
+    validateQuery(machine_id, _machines.size(), query);
+    const Machine &m = _machines[machine_id];
+    out.clear();
+    out.reserve(m.options.size());
+    const double ws = core::planQueryWorkingSet(query);
+    for (const core::PlanOption &o : m.options)
+        out.push_back(core::predictOptionMBs(o, ws, query.stride));
+}
+
+} // namespace gasnub::serve

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * serve::PlannerIndex — the serve-time half of the measure-once /
+ * decide-often split.
+ *
+ * core::TransferPlanner is the sweep-side consumer: it owns demotion
+ * state, is built per process (or per worker) and answers one
+ * machine's queries.  PlannerIndex is the serving layer the ROADMAP
+ * asks for: an immutable, shareable in-process index over one or more
+ * surface packs (one per machine) that answers
+ * (machine x pattern x working set) -> (method + predicted bandwidth)
+ * queries from any number of threads, fronted by a bounded sharded
+ * decision cache.
+ *
+ * Contract: plan() is byte-identical to TransferPlanner::best() over
+ * the same options (same doubles, same tie-breaking), with the cache
+ * on or off — it evaluates the cost model through the exact same
+ * core::planQueryWorkingSet / core::predictOptionMBs helpers.  A
+ * differential test over a golden query corpus locks this.
+ */
+
+#ifndef GASNUB_SERVE_PLANNER_INDEX_HH
+#define GASNUB_SERVE_PLANNER_INDEX_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/planner.hh"
+#include "serve/decision_cache.hh"
+#include "serve/pack.hh"
+
+namespace gasnub::serve {
+
+/** Decision-cache sizing for an index. */
+struct IndexConfig
+{
+    /** Total decision-cache slots; 0 disables the cache. */
+    std::size_t cacheCapacity = 1 << 16;
+    /** Cache shards (concurrency grain). */
+    std::size_t cacheShards = 16;
+};
+
+/**
+ * A plan answer built for the serving hot path: trivially copyable,
+ * no owned strings — @c label views into the index, which outlives
+ * every query (the index is immutable once built).
+ */
+struct PlanAnswer
+{
+    std::uint32_t machine = 0;
+    std::uint32_t optionIndex = 0;
+    remote::TransferMethod method = remote::TransferMethod::Deposit;
+    bool strideOnSource = true;
+    double predictedMBs = 0;
+    double predictedSeconds = 0;
+    std::string_view label;
+};
+
+class PlannerIndex
+{
+  public:
+    /**
+     * Build an index over @p packs (at least one; machine names must
+     * be unique, every option surface complete).  After construction
+     * the index never changes, so const queries are safe from any
+     * thread.
+     */
+    explicit PlannerIndex(std::vector<MachinePack> packs,
+                          IndexConfig config = {});
+
+    /** Load @p paths (one pack file per machine) and build. */
+    static PlannerIndex
+    fromPackFiles(const std::vector<std::string> &paths,
+                  IndexConfig config = {});
+
+    std::size_t numMachines() const { return _machines.size(); }
+
+    const std::string &
+    machineName(std::size_t id) const
+    {
+        return _machines[id].name;
+    }
+
+    /** Id for @p name, or -1 when the index has no such machine. */
+    int machineId(std::string_view name) const;
+
+    std::size_t
+    numOptions(std::size_t machine_id) const
+    {
+        return _machines[machine_id].options.size();
+    }
+
+    const core::PlanOption &option(std::size_t machine_id,
+                                   std::size_t i) const;
+
+    /**
+     * Answer @p query for machine @p machine_id: the option with the
+     * highest predicted bandwidth, ties keeping the first-registered
+     * option — exactly TransferPlanner::best().  Zero-allocation on
+     * both the cache-hit and the compute path.  Fatal (clear
+     * diagnostic) on a bad machine id or a degenerate query, like
+     * the planner.
+     */
+    PlanAnswer plan(std::size_t machine_id,
+                    const core::TransferQuery &query) const;
+
+    /** plan() widened to core::Plan (allocates the label string). */
+    core::Plan planFull(std::size_t machine_id,
+                        const core::TransferQuery &query) const;
+
+    /** Predicted MB/s of every option, in registration order. */
+    void predictAll(std::size_t machine_id,
+                    const core::TransferQuery &query,
+                    std::vector<double> &out) const;
+
+    bool cacheEnabled() const { return _cache.enabled(); }
+    DecisionCacheStats cacheStats() const { return _cache.stats(); }
+    void resetCacheStats() { _cache.resetStats(); }
+
+  private:
+    struct Machine
+    {
+        std::string name;
+        std::vector<core::PlanOption> options;
+    };
+
+    PlanAnswer compute(std::size_t machine_id,
+                       const core::TransferQuery &query) const;
+
+    std::vector<Machine> _machines;
+    mutable DecisionCache _cache;
+};
+
+} // namespace gasnub::serve
+
+#endif // GASNUB_SERVE_PLANNER_INDEX_HH

@@ -294,6 +294,38 @@ Histogram::sample(std::uint64_t v, std::uint64_t n)
     _buckets[idx] += n;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    GASNUB_ASSERT(p >= 0 && p <= 1, "percentile wants p in [0, 1]");
+    if (_count == 0)
+        return 0.0;
+    // Rank of the requested sample, 1-based; p=0 is the first sample
+    // (min), p=1 the last (max).
+    const double rank = p * static_cast<double>(_count - 1) + 1.0;
+    double seen = static_cast<double>(_zeros);
+    if (rank <= seen)
+        return 0.0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        const double in_bucket = static_cast<double>(_buckets[i]);
+        if (rank <= seen + in_bucket) {
+            // Linear interpolation across [2^i, 2^(i+1)) by the
+            // rank's position within the bucket.
+            const double lo =
+                static_cast<double>(std::uint64_t(1) << i);
+            const double frac = (rank - seen) / in_bucket;
+            const double v = lo + frac * lo;
+            return std::min(std::max(v,
+                                     static_cast<double>(minSeen())),
+                            static_cast<double>(maxSeen()));
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(maxSeen());
+}
+
 void
 Histogram::print(std::ostream &os) const
 {

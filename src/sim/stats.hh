@@ -189,6 +189,16 @@ class Histogram : public StatBase
     /** Index of the bucket holding @p v (>= 1): floor(log2(v)). */
     static unsigned bucketOf(std::uint64_t v);
 
+    /**
+     * Approximate value at quantile @p p in [0, 1] (0.5 = median,
+     * 0.99 = p99): the sample's log2 bucket located exactly, the
+     * position within it interpolated linearly, clamped to
+     * [minSeen, maxSeen].  0 when the histogram is empty.  Tail
+     * latencies from merged per-thread histograms — the serving
+     * harness's p50/p95/p99 — come from here.
+     */
+    double percentile(double p) const;
+
     void print(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
     void reset() override;

@@ -78,7 +78,7 @@ TEST(PlannerDir, RoundTripsOptionsThroughDisk)
     EXPECT_FALSE(options[0].strideOnSource);
     EXPECT_EQ(options[1].label, "fetch-sload");
     EXPECT_TRUE(options[1].strideOnSource);
-    EXPECT_DOUBLE_EQ(options[1].surface.at(1_MiB, 8), 300);
+    EXPECT_DOUBLE_EQ(options[1].surface->at(1_MiB, 8), 300);
 
     TransferPlanner planner = loadPlannerDir(dir.string());
     TransferQuery q;
@@ -108,9 +108,12 @@ TEST(PlannerDir, UnknownOptionStemIsAClearError)
     const fs::path dir = scratchDir("planner_unknown");
     saveSurfaceFile(flatSurface("s", 100),
                     (dir / "shmem-iput.surface").string());
+    // The diagnostic names the offending file, not just the stem, so
+    // a directory full of surfaces points at the one to rename.
     EXPECT_EXIT(loadPlannerDir(dir.string()),
                 ::testing::ExitedWithCode(1),
-                "unknown plan option name 'shmem-iput'");
+                "unknown plan option name 'shmem-iput' in "
+                "'.*shmem-iput\\.surface'");
 }
 
 TEST(PlannerDir, MalformedSurfaceFileNamesTheFile)

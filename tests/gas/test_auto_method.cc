@@ -129,7 +129,8 @@ TEST(GasAutoMethod, DecisionSurvivesASurfaceDiskRoundTrip)
         fs::create_directories(dir);
         for (const core::PlanOption &opt : options)
             core::saveSurfaceFile(
-                opt.surface, (dir / (opt.label + ".surface")).string());
+                *opt.surface,
+                (dir / (opt.label + ".surface")).string());
 
         Runtime rt(m);
         rt.setPlanner(core::loadPlannerDir(dir.string()));

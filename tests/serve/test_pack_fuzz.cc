@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Adversarial tests for the gas-pack-1 loader: truncated, bit-flipped,
+ * wrong-magic, wrong-version, and randomly corrupted packs must die
+ * with a precise file/offset diagnostic (exit 1) — never read out of
+ * bounds, never load garbage.  Runs under ASan/UBSan in CI, so any
+ * OOB read in the parser fails the sanitize job even when the
+ * corruption happens to parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/surface.hh"
+#include "serve/pack.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::serve;
+
+MachinePack
+samplePack()
+{
+    core::Surface pull("pull", {1_KiB, 1_MiB}, {1, 8, 64});
+    core::Surface fetch("fetch", {1_KiB, 1_MiB}, {1, 8, 64});
+    for (std::uint64_t ws : pull.workingSets()) {
+        for (std::uint64_t st : pull.strides()) {
+            pull.set(ws, st, 100.5 + st);
+            fetch.set(ws, st, 200.25 + st);
+        }
+    }
+    fetch.enableAttribution({"dram"});
+    for (std::uint64_t ws : fetch.workingSets())
+        for (std::uint64_t st : fetch.strides())
+            fetch.setAttribution(ws, st, Tick(1000),
+                                 {Tick(1000)});
+
+    MachinePack pack;
+    pack.machine = "t3d";
+    pack.options.emplace_back("pull",
+                              remote::TransferMethod::CoherentPull,
+                              true, std::move(pull));
+    pack.options.emplace_back("fetch-sload",
+                              remote::TransferMethod::Fetch, true,
+                              std::move(fetch));
+    return pack;
+}
+
+std::string
+goodBytes()
+{
+    std::ostringstream os;
+    savePack(samplePack(), os);
+    return os.str();
+}
+
+void
+parse(const std::string &bytes)
+{
+    parsePack(reinterpret_cast<const unsigned char *>(bytes.data()),
+              bytes.size(), "fuzz.pack");
+}
+
+/** Recompute and patch the header checksum so a deliberate payload
+ *  mutation reaches the structural validators behind it. */
+void
+fixChecksum(std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 32; i < bytes.size(); ++i) {
+        h ^= static_cast<unsigned char>(bytes[i]);
+        h *= 0x100000001b3ull;
+    }
+    std::memcpy(bytes.data() + 24, &h, 8);
+}
+
+TEST(PackDeath, WrongMagicNamesTheFile)
+{
+    std::string bytes = goodBytes();
+    std::memcpy(bytes.data(), "gasnpak9", 8);
+    EXPECT_EXIT(parse(bytes), ::testing::ExitedWithCode(1),
+                "pack 'fuzz\\.pack', offset 0: bad magic; not a "
+                "gas-pack-1 file");
+}
+
+TEST(PackDeath, VersionMismatchSaysWhatThisBuildReads)
+{
+    std::string bytes = goodBytes();
+    const std::uint32_t v = 7;
+    std::memcpy(bytes.data() + 8, &v, 4);
+    EXPECT_EXIT(parse(bytes), ::testing::ExitedWithCode(1),
+                "offset 8: unsupported pack version 7 \\(this build "
+                "reads version 1\\)");
+}
+
+TEST(PackDeath, ForeignEndianTagIsDiagnosed)
+{
+    std::string bytes = goodBytes();
+    const std::uint32_t tag = 0x31736167u; // byte-swapped
+    std::memcpy(bytes.data() + 12, &tag, 4);
+    EXPECT_EXIT(parse(bytes), ::testing::ExitedWithCode(1),
+                "offset 12: endianness tag mismatch");
+}
+
+TEST(PackDeath, TruncationIsDiagnosedAtEveryHeaderPrefix)
+{
+    const std::string bytes = goodBytes();
+    for (std::size_t n : {std::size_t(0), std::size_t(7),
+                          std::size_t(12), std::size_t(31),
+                          std::size_t(47)}) {
+        EXPECT_EXIT(parse(bytes.substr(0, n)),
+                    ::testing::ExitedWithCode(1),
+                    "pack 'fuzz\\.pack', offset 0: file is")
+            << "prefix " << n;
+    }
+}
+
+TEST(PackDeath, PayloadTruncationNamesTheSizeMismatch)
+{
+    // Any cut payload disagrees with the header's total-size field
+    // before a single payload byte is interpreted.
+    const std::string bytes = goodBytes();
+    for (std::size_t n :
+         {std::size_t(48), std::size_t(100), bytes.size() - 9,
+          bytes.size() - 1}) {
+        EXPECT_EXIT(parse(bytes.substr(0, n)),
+                    ::testing::ExitedWithCode(1),
+                    "offset 16: header says .* total bytes but the "
+                    "file has")
+            << "prefix " << n;
+    }
+}
+
+TEST(PackDeath, TrailingGarbageIsDiagnosed)
+{
+    EXPECT_EXIT(parse(goodBytes() + "extra"),
+                ::testing::ExitedWithCode(1),
+                "header says .* total bytes but the file has");
+}
+
+TEST(PackDeath, EveryPayloadBitFlipFailsTheChecksum)
+{
+    // The checksum covers all bytes past the header, so arbitrary
+    // payload corruption dies with one crisp diagnostic rather than
+    // whatever validator the flipped field happens to hit.
+    const std::string bytes = goodBytes();
+    sim::Rng rng(0xf1a9);
+    for (int i = 0; i < 24; ++i) {
+        std::string bad = bytes;
+        const std::size_t pos =
+            32 + rng.below(bytes.size() - 32);
+        bad[pos] = static_cast<char>(
+            static_cast<unsigned char>(bad[pos]) ^
+            (1u << rng.below(8)));
+        EXPECT_EXIT(parse(bad), ::testing::ExitedWithCode(1),
+                    "offset 24: checksum mismatch")
+            << "flip at byte " << pos;
+    }
+}
+
+TEST(PackDeath, StructuralValidatorsFireBehindAFixedChecksum)
+{
+    const std::string bytes = goodBytes();
+    // machine-name length is the first payload field (offset 32).
+    {
+        std::string bad = bytes;
+        const std::uint32_t huge = 0x7fffffffu;
+        std::memcpy(bad.data() + 32, &huge, 4);
+        fixChecksum(bad);
+        EXPECT_EXIT(parse(bad), ::testing::ExitedWithCode(1),
+                    "offset 32: machine name length 2147483647 "
+                    "exceeds the .*string bound");
+    }
+    // A plausible-but-too-long length dies as a bounded truncation,
+    // not an overread.
+    {
+        std::string bad = bytes;
+        const std::uint32_t len = 60000;
+        std::memcpy(bad.data() + 32, &len, 4);
+        fixChecksum(bad);
+        EXPECT_EXIT(parse(bad), ::testing::ExitedWithCode(1),
+                    "truncated machine name \\(need 60000 bytes");
+    }
+    // Zero options.
+    {
+        std::string bad = bytes;
+        const std::uint32_t zero = 0;
+        // machine "t3d": 4-byte length + 3 bytes -> count at 39.
+        std::memcpy(bad.data() + 39, &zero, 4);
+        fixChecksum(bad);
+        EXPECT_EXIT(parse(bad), ::testing::ExitedWithCode(1),
+                    "offset 39: pack holds zero options");
+    }
+    // Absurd option count.
+    {
+        std::string bad = bytes;
+        const std::uint32_t many = 1u << 30;
+        std::memcpy(bad.data() + 39, &many, 4);
+        fixChecksum(bad);
+        EXPECT_EXIT(parse(bad), ::testing::ExitedWithCode(1),
+                    "option count 1073741824 exceeds the bound");
+    }
+}
+
+TEST(PackDeath, CorruptBandwidthDiesWithThePointCoordinates)
+{
+    // Overwrite the first bandwidth double with a negative value.
+    // Locate it structurally: header(32) + machine str(7) +
+    // count(4) + label str("pull": 8) + method/sos/reserved(4) +
+    // blockBytes(8) + surface str("pull": 8) + ws axis(4+16) +
+    // stride axis(4+24).
+    std::string bad = goodBytes();
+    const std::size_t at =
+        32 + 7 + 4 + 8 + 4 + 8 + 8 + (4 + 16) + (4 + 24);
+    const double poison = -1.0;
+    std::memcpy(bad.data() + at, &poison, 8);
+    fixChecksum(bad);
+    EXPECT_EXIT(parse(bad), ::testing::ExitedWithCode(1),
+                "option 0 \\('pull'\\), working set 1024, stride 1: "
+                "bad bandwidth -1");
+}
+
+TEST(PackDeath, BrokenAttributionSumIsRejected)
+{
+    // The second option's attribution shares must sum to elapsed;
+    // corrupt the last 8 bytes before the end marker (the final
+    // share) and the exact-sum validator fires.
+    std::string bad = goodBytes();
+    const std::size_t at = bad.size() - 16;
+    std::uint64_t v;
+    std::memcpy(&v, bad.data() + at, 8);
+    v += 1;
+    std::memcpy(bad.data() + at, &v, 8);
+    fixChecksum(bad);
+    EXPECT_EXIT(parse(bad), ::testing::ExitedWithCode(1),
+                "attribution shares sum to 1001 ticks but the point "
+                "elapsed 1000");
+}
+
+TEST(PackFuzz, RandomPrefixTruncationsNeverReadOutOfBounds)
+{
+    // ASan is the real assertion here: every truncation must exit 1
+    // without the parser ever touching bytes past the buffer.
+    const std::string bytes = goodBytes();
+    sim::Rng rng(0x7a11);
+    for (int i = 0; i < 16; ++i) {
+        const std::size_t n = rng.below(bytes.size());
+        EXPECT_EXIT(parse(bytes.substr(0, n)),
+                    ::testing::ExitedWithCode(1), "pack 'fuzz\\.pack'")
+            << "prefix " << n;
+    }
+}
+
+TEST(PackFuzz, RandomGarbageBuffersDieCleanly)
+{
+    sim::Rng rng(0xdead);
+    for (int i = 0; i < 16; ++i) {
+        std::string junk(48 + rng.below(512), '\0');
+        for (char &ch : junk)
+            ch = static_cast<char>(rng.below(256));
+        EXPECT_EXIT(parse(junk), ::testing::ExitedWithCode(1),
+                    "pack 'fuzz\\.pack'")
+            << "round " << i;
+    }
+}
+
+} // namespace

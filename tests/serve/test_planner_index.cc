@@ -1,0 +1,278 @@
+/**
+ * @file
+ * The serving layer's keystone contract: serve::PlannerIndex answers
+ * plan queries byte-identically to core::TransferPlanner over the
+ * same options — for all three characterized machines' golden
+ * surfaces, through a pack file round-trip, with the decision cache
+ * on or off, on hit and miss paths alike.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "core/planner.hh"
+#include "core/surface_io.hh"
+#include "serve/pack.hh"
+#include "serve/planner_index.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace {
+
+using namespace gasnub;
+using namespace gasnub::serve;
+namespace fs = std::filesystem;
+
+struct GoldenMachine
+{
+    const char *name;
+    const char *primary;   ///< golden surface for the remote method
+    const char *secondary; ///< golden surface standing in as "pull"
+};
+
+// Each machine gets two options built from its checked-in golden
+// surfaces, so the differential runs over real measured shapes (cache
+// plateaus, stride cliffs), not synthetic flats.
+const GoldenMachine kMachines[] = {
+    {"t3e", "golden_t3e_fetch.surf", "golden_t3e_loads.surf"},
+    {"t3d", "golden_t3d_deposit.surf", "golden_t3d_loads.surf"},
+    {"dec8400", "golden_dec8400_pull.surf",
+     "golden_dec8400_loads.surf"},
+};
+
+core::Surface
+golden(const char *file)
+{
+    return core::loadSurfaceFile(
+        std::string(GASNUB_TESTS_DATA_DIR) + "/" + file);
+}
+
+std::vector<core::PlanOption>
+goldenOptions(const GoldenMachine &m)
+{
+    std::vector<core::PlanOption> options;
+    options.emplace_back("pull",
+                         remote::TransferMethod::CoherentPull, true,
+                         golden(m.secondary));
+    options.emplace_back("fetch-sload",
+                         remote::TransferMethod::Fetch, true,
+                         golden(m.primary), std::uint64_t(256) * 1024);
+    return options;
+}
+
+std::vector<MachinePack>
+goldenPacks()
+{
+    std::vector<MachinePack> packs;
+    for (const GoldenMachine &m : kMachines) {
+        MachinePack p;
+        p.machine = m.name;
+        p.options = goldenOptions(m);
+        packs.push_back(std::move(p));
+    }
+    return packs;
+}
+
+/**
+ * The query corpus: a grid around the surfaces' own axes (on-grid,
+ * off-grid, above, below) plus seeded random queries.  Deterministic,
+ * so failures reproduce.
+ */
+std::vector<core::TransferQuery>
+corpus()
+{
+    std::vector<core::TransferQuery> qs;
+    for (std::uint64_t ws :
+         {std::uint64_t(512), std::uint64_t(1_KiB),
+          std::uint64_t(3000), std::uint64_t(64_KiB),
+          std::uint64_t(100000), std::uint64_t(262144),
+          std::uint64_t(1_MiB), std::uint64_t(32_MiB)}) {
+        for (std::uint64_t st : {std::uint64_t(1), std::uint64_t(2),
+                                 std::uint64_t(3), std::uint64_t(5),
+                                 std::uint64_t(8),
+                                 std::uint64_t(64)}) {
+            qs.push_back({ws, ws, st});
+            qs.push_back({4 * ws, ws, st}); // bytes != ws
+            qs.push_back({ws, 0, st});      // ws defaults to bytes
+        }
+    }
+    sim::Rng rng(42);
+    for (int i = 0; i < 400; ++i) {
+        core::TransferQuery q;
+        q.bytes = 8 + 8 * rng.below(1 << 20);
+        q.wsBytes = rng.below(2) ? q.bytes : 8 + 8 * rng.below(1 << 18);
+        q.stride = 1 + rng.below(100);
+        qs.push_back(q);
+    }
+    return qs;
+}
+
+/** Bitwise double equality: the contract is byte-identity, not
+ *  within-epsilon agreement. */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void
+expectIdentical(const core::Plan &want, const core::Plan &got,
+                const char *machine, const core::TransferQuery &q)
+{
+    EXPECT_EQ(want.optionIndex, got.optionIndex)
+        << machine << " bytes=" << q.bytes << " ws=" << q.wsBytes
+        << " stride=" << q.stride;
+    EXPECT_EQ(want.label, got.label);
+    EXPECT_EQ(want.method, got.method);
+    EXPECT_EQ(want.strideOnSource, got.strideOnSource);
+    EXPECT_TRUE(sameBits(want.predictedMBs, got.predictedMBs))
+        << machine << ": " << want.predictedMBs
+        << " != " << got.predictedMBs << " at bytes=" << q.bytes
+        << " ws=" << q.wsBytes << " stride=" << q.stride;
+    EXPECT_TRUE(
+        sameBits(want.predictedSeconds, got.predictedSeconds));
+}
+
+void
+runDifferential(const PlannerIndex &index)
+{
+    const std::vector<core::TransferQuery> qs = corpus();
+    for (const GoldenMachine &m : kMachines) {
+        core::TransferPlanner planner;
+        for (const core::PlanOption &o : goldenOptions(m))
+            planner.addOption(o);
+        const int id = index.machineId(m.name);
+        ASSERT_GE(id, 0) << m.name;
+        // Two passes: the second hits the decision cache (when
+        // enabled), and must answer identically to the first.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const core::TransferQuery &q : qs) {
+                expectIdentical(
+                    planner.best(q),
+                    index.planFull(static_cast<std::size_t>(id), q),
+                    m.name, q);
+            }
+        }
+    }
+}
+
+TEST(PlannerIndexDifferential, MatchesThePlannerWithTheCacheOn)
+{
+    runDifferential(PlannerIndex(goldenPacks()));
+}
+
+TEST(PlannerIndexDifferential, MatchesThePlannerWithTheCacheOff)
+{
+    IndexConfig config;
+    config.cacheCapacity = 0;
+    runDifferential(PlannerIndex(goldenPacks(), config));
+}
+
+TEST(PlannerIndexDifferential, MatchesThePlannerWithATinyCache)
+{
+    // Heavy eviction traffic: every answer still byte-identical.
+    IndexConfig config;
+    config.cacheCapacity = 8;
+    config.cacheShards = 2;
+    runDifferential(PlannerIndex(goldenPacks(), config));
+}
+
+TEST(PlannerIndexDifferential, SurvivesAPackFileRoundTrip)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "index_packs";
+    fs::create_directories(dir);
+    std::vector<std::string> paths;
+    for (const MachinePack &p : goldenPacks()) {
+        const fs::path path = dir / (p.machine + ".pack");
+        savePackFile(p, path.string());
+        paths.push_back(path.string());
+    }
+    runDifferential(PlannerIndex::fromPackFiles(paths));
+    fs::remove_all(dir);
+}
+
+TEST(PlannerIndex, PlanAndPlanFullAgree)
+{
+    const PlannerIndex index(goldenPacks());
+    for (const core::TransferQuery &q : corpus()) {
+        const PlanAnswer a = index.plan(0, q);
+        const core::Plan p = index.planFull(0, q);
+        EXPECT_EQ(a.optionIndex, p.optionIndex);
+        EXPECT_EQ(std::string(a.label), p.label);
+        EXPECT_EQ(a.method, p.method);
+        EXPECT_TRUE(sameBits(a.predictedMBs, p.predictedMBs));
+        EXPECT_TRUE(
+            sameBits(a.predictedSeconds, p.predictedSeconds));
+    }
+}
+
+TEST(PlannerIndex, PredictAllMatchesThePlanner)
+{
+    const PlannerIndex index(goldenPacks());
+    std::vector<double> got;
+    for (const GoldenMachine &m : kMachines) {
+        core::TransferPlanner planner;
+        for (const core::PlanOption &o : goldenOptions(m))
+            planner.addOption(o);
+        const int id = index.machineId(m.name);
+        for (const core::TransferQuery &q : corpus()) {
+            const std::vector<double> want = planner.predictAll(q);
+            index.predictAll(static_cast<std::size_t>(id), q, got);
+            ASSERT_EQ(want.size(), got.size());
+            for (std::size_t i = 0; i < want.size(); ++i)
+                EXPECT_TRUE(sameBits(want[i], got[i]));
+        }
+    }
+}
+
+TEST(PlannerIndex, CacheAccountingSeesRepeats)
+{
+    const PlannerIndex index(goldenPacks());
+    const core::TransferQuery q{1_MiB, 1_MiB, 8};
+    index.plan(0, q);
+    index.plan(0, q);
+    index.plan(0, q);
+    const DecisionCacheStats s = index.cacheStats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(PlannerIndex, MachineLookupIsExact)
+{
+    const PlannerIndex index(goldenPacks());
+    EXPECT_EQ(index.numMachines(), 3u);
+    EXPECT_GE(index.machineId("t3e"), 0);
+    EXPECT_GE(index.machineId("dec8400"), 0);
+    EXPECT_EQ(index.machineId("sp2"), -1);
+    EXPECT_EQ(index.machineId(""), -1);
+    EXPECT_EQ(
+        index.machineName(
+            static_cast<std::size_t>(index.machineId("t3d"))),
+        "t3d");
+}
+
+TEST(PlannerIndexDeath, DuplicateMachineNamesAreRejected)
+{
+    std::vector<MachinePack> packs = goldenPacks();
+    packs[1].machine = packs[0].machine;
+    EXPECT_EXIT(PlannerIndex{std::move(packs)},
+                ::testing::ExitedWithCode(1), "duplicate machine");
+}
+
+TEST(PlannerIndexDeath, DegenerateQueriesDieLikeThePlanner)
+{
+    const PlannerIndex index(goldenPacks());
+    EXPECT_EXIT(index.plan(99, {1_KiB, 1_KiB, 1}),
+                ::testing::ExitedWithCode(1), "machine");
+    EXPECT_EXIT(index.plan(0, {0, 0, 1}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(index.plan(0, {1_KiB, 1_KiB, 0}),
+                ::testing::ExitedWithCode(1), "stride");
+}
+
+} // namespace

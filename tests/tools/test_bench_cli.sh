@@ -109,6 +109,19 @@ else
     echo "ok: compare table flags the new-only scenario"
 fi
 
+# --allow-new accepts a protocol that grew scenarios (the trajectory
+# gate across a PR that adds to the registry), still gates the common
+# ones, and still rejects scenarios that vanished.
+expect_exit 0 "--allow-new accepts new-only scenarios" \
+    --compare "$tmp/fewer.json" "$tmp/old.json" --allow-new
+mkbench "$tmp/slowgrew.json" gasnub-bench-1 500 2000
+expect_exit 1 "--allow-new still gates common scenarios" \
+    --compare "$tmp/old.json" "$tmp/slowgrew.json" --allow-new
+expect_exit 2 "--allow-new still rejects vanished scenarios" \
+    --compare "$tmp/old.json" "$tmp/fewer.json" --allow-new
+expect_exit 2 "--allow-new without --compare is a usage error" \
+    --allow-new
+
 # A real smoke run of one cheap scenario writes a valid protocol file
 # that self-compares clean.
 if ! "$bin" --scenario t3d.local.loads --repeats 1 --pr 0 \

@@ -1,0 +1,221 @@
+#!/bin/sh
+# CLI contract tests for the planner-service tool chain: pack
+# converts a surface directory, --describe prints its contents, serve
+# answers JSON queries, loadgen runs a deterministic mix, and
+# malformed invocations exit 2 (usage) or 1 (corrupt data).
+# Usage: test_serve_cli.sh /path/to/pack /path/to/serve /path/to/loadgen
+set -u
+
+pack="$1"
+serve="$2"
+loadgen="$3"
+fails=0
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# expect_usage <description> <binary> <args...>: exit 2 + stderr text.
+expect_usage() {
+    desc="$1"
+    bin="$2"
+    shift 2
+    "$bin" "$@" >/dev/null 2>"$tmp/err"
+    code=$?
+    if [ "$code" -ne 2 ]; then
+        echo "FAIL: $desc: exit $code, expected 2"
+        fails=1
+    elif [ ! -s "$tmp/err" ]; then
+        echo "FAIL: $desc: no error message on stderr"
+        fails=1
+    else
+        echo "ok: $desc"
+    fi
+}
+
+expect_usage "pack with no arguments" "$pack"
+expect_usage "pack missing --out" "$pack" --machine t3e --surfaces x
+expect_usage "pack describe mixed with convert" "$pack" \
+    --describe f --machine t3e
+expect_usage "serve with no packs" "$serve"
+expect_usage "serve unknown option" "$serve" --pack x --bogus
+expect_usage "loadgen without --queries" "$loadgen" --pack x
+expect_usage "loadgen unknown mix" "$loadgen" --pack x \
+    --queries 10 --mix zipf
+
+# --help prints usage on stdout, exits 0, and points at the docs.
+for bin in "$pack" "$serve" "$loadgen"; do
+    out=$("$bin" --help 2>"$tmp/err")
+    code=$?
+    name=$(basename "$bin")
+    if [ "$code" -ne 0 ]; then
+        echo "FAIL: $name --help: exit $code, expected 0"
+        fails=1
+    elif ! echo "$out" | grep -q "usage: $name"; then
+        echo "FAIL: $name --help: no usage text on stdout"
+        fails=1
+    elif ! echo "$out" | grep -q "planner_service"; then
+        echo "FAIL: $name --help does not reference the docs"
+        fails=1
+    else
+        echo "ok: $name --help"
+    fi
+done
+
+# Build a tiny surface directory by hand (the text format is the
+# measurement-side interchange; see src/core/surface_io.hh).
+mkdir "$tmp/surfaces"
+cat > "$tmp/surfaces/pull.surface" <<'EOF'
+gasnub-surface 1
+name demo pull
+workingsets 2 1024 1048576
+strides 3 1 8 64
+data
+120.5 80.25 60.125
+110.5 70.25 50.125
+end
+EOF
+cat > "$tmp/surfaces/fetch-sload.surface" <<'EOF'
+gasnub-surface 1
+name demo fetch
+workingsets 2 1024 1048576
+strides 3 1 8 64
+data
+300.5 150.25 90.125
+280.5 140.25 80.125
+end
+EOF
+
+# Convert, then re-convert: the pack writer must be deterministic.
+if ! "$pack" --machine demo --surfaces "$tmp/surfaces" \
+        --out "$tmp/demo.pack" 2>"$tmp/err"; then
+    echo "FAIL: pack conversion failed"
+    cat "$tmp/err"
+    fails=1
+else
+    echo "ok: pack conversion"
+fi
+"$pack" --machine demo --surfaces "$tmp/surfaces" \
+    --out "$tmp/demo2.pack" 2>/dev/null
+if ! cmp -s "$tmp/demo.pack" "$tmp/demo2.pack"; then
+    echo "FAIL: pack output differs between identical runs"
+    fails=1
+else
+    echo "ok: pack output is deterministic"
+fi
+
+# --describe names the machine and every option.
+out=$("$pack" --describe "$tmp/demo.pack" 2>"$tmp/err")
+if [ $? -ne 0 ]; then
+    echo "FAIL: pack --describe failed"
+    cat "$tmp/err"
+    fails=1
+elif ! echo "$out" | grep -q "machine: demo"; then
+    echo "FAIL: --describe does not name the machine"
+    fails=1
+elif ! echo "$out" | grep -q "fetch-sload" ||
+        ! echo "$out" | grep -q "pull"; then
+    echo "FAIL: --describe does not list the options"
+    fails=1
+else
+    echo "ok: pack --describe"
+fi
+
+# A corrupt pack dies with exit 1 naming the file.
+head -c 100 "$tmp/demo.pack" > "$tmp/corrupt.pack"
+"$pack" --describe "$tmp/corrupt.pack" >/dev/null 2>"$tmp/err"
+code=$?
+if [ "$code" -ne 1 ]; then
+    echo "FAIL: corrupt pack: exit $code, expected 1"
+    fails=1
+elif ! grep -q "corrupt.pack" "$tmp/err"; then
+    echo "FAIL: corrupt pack diagnostic does not name the file"
+    fails=1
+else
+    echo "ok: corrupt pack dies with a diagnostic"
+fi
+
+# serve answers JSON queries on stdin; fetch wins everywhere in this
+# surface pair, and the same query twice exercises the cache.
+cat > "$tmp/queries" <<'EOF'
+{"machine": "demo", "bytes": 1048576, "ws": 1048576, "stride": 8}
+{"machine": "demo", "bytes": 1048576, "ws": 1048576, "stride": 8}
+{"machine": "demo", "bytes": 2048, "ws": 1024, "stride": 1}
+EOF
+out=$("$serve" --pack "$tmp/demo.pack" --stats < "$tmp/queries" \
+      2>"$tmp/err")
+if [ $? -ne 0 ]; then
+    echo "FAIL: serve run failed"
+    cat "$tmp/err"
+    fails=1
+elif [ "$(echo "$out" | wc -l)" -ne 3 ]; then
+    echo "FAIL: serve answered $(echo "$out" | wc -l) of 3 queries"
+    fails=1
+elif ! echo "$out" | head -1 | grep -q '"option": "fetch-sload"'; then
+    echo "FAIL: serve picked the wrong option"
+    fails=1
+elif ! grep -q "cache hits=1" "$tmp/err"; then
+    echo "FAIL: serve --stats did not report the cache hit"
+    cat "$tmp/err"
+    fails=1
+else
+    echo "ok: serve answers JSON queries and counts cache hits"
+fi
+
+# Identical answers with the cache off (spot-check of the
+# byte-identity contract at the CLI level).
+out2=$("$serve" --pack "$tmp/demo.pack" --no-cache \
+       < "$tmp/queries" 2>/dev/null)
+if [ "$out" != "$out2" ]; then
+    echo "FAIL: serve answers differ with --no-cache"
+    fails=1
+else
+    echo "ok: serve --no-cache answers are identical"
+fi
+
+# Unknown machines are fatal with a diagnostic, not silent.
+echo '{"machine": "sp2", "bytes": 8, "ws": 8, "stride": 1}' |
+    "$serve" --pack "$tmp/demo.pack" >/dev/null 2>"$tmp/err"
+if [ $? -ne 1 ] || ! grep -q "unknown machine 'sp2'" "$tmp/err"; then
+    echo "FAIL: unknown machine did not die with a diagnostic"
+    fails=1
+else
+    echo "ok: unknown machine is a clear error"
+fi
+
+# loadgen: a deterministic mix reports queries, qps, percentiles,
+# and the same answer checksum on every run.
+out=$("$loadgen" --pack "$tmp/demo.pack" --queries 5000 \
+      --threads 2 --mix hot --seed 7 --json 2>"$tmp/err")
+if [ $? -ne 0 ]; then
+    echo "FAIL: loadgen run failed"
+    cat "$tmp/err"
+    fails=1
+elif ! echo "$out" | grep -q '"queries": 5000'; then
+    echo "FAIL: loadgen did not issue all queries"
+    fails=1
+elif ! echo "$out" | grep -q '"p99_ns"'; then
+    echo "FAIL: loadgen JSON has no tail percentile"
+    fails=1
+else
+    echo "ok: loadgen --json"
+fi
+# The query stream is a pure function of (seed, mix, thread id), so
+# a repeat run — and a run with the cache off — must produce the
+# same answer checksum.
+sum1=$(echo "$out" | sed 's/.*"checksum": "\([0-9a-f]*\)".*/\1/')
+out=$("$loadgen" --pack "$tmp/demo.pack" --queries 5000 \
+      --threads 2 --mix hot --seed 7 --json 2>/dev/null)
+sum2=$(echo "$out" | sed 's/.*"checksum": "\([0-9a-f]*\)".*/\1/')
+out=$("$loadgen" --pack "$tmp/demo.pack" --queries 5000 \
+      --threads 2 --mix hot --seed 7 --no-cache --json 2>/dev/null)
+sum3=$(echo "$out" | sed 's/.*"checksum": "\([0-9a-f]*\)".*/\1/')
+if [ -z "$sum1" ] || [ "$sum1" != "$sum2" ]; then
+    echo "FAIL: loadgen checksum varies across runs ($sum1 vs $sum2)"
+    fails=1
+elif [ "$sum1" != "$sum3" ]; then
+    echo "FAIL: loadgen answers differ with --no-cache ($sum1 vs $sum3)"
+    fails=1
+else
+    echo "ok: loadgen checksum is reproducible, cache on or off"
+fi
+
+exit $fails

@@ -81,6 +81,11 @@ printUsage(std::ostream &os)
            "(default 10) on any scenario;\n"
            "                   differing scenario sets are a schema "
            "mismatch (exit 2)\n"
+           "  --allow-new      with --compare: scenarios only in NEW "
+           "are accepted (a PR\n"
+           "                   growing the protocol), not a schema "
+           "mismatch; scenarios\n"
+           "                   only in OLD still exit 2\n"
            "exit status: 0 ok, 1 regression, 2 bad usage/input/"
            "schema\n";
 }
@@ -248,7 +253,7 @@ loadBench(const std::string &path)
 
 int
 compareBench(const std::string &oldPath, const std::string &newPath,
-             double thresholdPct)
+             double thresholdPct, bool allowNew)
 {
     const JsonValue oldRoot = loadBench(oldPath);
     const JsonValue newRoot = loadBench(newPath);
@@ -312,9 +317,10 @@ compareBench(const std::string &oldPath, const std::string &newPath,
     for (const auto &[name, newPps] : newRates) {
         if (lookup(oldRates, name))
             continue;
-        std::printf("%-22s %12s %12.0f %8s  ONLY-IN-NEW\n",
-                    name.c_str(), "-", newPps, "-");
-        mismatch = true;
+        std::printf("%-22s %12s %12.0f %8s  %s\n", name.c_str(), "-",
+                    newPps, "-", allowNew ? "NEW" : "ONLY-IN-NEW");
+        if (!allowNew)
+            mismatch = true;
     }
     if (mismatch) {
         std::fprintf(stderr,
@@ -345,6 +351,7 @@ main(int argc, char **argv)
     std::string perfSim;
     bool list = false;
     bool compare = false;
+    bool allowNew = false;
     std::vector<std::string> comparePaths;
     double threshold = 10.0;
 
@@ -376,6 +383,8 @@ main(int argc, char **argv)
             list = true;
         else if (opt == "--compare")
             compare = true;
+        else if (opt == "--allow-new")
+            allowNew = true;
         else if (opt == "--threshold")
             threshold = std::atof(val().c_str());
         else if (opt.rfind("--", 0) == 0)
@@ -388,9 +397,9 @@ main(int argc, char **argv)
         if (comparePaths.size() != 2)
             usage();
         return compareBench(comparePaths[0], comparePaths[1],
-                            threshold);
+                            threshold, allowNew);
     }
-    if (!comparePaths.empty())
+    if (!comparePaths.empty() || allowNew)
         usage();
 
     const std::vector<bench::PerfScenario> all =

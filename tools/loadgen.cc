@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Deterministic load harness for the planner-as-a-service stack.
+ *
+ *   loadgen --pack FILE [--pack FILE ...] --queries N [--threads T]
+ *           [--mix uniform|hot|scan] [--seed S] [--no-cache]
+ *           [--cache-capacity N] [--cache-shards N] [--json]
+ *           [--profile]
+ *
+ * Drives millions of plan queries through one shared
+ * serve::PlannerIndex from T threads and reports sustained
+ * queries/sec plus p50/p95/p99 per-query latency (per-thread
+ * stats::Histogram of nanoseconds, merged order-independently).  The
+ * query stream is a pure function of (--seed, --mix, thread id), so
+ * two runs issue the identical query multiset regardless of
+ * scheduling; an order-independent XOR checksum over the answers'
+ * predicted-bandwidth bits is printed so runs can be diffed for
+ * answer drift, not just throughput.
+ *
+ * Mixes:
+ *   uniform  many distinct (ws, stride) keys — cache-miss heavy
+ *   hot      95% of queries from 64 hot keys — cache-hit heavy
+ *   scan     a fixed 1024-query cycle — all hits after warm-up
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/planner.hh"
+#include "serve/planner_index.hh"
+#include "sim/logging.hh"
+#include "sim/profiler.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace gasnub;
+
+namespace {
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: loadgen --pack FILE [--pack FILE ...] --queries N "
+          "[options]\n"
+          "  --pack FILE        gas-pack-1 surface pack "
+          "(repeatable)\n"
+          "  --queries N        total queries to issue (required)\n"
+          "  --threads T        worker threads (default 1)\n"
+          "  --mix NAME         uniform | hot | scan (default "
+          "uniform)\n"
+          "  --seed S           query-stream seed (default 1)\n"
+          "  --no-cache         disable the decision cache\n"
+          "  --cache-capacity N decision-cache slots (default "
+          "65536)\n"
+          "  --cache-shards N   decision-cache shards (default 16)\n"
+          "  --json             machine-readable report on stdout\n"
+          "  --profile          profiler zone report on stderr\n"
+          "Benchmarks serve::PlannerIndex under a deterministic "
+          "seeded query\nmix: reports queries/sec, p50/p95/p99 "
+          "latency, cache hit rate, and\nan order-independent answer "
+          "checksum (docs/planner_service.md).\n";
+}
+
+[[noreturn]] void
+usage()
+{
+    printUsage(std::cerr);
+    std::exit(2);
+}
+
+enum class Mix { Uniform, Hot, Scan };
+
+/** One pre-materialized query (machine id + planner query). */
+struct GenQuery
+{
+    std::size_t machine = 0;
+    core::TransferQuery query;
+};
+
+/** A random but well-formed query: ws in [1 KiB, 16 MiB), word-
+ *  aligned jitter for key diversity, power-of-two stride. */
+GenQuery
+uniformQuery(sim::Rng &rng, std::size_t machines)
+{
+    GenQuery q;
+    q.machine = rng.below(machines);
+    const std::uint64_t base = std::uint64_t(1024)
+                               << rng.below(15);
+    q.query.wsBytes = base + 8 * rng.below(4096);
+    q.query.bytes = q.query.wsBytes;
+    q.query.stride = std::uint64_t(1) << rng.below(8);
+    return q;
+}
+
+/** The fixed key set a mix draws from (hot: 64, scan: 1024). */
+std::vector<GenQuery>
+fixedKeys(std::uint64_t seed, std::size_t machines, std::size_t n)
+{
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
+    std::vector<GenQuery> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back(uniformQuery(rng, machines));
+    return keys;
+}
+
+struct ThreadResult
+{
+    std::uint64_t issued = 0;
+    std::uint64_t checksum = 0; ///< XOR of predictedMBs bit patterns
+    stats::Histogram latency{nullptr, "latency_ns",
+                             "per-query plan latency"};
+};
+
+void
+worker(const serve::PlannerIndex &index, Mix mix,
+       const std::vector<GenQuery> &keys, std::uint64_t seed,
+       std::size_t thread_id, std::uint64_t queries,
+       ThreadResult &result)
+{
+    GASNUB_PROF_ZONE("loadgen.worker");
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + thread_id + 1);
+    const std::size_t machines = index.numMachines();
+    for (std::uint64_t i = 0; i < queries; ++i) {
+        GenQuery q;
+        switch (mix) {
+        case Mix::Uniform:
+            q = uniformQuery(rng, machines);
+            break;
+        case Mix::Hot:
+            q = rng.below(20) < 19
+                    ? keys[rng.below(keys.size())]
+                    : uniformQuery(rng, machines);
+            break;
+        case Mix::Scan:
+            q = keys[(thread_id + i) % keys.size()];
+            break;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::PlanAnswer a = index.plan(q.machine, q.query);
+        const auto t1 = std::chrono::steady_clock::now();
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(a.predictedMBs));
+        std::memcpy(&bits, &a.predictedMBs, sizeof(bits));
+        result.checksum ^= bits;
+        result.latency.sample(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1 - t0)
+                .count()));
+        ++result.issued;
+    }
+}
+
+const char *
+mixName(Mix m)
+{
+    switch (m) {
+    case Mix::Uniform:
+        return "uniform";
+    case Mix::Hot:
+        return "hot";
+    case Mix::Scan:
+        return "scan";
+    }
+    GASNUB_PANIC("bad mix");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> packs;
+    std::uint64_t queries = 0;
+    std::size_t threads = 1;
+    Mix mix = Mix::Uniform;
+    std::uint64_t seed = 1;
+    bool json = false;
+    bool profile = false;
+    serve::IndexConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string opt = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "loadgen: option " << opt
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (opt == "--help" || opt == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (opt == "--pack")
+            packs.push_back(val());
+        else if (opt == "--queries")
+            queries = static_cast<std::uint64_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--threads")
+            threads = static_cast<std::size_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--mix") {
+            const std::string m = val();
+            if (m == "uniform")
+                mix = Mix::Uniform;
+            else if (m == "hot")
+                mix = Mix::Hot;
+            else if (m == "scan")
+                mix = Mix::Scan;
+            else {
+                std::cerr << "loadgen: unknown mix '" << m
+                          << "' (want uniform, hot, or scan)\n";
+                std::exit(2);
+            }
+        } else if (opt == "--seed")
+            seed = static_cast<std::uint64_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--no-cache")
+            config.cacheCapacity = 0;
+        else if (opt == "--cache-capacity")
+            config.cacheCapacity = static_cast<std::size_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--cache-shards")
+            config.cacheShards = static_cast<std::size_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--json")
+            json = true;
+        else if (opt == "--profile")
+            profile = true;
+        else
+            usage();
+    }
+    if (packs.empty() || queries == 0)
+        usage();
+    if (threads == 0)
+        threads = 1;
+
+    if (profile)
+        prof::Profiler::enable();
+    prof::Profiler::enableFromEnv();
+
+    const serve::PlannerIndex index =
+        serve::PlannerIndex::fromPackFiles(packs, config);
+    const std::vector<GenQuery> keys = fixedKeys(
+        seed, index.numMachines(), mix == Mix::Scan ? 1024 : 64);
+
+    // Split the query budget; earlier threads take the remainder.
+    std::vector<std::uint64_t> share(threads, queries / threads);
+    for (std::uint64_t i = 0; i < queries % threads; ++i)
+        ++share[i];
+
+    std::vector<ThreadResult> results(threads);
+    const auto start = std::chrono::steady_clock::now();
+    {
+        GASNUB_PROF_ZONE("loadgen.run");
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker, std::cref(index), mix,
+                              std::cref(keys), seed, t, share[t],
+                              std::ref(results[t]));
+        for (std::thread &t : pool)
+            t.join();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(end - start).count();
+
+    ThreadResult total;
+    for (const ThreadResult &r : results) {
+        total.issued += r.issued;
+        total.checksum ^= r.checksum;
+        total.latency.mergeFrom(r.latency);
+    }
+    GASNUB_ASSERT(total.issued == queries, "lost queries");
+
+    const double qps =
+        seconds > 0 ? static_cast<double>(total.issued) / seconds
+                    : 0.0;
+    const double p50 = total.latency.percentile(0.50);
+    const double p95 = total.latency.percentile(0.95);
+    const double p99 = total.latency.percentile(0.99);
+    const serve::DecisionCacheStats cs = index.cacheStats();
+    const std::uint64_t lookups = cs.hits + cs.misses;
+    const double hit_rate =
+        lookups ? static_cast<double>(cs.hits) / lookups : 0.0;
+
+    if (json) {
+        std::printf(
+            "{\"queries\": %llu, \"threads\": %zu, \"mix\": "
+            "\"%s\", \"seed\": %llu, \"seconds\": %.6f, \"qps\": "
+            "%.1f, \"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": "
+            "%.1f, \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"evictions\": %llu, \"hit_rate\": %.4f}, "
+            "\"checksum\": \"%016llx\"}\n",
+            static_cast<unsigned long long>(total.issued), threads,
+            mixName(mix), static_cast<unsigned long long>(seed),
+            seconds, qps, p50, p95, p99,
+            static_cast<unsigned long long>(cs.hits),
+            static_cast<unsigned long long>(cs.misses),
+            static_cast<unsigned long long>(cs.evictions), hit_rate,
+            static_cast<unsigned long long>(total.checksum));
+    } else {
+        std::printf("loadgen: %llu queries, %zu thread(s), mix=%s, "
+                    "seed=%llu\n",
+                    static_cast<unsigned long long>(total.issued),
+                    threads, mixName(mix),
+                    static_cast<unsigned long long>(seed));
+        std::printf("  elapsed   %.3f s\n", seconds);
+        std::printf("  qps       %.0f\n", qps);
+        std::printf("  latency   p50 %.0f ns, p95 %.0f ns, p99 "
+                    "%.0f ns\n",
+                    p50, p95, p99);
+        std::printf("  cache     hits=%llu misses=%llu "
+                    "evictions=%llu hit-rate=%.2f%%\n",
+                    static_cast<unsigned long long>(cs.hits),
+                    static_cast<unsigned long long>(cs.misses),
+                    static_cast<unsigned long long>(cs.evictions),
+                    hit_rate * 100.0);
+        std::printf("  checksum  %016llx\n",
+                    static_cast<unsigned long long>(
+                        total.checksum));
+    }
+
+    if (prof::enabled())
+        prof::Profiler::instance().report(std::cerr);
+    return 0;
+}

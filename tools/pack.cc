@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Surface-pack converter: text surface directories -> gas-pack-1.
+ *
+ *   pack --machine NAME --surfaces DIR --out FILE.pack
+ *   pack --describe FILE.pack
+ *
+ * The conversion is loadPlannerDir parity by construction: options
+ * come from core::loadPlanOptionsDir (same stems, same sorted
+ * registration order, same validation), and bandwidths are written as
+ * raw doubles, so a PlannerIndex over the pack answers bit-for-bit
+ * what a TransferPlanner over the directory would.  Corrupt input —
+ * text or binary — dies with a file(/offset) diagnostic, never
+ * partial output.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/planner_io.hh"
+#include "serve/pack.hh"
+#include "sim/logging.hh"
+
+using namespace gasnub;
+
+namespace {
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: pack --machine NAME --surfaces DIR --out FILE\n"
+          "       pack --describe FILE\n"
+          "  --machine NAME   machine key the pack serves under "
+          "(e.g. t3e)\n"
+          "  --surfaces DIR   directory of *.surface option files\n"
+          "                   (tools/characterize --out layout; see "
+          "core/planner_io)\n"
+          "  --out FILE       pack file to write (gas-pack-1)\n"
+          "  --describe FILE  load a pack and print its contents\n"
+          "Converts a measured surface directory into one compact, "
+          "mmap-able\nbinary pack for serve::PlannerIndex / "
+          "tools/serve; predictions from\nthe pack are bit-identical "
+          "to loadPlannerDir on the directory\n(docs/planner_service."
+          "md).\n";
+}
+
+[[noreturn]] void
+usage()
+{
+    printUsage(std::cerr);
+    std::exit(2);
+}
+
+int
+describe(const std::string &path)
+{
+    const serve::MachinePack pack = serve::loadPackFile(path);
+    std::printf("pack: %s\n", path.c_str());
+    std::printf("machine: %s\n", pack.machine.c_str());
+    std::printf("options: %zu\n", pack.options.size());
+    for (const core::PlanOption &o : pack.options) {
+        const core::Surface &s = *o.surface;
+        std::printf(
+            "  %-16s method=%s stride-on-%s block=%llu "
+            "grid=%zux%zu%s\n",
+            o.label.c_str(), remote::methodName(o.method),
+            o.strideOnSource ? "source" : "dest",
+            static_cast<unsigned long long>(o.blockBytes),
+            s.workingSets().size(), s.strides().size(),
+            s.hasAttribution() ? " +attribution" : "");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string machine;
+    std::string surfaces;
+    std::string out;
+    std::string describePath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string opt = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "pack: option " << opt
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (opt == "--help" || opt == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (opt == "--machine")
+            machine = val();
+        else if (opt == "--surfaces")
+            surfaces = val();
+        else if (opt == "--out")
+            out = val();
+        else if (opt == "--describe")
+            describePath = val();
+        else
+            usage();
+    }
+
+    if (!describePath.empty()) {
+        if (!machine.empty() || !surfaces.empty() || !out.empty())
+            usage();
+        return describe(describePath);
+    }
+    if (machine.empty() || surfaces.empty() || out.empty())
+        usage();
+
+    serve::MachinePack pack;
+    pack.machine = machine;
+    pack.options = core::loadPlanOptionsDir(surfaces);
+    serve::savePackFile(pack, out);
+    std::fprintf(stderr, "pack: %s: %zu option(s) from %s -> %s\n",
+                 machine.c_str(), pack.options.size(),
+                 surfaces.c_str(), out.c_str());
+    return 0;
+}

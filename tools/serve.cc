@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Transfer-planning query front end over surface packs.
+ *
+ *   serve --pack FILE [--pack FILE ...] [--binary] [--threads N]
+ *         [--batch N] [--no-cache] [--cache-capacity N]
+ *         [--cache-shards N] [--stats]
+ *
+ * Serving side of the paper's measure-once / decide-often workflow
+ * (Section 4.1): the packs carry each machine's characterization
+ * surfaces, and every query — machine x access pattern x working
+ * set — is answered with the best implementation method and its
+ * predicted bandwidth, exactly what the Fx/HPF back end consults per
+ * communication step.  Queries stream on stdin, answers on stdout in
+ * input order, so any number of clients can multiplex through pipes
+ * or a socket relay; batches of --batch queries are planned across
+ * --threads workers against one shared immutable PlannerIndex.
+ *
+ * JSON framing (default) — one object per line:
+ *   in:  {"machine": "t3e", "bytes": 1048576, "ws": 1048576,
+ *         "stride": 8}
+ *   out: {"machine": "t3e", "option": "fetch-sload",
+ *         "method": "fetch", "strideOnSource": true,
+ *         "mbs": 154.2, "seconds": 0.0068}
+ *
+ * Binary framing (--binary) — fixed 32-byte records both ways, host
+ * little-endian; see docs/planner_service.md for the exact layout.
+ * Malformed queries are fatal with a record/line diagnostic (exit 1
+ * via GASNUB_FATAL, exit 2 for JSON syntax), never silent garbage.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/planner.hh"
+#include "json_util.hh"
+#include "serve/planner_index.hh"
+#include "sim/logging.hh"
+
+using namespace gasnub;
+using tooljson::JsonParser;
+using tooljson::JsonValue;
+
+namespace {
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: serve --pack FILE [--pack FILE ...] [options]\n"
+          "  --pack FILE        gas-pack-1 surface pack (one per "
+          "machine; repeatable)\n"
+          "  --binary           32-byte binary records instead of "
+          "JSON lines\n"
+          "  --threads N        workers per batch (default 1)\n"
+          "  --batch N          queries planned per dispatch "
+          "(default 1024)\n"
+          "  --no-cache         disable the decision cache\n"
+          "  --cache-capacity N decision-cache slots (default "
+          "65536)\n"
+          "  --cache-shards N   decision-cache shards (default 16)\n"
+          "  --stats            cache hit/miss/eviction stats on "
+          "stderr at EOF\n"
+          "Answers plan queries (machine x pattern x working set -> "
+          "method +\npredicted bandwidth) from packed "
+          "characterization surfaces; see\ndocs/planner_service.md "
+          "for framing and examples.\n";
+}
+
+[[noreturn]] void
+usage()
+{
+    printUsage(std::cerr);
+    std::exit(2);
+}
+
+/** One parsed query: machine id + the planner query. */
+struct Request
+{
+    std::size_t machine = 0;
+    core::TransferQuery query;
+};
+
+/** Fixed 32-byte binary frames (see docs/planner_service.md). */
+struct BinaryRequest
+{
+    std::uint32_t magic;   ///< 'GQRY' = 0x59525147 little-endian
+    std::uint32_t machine; ///< index into the pack list
+    std::uint64_t bytes;
+    std::uint64_t wsBytes;
+    std::uint64_t stride;
+};
+static_assert(sizeof(BinaryRequest) == 32);
+
+struct BinaryResponse
+{
+    std::uint32_t magic; ///< 'GANS' = 0x534e4147 little-endian
+    std::uint32_t optionIndex;
+    double predictedMBs;
+    double predictedSeconds;
+    std::uint8_t method; ///< 0 pull, 1 fetch, 2 deposit
+    std::uint8_t strideOnSource;
+    std::uint16_t reserved;
+    std::uint32_t pad;
+};
+static_assert(sizeof(BinaryResponse) == 32);
+
+constexpr std::uint32_t kQueryMagic = 0x59525147u;
+constexpr std::uint32_t kAnswerMagic = 0x534e4147u;
+
+std::uint8_t
+methodCode(remote::TransferMethod m)
+{
+    switch (m) {
+    case remote::TransferMethod::CoherentPull:
+        return 0;
+    case remote::TransferMethod::Fetch:
+        return 1;
+    case remote::TransferMethod::Deposit:
+        return 2;
+    }
+    GASNUB_PANIC("bad transfer method");
+}
+
+std::uint64_t
+numberField(const JsonValue &v, const char *key,
+            std::uint64_t line_no)
+{
+    const JsonValue *f = v.find(key);
+    if (!f || f->kind != JsonValue::Kind::Number || f->number < 0)
+        GASNUB_FATAL("serve: query line ", line_no,
+                     ": missing or bad '", key,
+                     "' (want a non-negative number)");
+    return static_cast<std::uint64_t>(f->number);
+}
+
+/** Plan requests [0, n) into @p answers across @p threads. */
+void
+planBatch(const serve::PlannerIndex &index,
+          const std::vector<Request> &requests, std::size_t n,
+          int threads, std::vector<serve::PlanAnswer> &answers)
+{
+    answers.resize(n);
+    if (threads <= 1 || n < 2) {
+        for (std::size_t i = 0; i < n; ++i)
+            answers[i] =
+                index.plan(requests[i].machine, requests[i].query);
+        return;
+    }
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            for (std::size_t i = w; i < n; i += workers)
+                answers[i] = index.plan(requests[i].machine,
+                                        requests[i].query);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+int
+runJson(const serve::PlannerIndex &index, int threads,
+        std::size_t batch)
+{
+    std::vector<Request> requests(batch);
+    std::vector<serve::PlanAnswer> answers;
+    std::string line;
+    std::uint64_t line_no = 0;
+    std::size_t n = 0;
+    std::uint64_t served = 0;
+    std::ostringstream out;
+
+    auto flush = [&] {
+        if (n == 0)
+            return;
+        planBatch(index, requests, n, threads, answers);
+        out.str("");
+        for (std::size_t i = 0; i < n; ++i) {
+            const serve::PlanAnswer &a = answers[i];
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"machine\": \"%s\", \"option\": \"%.*s\", "
+                "\"method\": \"%s\", \"strideOnSource\": %s, "
+                "\"mbs\": %.17g, \"seconds\": %.17g}\n",
+                index.machineName(a.machine).c_str(),
+                static_cast<int>(a.label.size()), a.label.data(),
+                remote::methodName(a.method),
+                a.strideOnSource ? "true" : "false", a.predictedMBs,
+                a.predictedSeconds);
+            out << buf;
+        }
+        std::fputs(out.str().c_str(), stdout);
+        served += n;
+        n = 0;
+    };
+
+    while (std::getline(std::cin, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        JsonParser parser(line,
+                          "serve: query line " +
+                              std::to_string(line_no));
+        const JsonValue v = parser.parse();
+        const JsonValue *machine = v.find("machine");
+        if (!machine ||
+            machine->kind != JsonValue::Kind::String)
+            GASNUB_FATAL("serve: query line ", line_no,
+                         ": missing or bad 'machine' (want a "
+                         "string)");
+        const int id = index.machineId(machine->string);
+        if (id < 0)
+            GASNUB_FATAL("serve: query line ", line_no,
+                         ": unknown machine '", machine->string,
+                         "'; the loaded packs serve ",
+                         index.numMachines(), " machine(s)");
+        Request &r = requests[n];
+        r.machine = static_cast<std::size_t>(id);
+        r.query.bytes = numberField(v, "bytes", line_no);
+        r.query.wsBytes = numberField(v, "ws", line_no);
+        r.query.stride = numberField(v, "stride", line_no);
+        if (++n == batch)
+            flush();
+    }
+    flush();
+    std::fflush(stdout);
+    std::fprintf(stderr, "serve: answered %llu queries\n",
+                 static_cast<unsigned long long>(served));
+    return 0;
+}
+
+int
+runBinary(const serve::PlannerIndex &index, int threads,
+          std::size_t batch)
+{
+    std::vector<BinaryRequest> raw(batch);
+    std::vector<Request> requests(batch);
+    std::vector<serve::PlanAnswer> answers;
+    std::vector<BinaryResponse> responses(batch);
+    std::uint64_t record_no = 0;
+    std::uint64_t served = 0;
+
+    for (;;) {
+        const std::size_t want = batch * sizeof(BinaryRequest);
+        const std::size_t got_bytes = std::fread(
+            reinterpret_cast<char *>(raw.data()), 1, want, stdin);
+        if (got_bytes % sizeof(BinaryRequest) != 0)
+            GASNUB_FATAL("serve: truncated binary request after "
+                         "record ", record_no,
+                         ": trailing ",
+                         got_bytes % sizeof(BinaryRequest),
+                         " byte(s) is not a whole 32-byte GQRY "
+                         "record");
+        const std::size_t got = got_bytes / sizeof(BinaryRequest);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i) {
+            ++record_no;
+            const BinaryRequest &q = raw[i];
+            if (q.magic != kQueryMagic)
+                GASNUB_FATAL("serve: binary record ", record_no,
+                             ": bad magic ", q.magic,
+                             "; expected GQRY framing (see "
+                             "docs/planner_service.md)");
+            if (q.machine >= index.numMachines())
+                GASNUB_FATAL("serve: binary record ", record_no,
+                             ": machine id ", q.machine,
+                             " out of range (", index.numMachines(),
+                             " loaded)");
+            requests[i].machine = q.machine;
+            requests[i].query.bytes = q.bytes;
+            requests[i].query.wsBytes = q.wsBytes;
+            requests[i].query.stride = q.stride;
+        }
+        planBatch(index, requests, got, threads, answers);
+        for (std::size_t i = 0; i < got; ++i) {
+            const serve::PlanAnswer &a = answers[i];
+            BinaryResponse &r = responses[i];
+            r.magic = kAnswerMagic;
+            r.optionIndex = a.optionIndex;
+            r.predictedMBs = a.predictedMBs;
+            r.predictedSeconds = a.predictedSeconds;
+            r.method = methodCode(a.method);
+            r.strideOnSource = a.strideOnSource ? 1 : 0;
+            r.reserved = 0;
+            r.pad = 0;
+        }
+        if (std::fwrite(responses.data(), sizeof(BinaryResponse),
+                        got, stdout) != got)
+            GASNUB_FATAL("serve: short write on stdout");
+        served += got;
+    }
+    std::fflush(stdout);
+    std::fprintf(stderr, "serve: answered %llu queries\n",
+                 static_cast<unsigned long long>(served));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> packs;
+    bool binary = false;
+    int threads = 1;
+    std::size_t batch = 1024;
+    bool stats = false;
+    serve::IndexConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string opt = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "serve: option " << opt
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (opt == "--help" || opt == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (opt == "--pack")
+            packs.push_back(val());
+        else if (opt == "--binary")
+            binary = true;
+        else if (opt == "--threads")
+            threads = std::atoi(val().c_str());
+        else if (opt == "--batch")
+            batch = static_cast<std::size_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--no-cache")
+            config.cacheCapacity = 0;
+        else if (opt == "--cache-capacity")
+            config.cacheCapacity = static_cast<std::size_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--cache-shards")
+            config.cacheShards = static_cast<std::size_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--stats")
+            stats = true;
+        else
+            usage();
+    }
+    if (packs.empty() || batch == 0)
+        usage();
+    if (threads < 1)
+        threads = 1;
+
+    const serve::PlannerIndex index =
+        serve::PlannerIndex::fromPackFiles(packs, config);
+    std::fprintf(stderr, "serve: %zu machine(s):", index.numMachines());
+    for (std::size_t i = 0; i < index.numMachines(); ++i)
+        std::fprintf(stderr, " %s", index.machineName(i).c_str());
+    std::fprintf(stderr, "\n");
+
+    const int rc = binary ? runBinary(index, threads, batch)
+                          : runJson(index, threads, batch);
+    if (stats) {
+        const serve::DecisionCacheStats cs = index.cacheStats();
+        std::fprintf(
+            stderr,
+            "serve: cache hits=%llu misses=%llu evictions=%llu "
+            "entries=%llu/%llu\n",
+            static_cast<unsigned long long>(cs.hits),
+            static_cast<unsigned long long>(cs.misses),
+            static_cast<unsigned long long>(cs.evictions),
+            static_cast<unsigned long long>(cs.entries),
+            static_cast<unsigned long long>(cs.capacity));
+    }
+    return rc;
+}
