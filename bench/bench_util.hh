@@ -17,6 +17,7 @@
 #ifndef GASNUB_BENCH_BENCH_UTIL_HH
 #define GASNUB_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -224,6 +225,10 @@ struct PerfScenario
     std::uint64_t serveQueries = 0;
     std::size_t serveCacheCapacity = 1 << 16; ///< 0 = no cache
     bool serveHotMix = false; ///< hot 64-key mix vs uniform keys
+    /** Measure per-query p99 latency instead of bulk throughput; the
+     *  recorded rate becomes 1e9 / p99_ns (inverse tail latency), so
+     *  the existing --compare gate flags p99 growth as a regression. */
+    bool serveSlo = false;
 };
 
 /** Work counters from one scenario execution. */
@@ -231,6 +236,7 @@ struct PerfRunCounts
 {
     std::uint64_t points = 0;   ///< grid points (1 for the FFT)
     std::uint64_t accesses = 0; ///< simulated word accesses
+    std::uint64_t sloP99Ns = 0; ///< p99 query latency (serveSlo only)
 };
 
 /** The fixed scenario registry of the benchmark protocol. */
@@ -334,6 +340,19 @@ perfScenarios()
         s.serveCacheCapacity = 0;
         out.push_back(std::move(s));
     }
+    // Tail latency, not throughput: the hot stream again, but the
+    // tracked number is 1e9/p99_ns so the regression gate catches a
+    // slow outlier path (lock contention, an allocation sneaking into
+    // plan()) that averages would hide.
+    {
+        PerfScenario s;
+        s.name = "serve.slo.p99";
+        s.serve = true;
+        s.serveSlo = true;
+        s.serveQueries = 2'000'000;
+        s.serveHotMix = true;
+        out.push_back(std::move(s));
+    }
     return out;
 }
 
@@ -407,6 +426,8 @@ runServeScenario(const PerfScenario &s)
     }
 
     std::uint64_t sink = 0;
+    stats::Histogram latency(nullptr, "latency_ns",
+                             "per-query plan latency");
     for (std::uint64_t i = 0; i < s.serveQueries; ++i) {
         std::size_t machine;
         core::TransferQuery q;
@@ -421,8 +442,19 @@ runServeScenario(const PerfScenario &s)
             q.bytes = q.wsBytes;
             q.stride = std::uint64_t(1) << rng.below(8);
         }
-        const serve::PlanAnswer a = index.plan(machine, q);
-        sink ^= a.optionIndex;
+        if (s.serveSlo) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const serve::PlanAnswer a = index.plan(machine, q);
+            const auto t1 = std::chrono::steady_clock::now();
+            sink ^= a.optionIndex;
+            latency.sample(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count()));
+        } else {
+            const serve::PlanAnswer a = index.plan(machine, q);
+            sink ^= a.optionIndex;
+        }
     }
     // Publish the fold so the optimizer must keep the plan calls.
     static volatile std::uint64_t published;
@@ -431,6 +463,9 @@ runServeScenario(const PerfScenario &s)
     PerfRunCounts counts;
     counts.points = s.serveQueries;
     counts.accesses = s.serveQueries;
+    if (s.serveSlo)
+        counts.sloP99Ns = static_cast<std::uint64_t>(
+            latency.percentile(0.99));
     return counts;
 }
 

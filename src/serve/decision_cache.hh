@@ -138,15 +138,33 @@ class DecisionCache
     stats() const
     {
         DecisionCacheStats out;
-        for (const Shard &s : _shards) {
-            std::lock_guard<std::mutex> lock(s.mu);
+        for (std::size_t i = 0; i < _shards.size(); ++i) {
+            const DecisionCacheStats s = shardStats(i);
             out.hits += s.hits;
             out.misses += s.misses;
             out.evictions += s.evictions;
-            out.capacity += s.slots.size();
-            for (const Slot &slot : s.slots)
-                out.entries += slot.used ? 1 : 0;
+            out.entries += s.entries;
+            out.capacity += s.capacity;
         }
+        return out;
+    }
+
+    /** Number of shards (0 when disabled). */
+    std::size_t numShards() const { return _shards.size(); }
+
+    /** One shard's counters, for per-shard live telemetry. */
+    DecisionCacheStats
+    shardStats(std::size_t i) const
+    {
+        DecisionCacheStats out;
+        const Shard &s = _shards[i];
+        std::lock_guard<std::mutex> lock(s.mu);
+        out.hits = s.hits;
+        out.misses = s.misses;
+        out.evictions = s.evictions;
+        out.capacity = s.slots.size();
+        for (const Slot &slot : s.slots)
+            out.entries += slot.used ? 1 : 0;
         return out;
     }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 
 namespace gasnub::serve {
 
@@ -158,6 +159,74 @@ PlannerIndex::planFull(std::size_t machine_id,
     p.predictedMBs = a.predictedMBs;
     p.predictedSeconds = a.predictedSeconds;
     return p;
+}
+
+std::size_t
+PlannerIndex::cacheShards() const
+{
+    return _cache.numShards();
+}
+
+DecisionCacheStats
+PlannerIndex::cacheShardStats(std::size_t shard) const
+{
+    GASNUB_ASSERT(shard < _cache.numShards(), "bad cache shard ",
+                  shard);
+    return _cache.shardStats(shard);
+}
+
+void
+PlannerIndex::registerMetrics(metrics::Registry &registry) const
+{
+    metrics::Gauge &hits = registry.gauge(
+        "serve.cache.hits", "decision-cache hits (all shards)");
+    metrics::Gauge &misses = registry.gauge(
+        "serve.cache.misses", "decision-cache misses (all shards)");
+    metrics::Gauge &evictions =
+        registry.gauge("serve.cache.evictions",
+                       "decision-cache evictions (all shards)");
+    metrics::Gauge &entries = registry.gauge(
+        "serve.cache.entries", "occupied decision-cache slots");
+    struct ShardGauges
+    {
+        metrics::Gauge *hits;
+        metrics::Gauge *misses;
+        metrics::Gauge *evictions;
+    };
+    std::vector<ShardGauges> shards;
+    shards.reserve(_cache.numShards());
+    for (std::size_t i = 0; i < _cache.numShards(); ++i) {
+        const std::string prefix =
+            "serve.cache.shard" + std::to_string(i);
+        shards.push_back(ShardGauges{
+            &registry.gauge(prefix + ".hits",
+                            "decision-cache shard hits"),
+            &registry.gauge(prefix + ".misses",
+                            "decision-cache shard misses"),
+            &registry.gauge(prefix + ".evictions",
+                            "decision-cache shard evictions")});
+    }
+    registry.addCollector([this, &hits, &misses, &evictions,
+                           &entries, shards] {
+        DecisionCacheStats total;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const DecisionCacheStats s = _cache.shardStats(i);
+            shards[i].hits->set(
+                static_cast<std::int64_t>(s.hits));
+            shards[i].misses->set(
+                static_cast<std::int64_t>(s.misses));
+            shards[i].evictions->set(
+                static_cast<std::int64_t>(s.evictions));
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        hits.set(static_cast<std::int64_t>(total.hits));
+        misses.set(static_cast<std::int64_t>(total.misses));
+        evictions.set(static_cast<std::int64_t>(total.evictions));
+        entries.set(static_cast<std::int64_t>(total.entries));
+    });
 }
 
 void

@@ -31,6 +31,10 @@
 #include "serve/decision_cache.hh"
 #include "serve/pack.hh"
 
+namespace gasnub::metrics {
+class Registry;
+}
+
 namespace gasnub::serve {
 
 /** Decision-cache sizing for an index. */
@@ -118,6 +122,22 @@ class PlannerIndex
     bool cacheEnabled() const { return _cache.enabled(); }
     DecisionCacheStats cacheStats() const { return _cache.stats(); }
     void resetCacheStats() { _cache.resetStats(); }
+
+    /** Decision-cache shard count (0 when the cache is disabled). */
+    std::size_t cacheShards() const;
+
+    /** One decision-cache shard's counters. */
+    DecisionCacheStats cacheShardStats(std::size_t shard) const;
+
+    /**
+     * Register this index's live telemetry with @p registry:
+     * serve.cache.{hits,misses,evictions,entries} gauges plus
+     * per-shard serve.cache.shard<i>.{hits,misses,evictions}, all
+     * refreshed by a collector before every export.  The index must
+     * outlive every registry export (the serving tools register at
+     * startup and join their flushers before teardown).
+     */
+    void registerMetrics(metrics::Registry &registry) const;
 
   private:
     struct Machine

@@ -1,6 +1,10 @@
 #include "sim/logging.hh"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 namespace gasnub {
@@ -8,6 +12,41 @@ namespace gasnub {
 namespace {
 
 LogLevel globalLevel = LogLevel::Normal;
+std::atomic<bool> timestampsOn{false};
+
+/** One monotonic origin for every prefixed line in the process. */
+std::chrono::steady_clock::time_point
+logEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/** "[seconds.micros] " when timestamps are on, "" otherwise. */
+std::string
+timestampPrefix()
+{
+    if (!timestampsOn.load(std::memory_order_relaxed))
+        return "";
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - logEpoch())
+            .count();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[%lld.%06lld] ",
+                  static_cast<long long>(us / 1000000),
+                  static_cast<long long>(us % 1000000));
+    return buf;
+}
+
+/** Write one whole line with a single call so concurrent threads'
+ *  records never interleave mid-line. */
+void
+writeLine(std::FILE *to, const std::string &line)
+{
+    std::fwrite(line.data(), 1, line.size(), to);
+    std::fflush(to);
+}
 
 } // namespace
 
@@ -23,21 +62,43 @@ logLevel()
     return globalLevel;
 }
 
+void
+setLogTimestamps(bool on)
+{
+    if (on)
+        logEpoch(); // pin the origin before the first prefixed line
+    timestampsOn.store(on, std::memory_order_relaxed);
+}
+
+bool
+logTimestamps()
+{
+    return timestampsOn.load(std::memory_order_relaxed);
+}
+
+void
+logTimestampsFromEnv()
+{
+    const char *v = std::getenv("GASNUB_LOG_TIMESTAMPS");
+    if (v && *v && std::strcmp(v, "0") != 0)
+        setLogTimestamps(true);
+}
+
 namespace detail {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    std::cerr << timestampPrefix() << "panic: " << msg << "\n  at "
+              << file << ":" << line << std::endl;
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    std::cerr << timestampPrefix() << "fatal: " << msg << "\n  at "
+              << file << ":" << line << std::endl;
     std::exit(1);
 }
 
@@ -45,14 +106,21 @@ void
 warnImpl(const std::string &msg)
 {
     if (globalLevel != LogLevel::Quiet)
-        std::cerr << "warn: " << msg << std::endl;
+        writeLine(stderr, timestampPrefix() + "warn: " + msg + "\n");
 }
 
 void
 informImpl(const std::string &msg, LogLevel level)
 {
     if (static_cast<int>(globalLevel) >= static_cast<int>(level))
-        std::cout << "info: " << msg << std::endl;
+        writeLine(stdout, timestampPrefix() + "info: " + msg + "\n");
+}
+
+void
+logImpl(const std::string &msg)
+{
+    if (globalLevel != LogLevel::Quiet)
+        writeLine(stderr, timestampPrefix() + "log: " + msg + "\n");
 }
 
 } // namespace detail

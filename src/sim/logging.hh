@@ -26,6 +26,24 @@ void setLogLevel(LogLevel level);
 /** @return the current global log level. */
 LogLevel logLevel();
 
+/**
+ * Opt-in monotonic timestamps: when on, every warn/inform/log line is
+ * prefixed with "[seconds.micros] " measured on one process-wide
+ * monotonic clock, so service-log and slow-query lines emitted by
+ * concurrent worker threads are orderable after the fact.  Off by
+ * default — golden CLI output is unchanged unless the user opts in
+ * via setLogTimestamps() or the GASNUB_LOG_TIMESTAMPS environment
+ * variable (any non-empty value other than "0").
+ */
+void setLogTimestamps(bool on);
+
+/** @return true when timestamp prefixes are on. */
+bool logTimestamps();
+
+/** Enable timestamps iff GASNUB_LOG_TIMESTAMPS is set non-empty and
+ *  not "0"; called once by long-running tools at startup. */
+void logTimestampsFromEnv();
+
 namespace detail {
 
 [[noreturn]] void panicImpl(const char *file, int line,
@@ -34,6 +52,7 @@ namespace detail {
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg, LogLevel level);
+void logImpl(const std::string &msg);
 
 /** Fold a parameter pack into one string via operator<<. */
 template <typename... Args>
@@ -76,6 +95,15 @@ format(Args &&...args)
 #define GASNUB_VERBOSE(...) \
     ::gasnub::detail::informImpl(::gasnub::detail::format(__VA_ARGS__), \
                                  ::gasnub::LogLevel::Verbose)
+
+/**
+ * Emit one structured service-log record ("log: key=value ...") to
+ * stderr as a single write, so records from concurrent worker threads
+ * never interleave mid-line.  Honours the timestamp prefix (see
+ * setLogTimestamps()); used for the serve layer's slow-query log.
+ */
+#define GASNUB_LOG(...) \
+    ::gasnub::detail::logImpl(::gasnub::detail::format(__VA_ARGS__))
 
 /** Panic if @p cond does not hold. Cheap enough to keep in release. */
 #define GASNUB_ASSERT(cond, ...) \

@@ -300,6 +300,15 @@ Histogram::percentile(double p) const
     GASNUB_ASSERT(p >= 0 && p <= 1, "percentile wants p in [0, 1]");
     if (_count == 0)
         return 0.0;
+    // The endpoints are exact samples, not interpolation targets:
+    // p=0 is the smallest sample seen, p=1 the largest.  Interior
+    // ranks interpolate within their bucket, which would otherwise
+    // push p=0 above the min whenever the min shares its bucket with
+    // no smaller rank.
+    if (p == 0.0)
+        return _zeros ? 0.0 : static_cast<double>(minSeen());
+    if (p == 1.0)
+        return static_cast<double>(maxSeen());
     // Rank of the requested sample, 1-based; p=0 is the first sample
     // (min), p=1 the last (max).
     const double rank = p * static_cast<double>(_count - 1) + 1.0;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "sim/logging.hh"
 
 namespace {
@@ -43,6 +45,63 @@ TEST(Logging, LevelsRoundTrip)
     setLogLevel(LogLevel::Verbose);
     EXPECT_EQ(logLevel(), LogLevel::Verbose);
     setLogLevel(old);
+}
+
+TEST(Logging, TimestampsDefaultOffAndRoundTrip)
+{
+    EXPECT_FALSE(logTimestamps());
+    setLogTimestamps(true);
+    EXPECT_TRUE(logTimestamps());
+    setLogTimestamps(false);
+    EXPECT_FALSE(logTimestamps());
+}
+
+TEST(Logging, EnvOptInRespectsZeroAndEmpty)
+{
+    // Unset, empty, and "0" all leave timestamps off.
+    unsetenv("GASNUB_LOG_TIMESTAMPS");
+    setLogTimestamps(false);
+    logTimestampsFromEnv();
+    EXPECT_FALSE(logTimestamps());
+
+    setenv("GASNUB_LOG_TIMESTAMPS", "", 1);
+    logTimestampsFromEnv();
+    EXPECT_FALSE(logTimestamps());
+
+    setenv("GASNUB_LOG_TIMESTAMPS", "0", 1);
+    logTimestampsFromEnv();
+    EXPECT_FALSE(logTimestamps());
+
+    setenv("GASNUB_LOG_TIMESTAMPS", "1", 1);
+    logTimestampsFromEnv();
+    EXPECT_TRUE(logTimestamps());
+
+    setLogTimestamps(false);
+    unsetenv("GASNUB_LOG_TIMESTAMPS");
+}
+
+/** The timestamp prefix shows up on prefixed channels and follows
+ *  the "[seconds.micros] " shape (fatal goes through the same
+ *  prefixing path, and death tests can observe its stderr). */
+TEST(LoggingDeath, TimestampPrefixesFatalWhenOn)
+{
+    EXPECT_EXIT(
+        {
+            setLogTimestamps(true);
+            GASNUB_FATAL("timestamped failure");
+        },
+        ::testing::ExitedWithCode(1),
+        "\\[[0-9]+\\.[0-9]{6}\\] fatal: timestamped failure");
+}
+
+TEST(LoggingDeath, NoPrefixWhenTimestampsOff)
+{
+    EXPECT_EXIT(
+        {
+            setLogTimestamps(false);
+            GASNUB_FATAL("plain failure");
+        },
+        ::testing::ExitedWithCode(1), "^fatal: plain failure");
 }
 
 } // namespace

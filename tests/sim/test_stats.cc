@@ -411,6 +411,17 @@ TEST(HistogramPercentile, InterpolatesWithinALog2Bucket)
     }
 }
 
+TEST(HistogramPercentile, EndpointsWithZeroSamples)
+{
+    // p=0 must report the true minimum even when that minimum is a
+    // zero-valued sample (zeros live outside the log2 buckets).
+    Histogram h(nullptr, "h", "d");
+    h.sample(0);
+    h.sample(500);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 500.0);
+}
+
 TEST(HistogramPercentile, SurvivesAMergeExactly)
 {
     // Merged per-thread histograms must report the same percentiles

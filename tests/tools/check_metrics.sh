@@ -1,0 +1,84 @@
+#!/bin/sh
+# Validate a Prometheus text exposition written by --metrics-out.
+#
+#   check_metrics.sh FILE [NAME EXPECTED]
+#
+# Structural checks (always):
+#   - the file is non-empty and every line is either a # HELP/# TYPE
+#     comment or a sample line "<name>[{labels}] <value>";
+#   - every sample's base name has a # TYPE line;
+#   - every # TYPE names one of counter/gauge/summary;
+#   - every value parses as a finite number.
+# With NAME EXPECTED, additionally assert that the single sample line
+# for NAME has exactly the value EXPECTED (the CI smoke job pins the
+# request counter to loadgen's completed-query count this way).
+#
+# Exit 0 when valid, 1 with a diagnostic otherwise.
+set -u
+
+if [ "$#" -ne 1 ] && [ "$#" -ne 3 ]; then
+    echo "usage: check_metrics.sh FILE [NAME EXPECTED]" >&2
+    exit 1
+fi
+file="$1"
+name="${2-}"
+expected="${3-}"
+
+if [ ! -s "$file" ]; then
+    echo "check_metrics: $file is missing or empty" >&2
+    exit 1
+fi
+
+awk '
+    /^# HELP [a-zA-Z_][a-zA-Z0-9_]* / { help[$3] = 1; next }
+    /^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|summary)$/ {
+        type[$3] = 1; next
+    }
+    /^#/ {
+        printf "check_metrics: bad comment line %d: %s\n", NR, $0
+        bad = 1; next
+    }
+    /^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9]/ {
+        # Base name: strip labels and the summary _sum/_count/_window
+        # suffixes back to the registered series name.
+        base = $1
+        sub(/\{.*/, "", base)
+        raw = base
+        sub(/_(sum|count|window)$/, "", base)
+        if (!(raw in type) && !(base in type)) {
+            printf "check_metrics: line %d: no # TYPE for %s\n",
+                NR, raw
+            bad = 1
+        }
+        if ($2 !~ /^-?[0-9.]+(e[+-]?[0-9]+)?$/) {
+            printf "check_metrics: line %d: bad value %s\n", NR, $2
+            bad = 1
+        }
+        samples++
+        next
+    }
+    {
+        printf "check_metrics: unparseable line %d: %s\n", NR, $0
+        bad = 1
+    }
+    END {
+        if (samples == 0) {
+            print "check_metrics: no sample lines"
+            bad = 1
+        }
+        exit bad ? 1 : 0
+    }
+' "$file" >&2 || exit 1
+
+if [ -n "$name" ]; then
+    got=$(awk -v n="$name" '$1 == n { print $2 }' "$file")
+    if [ -z "$got" ]; then
+        echo "check_metrics: $file has no sample for $name" >&2
+        exit 1
+    fi
+    if [ "$got" != "$expected" ]; then
+        echo "check_metrics: $name is $got, expected $expected" >&2
+        exit 1
+    fi
+fi
+exit 0

@@ -181,6 +181,84 @@ else
     echo "ok: unknown machine is a clear error"
 fi
 
+# Telemetry differential: answers must be byte-identical with the
+# full telemetry stack on (metrics file, trace spans, slow-query log)
+# versus everything off.
+"$serve" --pack "$tmp/demo.pack" < "$tmp/queries" \
+    > "$tmp/answers.off" 2>/dev/null
+"$serve" --pack "$tmp/demo.pack" --metrics-out "$tmp/serve.prom" \
+    --slow-query-us 1 --trace-out "$tmp/serve.trace.json" \
+    < "$tmp/queries" > "$tmp/answers.on" 2>"$tmp/err"
+if ! cmp -s "$tmp/answers.off" "$tmp/answers.on"; then
+    echo "FAIL: answers differ with telemetry on"
+    fails=1
+else
+    echo "ok: telemetry does not perturb answers"
+fi
+
+# The exposition file is valid Prometheus text and counts all three
+# queries; the slow-query log produced structured records.
+if ! "$(dirname "$0")/check_metrics.sh" "$tmp/serve.prom" \
+        gasnub_serve_requests 3; then
+    echo "FAIL: serve --metrics-out exposition invalid or wrong count"
+    fails=1
+else
+    echo "ok: serve --metrics-out exposition validates"
+fi
+if ! grep -q "slow_query id=.* machine=demo .*us=" "$tmp/err"; then
+    echo "FAIL: no structured slow-query record on stderr"
+    fails=1
+else
+    echo "ok: slow-query log emits structured records"
+fi
+if ! grep -q '"traceEvents"' "$tmp/serve.trace.json"; then
+    echo "FAIL: --trace-out is not a Chrome trace"
+    fails=1
+else
+    echo "ok: serve --trace-out writes query spans"
+fi
+
+# A {"cmd": "metrics"} control line mid-stream answers the queued
+# queries first, then emits one compact JSON exposition line that
+# reflects the queries answered so far.
+{
+    head -2 "$tmp/queries"
+    echo '{"cmd": "metrics"}'
+    tail -1 "$tmp/queries"
+} | "$serve" --pack "$tmp/demo.pack" --slow-query-us 999999999 \
+    > "$tmp/midrun" 2>/dev/null
+dump=$(grep '"metrics"' "$tmp/midrun")
+if [ "$(wc -l < "$tmp/midrun")" -ne 4 ]; then
+    echo "FAIL: mid-run dump: expected 3 answers + 1 metrics line"
+    fails=1
+elif [ -z "$dump" ]; then
+    echo "FAIL: mid-run dump has no metrics line"
+    fails=1
+elif ! echo "$dump" | grep -q '"name": "serve.requests", "desc": [^,]*, "type": "counter", "value": 2'; then
+    echo "FAIL: mid-run dump does not show the 2 queries served so far"
+    fails=1
+elif ! echo "$dump" | grep -q '"name": "serve.latency_us"'; then
+    echo "FAIL: mid-run dump is missing the latency histogram"
+    fails=1
+else
+    echo "ok: mid-run {\"cmd\": \"metrics\"} dump parses"
+fi
+
+# GASNUB_LOG_TIMESTAMPS prefixes service-log lines without touching
+# stdout answers.
+GASNUB_LOG_TIMESTAMPS=1 "$serve" --pack "$tmp/demo.pack" \
+    --slow-query-us 1 < "$tmp/queries" > "$tmp/answers.ts" \
+    2>"$tmp/err.ts"
+if ! cmp -s "$tmp/answers.off" "$tmp/answers.ts"; then
+    echo "FAIL: answers differ under GASNUB_LOG_TIMESTAMPS"
+    fails=1
+elif ! grep -q '^\[[0-9]*\.[0-9]*\] log: slow_query' "$tmp/err.ts"; then
+    echo "FAIL: no timestamp prefix on slow-query records"
+    fails=1
+else
+    echo "ok: GASNUB_LOG_TIMESTAMPS prefixes logs, not answers"
+fi
+
 # loadgen: a deterministic mix reports queries, qps, percentiles,
 # and the same answer checksum on every run.
 out=$("$loadgen" --pack "$tmp/demo.pack" --queries 5000 \
@@ -216,6 +294,37 @@ elif [ "$sum1" != "$sum3" ]; then
     fails=1
 else
     echo "ok: loadgen checksum is reproducible, cache on or off"
+fi
+
+# loadgen telemetry: the exposition counter equals the completed
+# count exactly, the checksum is unchanged by telemetry, and the
+# timeline is JSON lines from the same registry.
+out=$("$loadgen" --pack "$tmp/demo.pack" --queries 5000 \
+      --threads 2 --mix hot --seed 7 --json \
+      --metrics-out "$tmp/lg.prom" --timeline "$tmp/lg.timeline" \
+      2>/dev/null)
+sum4=$(echo "$out" | sed 's/.*"checksum": "\([0-9a-f]*\)".*/\1/')
+if [ "$sum1" != "$sum4" ]; then
+    echo "FAIL: loadgen answers differ with telemetry on"
+    fails=1
+else
+    echo "ok: loadgen telemetry does not perturb answers"
+fi
+if ! "$(dirname "$0")/check_metrics.sh" "$tmp/lg.prom" \
+        gasnub_loadgen_queries 5000; then
+    echo "FAIL: loadgen --metrics-out exposition invalid or wrong count"
+    fails=1
+else
+    echo "ok: loadgen --metrics-out counter matches completed queries"
+fi
+if [ ! -s "$tmp/lg.timeline" ] ||
+        ! tail -1 "$tmp/lg.timeline" |
+            grep -q '"completed": 5000.*"p99_us"'; then
+    echo "FAIL: loadgen --timeline final row is wrong"
+    cat "$tmp/lg.timeline"
+    fails=1
+else
+    echo "ok: loadgen --timeline ends at the completed count"
 fi
 
 exit $fails

@@ -129,6 +129,7 @@ timeScenario(const bench::PerfScenario &s, int repeats, int jobs)
     Timing t;
     t.name = s.name;
     std::vector<double> secs;
+    std::uint64_t bestP99 = ~std::uint64_t(0);
     for (int r = 0; r < repeats; ++r) {
         const auto start = std::chrono::steady_clock::now();
         const bench::PerfRunCounts counts =
@@ -137,14 +138,24 @@ timeScenario(const bench::PerfScenario &s, int repeats, int jobs)
             seconds(start, std::chrono::steady_clock::now()));
         t.points = counts.points;
         t.accesses = counts.accesses;
+        bestP99 = std::min(bestP99, counts.sloP99Ns);
     }
     std::sort(secs.begin(), secs.end());
     t.secMin = secs.front();
     t.secMedian = secs[secs.size() / 2];
     // Rates from the fastest repeat: the minimum is the least-noise
     // estimate of the work's true cost on this host.
-    t.pointsPerSec = static_cast<double>(t.points) / t.secMin;
-    t.accessesPerSec = static_cast<double>(t.accesses) / t.secMin;
+    if (s.serveSlo) {
+        // SLO scenarios record inverse tail latency (1e9 / p99_ns)
+        // as the rate, so a p99 increase reads as a rate drop and
+        // the --compare gate flags it like any other regression.
+        t.pointsPerSec =
+            bestP99 > 0 ? 1e9 / static_cast<double>(bestP99) : 0.0;
+        t.accessesPerSec = t.pointsPerSec;
+    } else {
+        t.pointsPerSec = static_cast<double>(t.points) / t.secMin;
+        t.accessesPerSec = static_cast<double>(t.accesses) / t.secMin;
+    }
     return t;
 }
 

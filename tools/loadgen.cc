@@ -5,7 +5,8 @@
  *   loadgen --pack FILE [--pack FILE ...] --queries N [--threads T]
  *           [--mix uniform|hot|scan] [--seed S] [--no-cache]
  *           [--cache-capacity N] [--cache-shards N] [--json]
- *           [--profile]
+ *           [--profile] [--metrics-out FILE]
+ *           [--metrics-interval-ms N] [--timeline FILE]
  *
  * Drives millions of plan queries through one shared
  * serve::PlannerIndex from T threads and reports sustained
@@ -21,19 +22,35 @@
  *   uniform  many distinct (ws, stride) keys — cache-miss heavy
  *   hot      95% of queries from 64 hot keys — cache-hit heavy
  *   scan     a fixed 1024-query cycle — all hits after warm-up
+ *
+ * Live telemetry (--metrics-out / --timeline) feeds the process-wide
+ * metrics::Registry while load runs: a loadgen.queries counter
+ * (exact; CI asserts it equals the completed-query count), a
+ * loadgen.latency_us rolling-window histogram, and the decision-cache
+ * gauges.  --metrics-out re-exports the registry atomically every
+ * interval; --timeline appends one JSON line per second with the
+ * completed count, 1s rate, and 1s-window p50/p95/p99, all read from
+ * the same registry a scraper would see.  The stdout report and the
+ * answer checksum are byte-identical with telemetry on or off.
  */
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/planner.hh"
+#include "metrics_flush.hh"
 #include "serve/planner_index.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/profiler.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -60,6 +77,16 @@ printUsage(std::ostream &os)
           "  --cache-shards N   decision-cache shards (default 16)\n"
           "  --json             machine-readable report on stdout\n"
           "  --profile          profiler zone report on stderr\n"
+          "  --metrics-out FILE live metrics exposition, rewritten "
+          "atomically\n"
+          "                     (.json -> JSON, else Prometheus "
+          "text)\n"
+          "  --metrics-interval-ms N\n"
+          "                     flush period for --metrics-out "
+          "(default 1000)\n"
+          "  --timeline FILE    one JSON line per second: completed, "
+          "rate,\n"
+          "                     1s-window p50/p95/p99\n"
           "Benchmarks serve::PlannerIndex under a deterministic "
           "seeded query\nmix: reports queries/sec, p50/p95/p99 "
           "latency, cache hit rate, and\nan order-independent answer "
@@ -117,11 +144,19 @@ struct ThreadResult
                              "per-query plan latency"};
 };
 
+/** Registry handles shared by all workers (null when telemetry is
+ *  off; the off path costs one branch per query). */
+struct Telemetry
+{
+    metrics::Counter *queries = nullptr;
+    metrics::Histogram *latencyUs = nullptr;
+};
+
 void
 worker(const serve::PlannerIndex &index, Mix mix,
        const std::vector<GenQuery> &keys, std::uint64_t seed,
        std::size_t thread_id, std::uint64_t queries,
-       ThreadResult &result)
+       ThreadResult &result, const Telemetry &telem)
 {
     GASNUB_PROF_ZONE("loadgen.worker");
     sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + thread_id + 1);
@@ -148,11 +183,17 @@ worker(const serve::PlannerIndex &index, Mix mix,
         static_assert(sizeof(bits) == sizeof(a.predictedMBs));
         std::memcpy(&bits, &a.predictedMBs, sizeof(bits));
         result.checksum ^= bits;
-        result.latency.sample(static_cast<std::uint64_t>(
+        const std::uint64_t ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 t1 - t0)
-                .count()));
+                .count());
+        result.latency.sample(ns);
         ++result.issued;
+        if (telem.queries) {
+            telem.queries->add(1);
+            telem.latencyUs->sample(ns / 1000,
+                                    metrics::monotonicSeconds());
+        }
     }
 }
 
@@ -182,6 +223,9 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     bool json = false;
     bool profile = false;
+    std::string metrics_out;
+    int metrics_interval_ms = 1000;
+    std::string timeline;
     serve::IndexConfig config;
 
     for (int i = 1; i < argc; ++i) {
@@ -233,6 +277,12 @@ main(int argc, char **argv)
             json = true;
         else if (opt == "--profile")
             profile = true;
+        else if (opt == "--metrics-out")
+            metrics_out = val();
+        else if (opt == "--metrics-interval-ms")
+            metrics_interval_ms = std::atoi(val().c_str());
+        else if (opt == "--timeline")
+            timeline = val();
         else
             usage();
     }
@@ -240,22 +290,83 @@ main(int argc, char **argv)
         usage();
     if (threads == 0)
         threads = 1;
+    if (metrics_interval_ms < 1)
+        metrics_interval_ms = 1;
 
     if (profile)
         prof::Profiler::enable();
     prof::Profiler::enableFromEnv();
+    logTimestampsFromEnv();
 
     const serve::PlannerIndex index =
         serve::PlannerIndex::fromPackFiles(packs, config);
     const std::vector<GenQuery> keys = fixedKeys(
         seed, index.numMachines(), mix == Mix::Scan ? 1024 : 64);
 
+    Telemetry telem;
+    metrics::Registry &reg = metrics::Registry::instance();
+    if (!metrics_out.empty() || !timeline.empty()) {
+        metrics::setEnabled(true);
+        index.registerMetrics(reg);
+        telem.queries = &reg.counter("loadgen.queries",
+                                     "plan queries completed");
+        telem.latencyUs = &reg.histogram(
+            "loadgen.latency_us",
+            "per-query plan latency (microseconds)");
+    }
+
     // Split the query budget; earlier threads take the remainder.
     std::vector<std::uint64_t> share(threads, queries / threads);
     for (std::uint64_t i = 0; i < queries % threads; ++i)
         ++share[i];
 
+    // The per-second timeline thread reads the same registry objects
+    // a scraper would, so it doubles as a live test of the rolling
+    // windows under real concurrency.
+    std::thread timeline_thread;
+    std::mutex tl_mutex;
+    std::condition_variable tl_cv;
+    bool tl_stop = false;
+    if (!timeline.empty()) {
+        timeline_thread = std::thread([&] {
+            std::ofstream os(timeline, std::ios::trunc);
+            if (!os)
+                GASNUB_FATAL("loadgen: cannot write timeline file '",
+                             timeline, "'");
+            std::uint64_t last = 0;
+            std::unique_lock<std::mutex> lock(tl_mutex);
+            for (;;) {
+                tl_cv.wait_for(lock, std::chrono::seconds(1));
+                const bool stop = tl_stop;
+                const std::int64_t now_sec =
+                    metrics::monotonicSeconds();
+                const std::uint64_t done = telem.queries->value();
+                const metrics::Histogram::Window w =
+                    telem.latencyUs->window(1, now_sec);
+                char buf[256];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "{\"t_s\": %lld, \"completed\": %llu, \"qps\": "
+                    "%llu, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+                    "\"p99_us\": %.1f}\n",
+                    static_cast<long long>(now_sec),
+                    static_cast<unsigned long long>(done),
+                    static_cast<unsigned long long>(done - last),
+                    w.p50, w.p95, w.p99);
+                os << buf;
+                os.flush();
+                last = done;
+                if (stop)
+                    return;
+            }
+        });
+    }
+
     std::vector<ThreadResult> results(threads);
+    // Flusher lifetime brackets the timed region so its exports never
+    // land inside the qps measurement window.
+    std::optional<toolmetrics::MetricsFlusher> flusher;
+    flusher.emplace(reg, metrics_out, metrics_interval_ms);
     const auto start = std::chrono::steady_clock::now();
     {
         GASNUB_PROF_ZONE("loadgen.run");
@@ -264,11 +375,22 @@ main(int argc, char **argv)
         for (std::size_t t = 0; t < threads; ++t)
             pool.emplace_back(worker, std::cref(index), mix,
                               std::cref(keys), seed, t, share[t],
-                              std::ref(results[t]));
+                              std::ref(results[t]),
+                              std::cref(telem));
         for (std::thread &t : pool)
             t.join();
     }
     const auto end = std::chrono::steady_clock::now();
+    // Final exposition after every worker retired its last query.
+    flusher.reset();
+    if (timeline_thread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(tl_mutex);
+            tl_stop = true;
+        }
+        tl_cv.notify_all();
+        timeline_thread.join();
+    }
     const double seconds =
         std::chrono::duration<double>(end - start).count();
 

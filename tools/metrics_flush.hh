@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared telemetry-file plumbing for the serving tools (serve,
+ * loadgen): format selection by extension, atomic write-then-rename
+ * exports, and the periodic flusher thread that re-exports the
+ * registry next to the worker threads.
+ *
+ * The atomic rename is the load-bearing part: a scraper (or the CI
+ * smoke job) reading the file mid-flush must always see one complete
+ * exposition, never a torn half-file, so every export goes to
+ * "<path>.tmp" first and std::rename()s over the target.
+ */
+
+#ifndef GASNUB_TOOLS_METRICS_FLUSH_HH
+#define GASNUB_TOOLS_METRICS_FLUSH_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+
+namespace gasnub::toolmetrics {
+
+/** ".json" targets get the JSON exposition; everything else gets
+ *  Prometheus text format. */
+inline bool
+jsonByExtension(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    return dot != std::string::npos && path.substr(dot) == ".json";
+}
+
+/**
+ * Export @p registry into @p path atomically (write "<path>.tmp",
+ * rename over the target).  Fatal on I/O errors — a tool asked to
+ * publish metrics it cannot write is misconfigured, not degraded.
+ */
+inline void
+writeMetricsFile(metrics::Registry &registry, const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            GASNUB_FATAL("cannot open metrics file '", tmp,
+                         "' for writing");
+        if (jsonByExtension(path))
+            registry.exportJson(os, metrics::monotonicSeconds());
+        else
+            registry.exportPrometheus(os,
+                                      metrics::monotonicSeconds());
+        os.flush();
+        if (!os)
+            GASNUB_FATAL("short write on metrics file '", tmp, "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        GASNUB_FATAL("cannot rename '", tmp, "' over '", path, "'");
+}
+
+/**
+ * A background thread re-exporting @p registry into @p path every
+ * @p interval_ms until destruction; the destructor joins the thread
+ * and writes one final export so the file always ends at the run's
+ * true totals.  An empty path makes the whole object a no-op.
+ */
+class MetricsFlusher
+{
+  public:
+    MetricsFlusher(metrics::Registry &registry, std::string path,
+                   int interval_ms)
+        : _registry(registry), _path(std::move(path))
+    {
+        if (_path.empty())
+            return;
+        // Flush once up front so scrapers find the file immediately.
+        writeMetricsFile(_registry, _path);
+        _thread = std::thread([this, interval_ms] {
+            std::unique_lock<std::mutex> lock(_mutex);
+            for (;;) {
+                _cv.wait_for(lock,
+                             std::chrono::milliseconds(interval_ms));
+                if (_stop)
+                    return;
+                writeMetricsFile(_registry, _path);
+            }
+        });
+    }
+
+    ~MetricsFlusher()
+    {
+        if (!_thread.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _stop = true;
+        }
+        _cv.notify_all();
+        _thread.join();
+        writeMetricsFile(_registry, _path);
+    }
+
+    MetricsFlusher(const MetricsFlusher &) = delete;
+    MetricsFlusher &operator=(const MetricsFlusher &) = delete;
+
+  private:
+    metrics::Registry &_registry;
+    std::string _path;
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    bool _stop = false;
+    std::thread _thread;
+};
+
+} // namespace gasnub::toolmetrics
+
+#endif // GASNUB_TOOLS_METRICS_FLUSH_HH

@@ -4,7 +4,9 @@
  *
  *   serve --pack FILE [--pack FILE ...] [--binary] [--threads N]
  *         [--batch N] [--no-cache] [--cache-capacity N]
- *         [--cache-shards N] [--stats]
+ *         [--cache-shards N] [--stats] [--metrics-out FILE]
+ *         [--metrics-interval-ms N] [--slow-query-us N]
+ *         [--trace-out FILE]
  *
  * Serving side of the paper's measure-once / decide-often workflow
  * (Section 4.1): the packs carry each machine's characterization
@@ -23,15 +25,30 @@
  *         "method": "fetch", "strideOnSource": true,
  *         "mbs": 154.2, "seconds": 0.0068}
  *
+ * Control commands ride the same stream: {"cmd": "metrics"} answers
+ * everything queued so far, then emits one compact JSON metrics
+ * exposition line on stdout — an on-demand scrape without a second
+ * channel.
+ *
  * Binary framing (--binary) — fixed 32-byte records both ways, host
  * little-endian; see docs/planner_service.md for the exact layout.
  * Malformed queries are fatal with a record/line diagnostic (exit 1
  * via GASNUB_FATAL, exit 2 for JSON syntax), never silent garbage.
+ *
+ * Live telemetry (--metrics-out / --slow-query-us / --trace-out)
+ * feeds the process-wide metrics::Registry: request/batch counters,
+ * per-query service-time and batch-size histograms with rolling
+ * 1s/10s/60s windows, per-worker query counters, decision-cache
+ * gauges, a structured slow-query log, and per-query Chrome-trace
+ * spans.  Answers are byte-identical with telemetry on or off (the
+ * CLI test diffs them), and with everything off the hot path pays a
+ * single relaxed load per batch.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -40,8 +57,11 @@
 
 #include "core/planner.hh"
 #include "json_util.hh"
+#include "metrics_flush.hh"
 #include "serve/planner_index.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
 
 using namespace gasnub;
 using tooljson::JsonParser;
@@ -66,6 +86,16 @@ printUsage(std::ostream &os)
           "  --cache-shards N   decision-cache shards (default 16)\n"
           "  --stats            cache hit/miss/eviction stats on "
           "stderr at EOF\n"
+          "  --metrics-out FILE live metrics exposition, rewritten "
+          "atomically\n"
+          "                     (.json -> JSON, else Prometheus "
+          "text)\n"
+          "  --metrics-interval-ms N\n"
+          "                     flush period for --metrics-out "
+          "(default 1000)\n"
+          "  --slow-query-us N  log queries taking >= N us to "
+          "stderr\n"
+          "  --trace-out FILE   Chrome-trace spans, one per query\n"
           "Answers plan queries (machine x pattern x working set -> "
           "method +\npredicted bandwidth) from packed "
           "characterization surfaces; see\ndocs/planner_service.md "
@@ -139,37 +169,125 @@ numberField(const JsonValue &v, const char *key,
     return static_cast<std::uint64_t>(f->number);
 }
 
-/** Plan requests [0, n) into @p answers across @p threads. */
+/**
+ * Hot-path telemetry handles, resolved once at startup.  When off
+ * the planning loops are the pre-telemetry code paths verbatim; when
+ * on, workers only stamp per-query span bounds (monotonic micros) —
+ * histograms, the slow-query log, and trace spans are fed from the
+ * main thread after the join, because the Tracer is single-threaded
+ * and the slow-query log wants the answer's option label.
+ */
+struct Telemetry
+{
+    bool on = false;
+    std::uint64_t slowUs = 0; ///< 0 = no slow-query log
+    metrics::Counter *requests = nullptr;
+    metrics::Counter *batches = nullptr;
+    metrics::Counter *slow = nullptr;
+    metrics::Histogram *latencyUs = nullptr;
+    metrics::Histogram *batchSize = nullptr;
+    metrics::Gauge *queueDepth = nullptr;
+    std::vector<metrics::Counter *> workers;
+    trace::Tracer *tracer = nullptr;
+    trace::TrackId track = 0;
+    std::vector<std::uint64_t> t0, t1; ///< per-query span bounds
+};
+
+/** Plan requests [0, n) into @p answers across @p threads; queries
+ *  get ids first_id, first_id + 1, ... for spans and the slow log. */
 void
 planBatch(const serve::PlannerIndex &index,
           const std::vector<Request> &requests, std::size_t n,
-          int threads, std::vector<serve::PlanAnswer> &answers)
+          int threads, std::vector<serve::PlanAnswer> &answers,
+          Telemetry &telem, std::uint64_t first_id)
 {
     answers.resize(n);
-    if (threads <= 1 || n < 2) {
-        for (std::size_t i = 0; i < n; ++i)
-            answers[i] =
-                index.plan(requests[i].machine, requests[i].query);
-        return;
-    }
-    const std::size_t workers =
-        std::min<std::size_t>(static_cast<std::size_t>(threads), n);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-            for (std::size_t i = w; i < n; i += workers)
+    if (!telem.on) {
+        if (threads <= 1 || n < 2) {
+            for (std::size_t i = 0; i < n; ++i)
                 answers[i] = index.plan(requests[i].machine,
                                         requests[i].query);
-        });
+            return;
+        }
+        const std::size_t workers = std::min<std::size_t>(
+            static_cast<std::size_t>(threads), n);
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                for (std::size_t i = w; i < n; i += workers)
+                    answers[i] = index.plan(requests[i].machine,
+                                            requests[i].query);
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+        return;
     }
-    for (std::thread &t : pool)
-        t.join();
+
+    telem.queueDepth->set(static_cast<std::int64_t>(n));
+    telem.t0.resize(n);
+    telem.t1.resize(n);
+    const std::size_t workers =
+        (threads <= 1 || n < 2)
+            ? 1
+            : std::min<std::size_t>(static_cast<std::size_t>(threads),
+                                    n);
+    auto run = [&](std::size_t w) {
+        std::uint64_t done = 0;
+        for (std::size_t i = w; i < n; i += workers) {
+            telem.t0[i] = metrics::monotonicMicros();
+            answers[i] = index.plan(requests[i].machine,
+                                    requests[i].query);
+            telem.t1[i] = metrics::monotonicMicros();
+            ++done;
+        }
+        telem.workers[w]->add(done);
+    };
+    if (workers == 1) {
+        run(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back([&run, w] { run(w); });
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    const std::int64_t now_sec = metrics::monotonicSeconds();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t us = telem.t1[i] - telem.t0[i];
+        telem.latencyUs->sample(us, now_sec);
+        if (telem.tracer) {
+            // Ticks are picoseconds; span bounds are monotonic
+            // microseconds of wall time.
+            constexpr std::uint64_t kPsPerUs = 1000000;
+            telem.tracer->record(trace::Category::Sim, telem.track,
+                                 "plan", telem.t0[i] * kPsPerUs,
+                                 telem.t1[i] * kPsPerUs, "id",
+                                 first_id + i, "us", us);
+        }
+        if (telem.slowUs && us >= telem.slowUs) {
+            telem.slow->add(1);
+            const serve::PlanAnswer &a = answers[i];
+            const core::TransferQuery &q = requests[i].query;
+            GASNUB_LOG("slow_query id=", first_id + i,
+                       " machine=", index.machineName(a.machine),
+                       " bytes=", q.bytes, " ws=", q.wsBytes,
+                       " stride=", q.stride, " us=", us,
+                       " option=", a.label);
+        }
+    }
+    telem.requests->add(n);
+    telem.batches->add(1);
+    telem.batchSize->sample(n, now_sec);
+    telem.queueDepth->set(0);
 }
 
 int
 runJson(const serve::PlannerIndex &index, int threads,
-        std::size_t batch)
+        std::size_t batch, Telemetry &telem)
 {
     std::vector<Request> requests(batch);
     std::vector<serve::PlanAnswer> answers;
@@ -182,7 +300,8 @@ runJson(const serve::PlannerIndex &index, int threads,
     auto flush = [&] {
         if (n == 0)
             return;
-        planBatch(index, requests, n, threads, answers);
+        planBatch(index, requests, n, threads, answers, telem,
+                  served);
         out.str("");
         for (std::size_t i = 0; i < n; ++i) {
             const serve::PlanAnswer &a = answers[i];
@@ -212,6 +331,24 @@ runJson(const serve::PlannerIndex &index, int threads,
                           "serve: query line " +
                               std::to_string(line_no));
         const JsonValue v = parser.parse();
+        const JsonValue *cmd = v.find("cmd");
+        if (cmd) {
+            if (cmd->kind != JsonValue::Kind::String ||
+                cmd->string != "metrics")
+                GASNUB_FATAL("serve: query line ", line_no,
+                             ": unknown control command; the only "
+                             "one is {\"cmd\": \"metrics\"}");
+            // Answer everything queued first so the dump reflects
+            // every query that precedes it on the stream.
+            flush();
+            std::ostringstream ms;
+            metrics::Registry::instance().exportJson(
+                ms, metrics::monotonicSeconds(), true);
+            ms << "\n";
+            std::fputs(ms.str().c_str(), stdout);
+            std::fflush(stdout);
+            continue;
+        }
         const JsonValue *machine = v.find("machine");
         if (!machine ||
             machine->kind != JsonValue::Kind::String)
@@ -241,7 +378,7 @@ runJson(const serve::PlannerIndex &index, int threads,
 
 int
 runBinary(const serve::PlannerIndex &index, int threads,
-          std::size_t batch)
+          std::size_t batch, Telemetry &telem)
 {
     std::vector<BinaryRequest> raw(batch);
     std::vector<Request> requests(batch);
@@ -282,7 +419,8 @@ runBinary(const serve::PlannerIndex &index, int threads,
             requests[i].query.wsBytes = q.wsBytes;
             requests[i].query.stride = q.stride;
         }
-        planBatch(index, requests, got, threads, answers);
+        planBatch(index, requests, got, threads, answers, telem,
+                  served);
         for (std::size_t i = 0; i < got; ++i) {
             const serve::PlanAnswer &a = answers[i];
             BinaryResponse &r = responses[i];
@@ -311,11 +449,17 @@ runBinary(const serve::PlannerIndex &index, int threads,
 int
 main(int argc, char **argv)
 {
+    logTimestampsFromEnv();
+
     std::vector<std::string> packs;
     bool binary = false;
     int threads = 1;
     std::size_t batch = 1024;
     bool stats = false;
+    std::string metrics_out;
+    int metrics_interval_ms = 1000;
+    std::uint64_t slow_query_us = 0;
+    std::string trace_out;
     serve::IndexConfig config;
 
     for (int i = 1; i < argc; ++i) {
@@ -350,6 +494,15 @@ main(int argc, char **argv)
                 std::atoll(val().c_str()));
         else if (opt == "--stats")
             stats = true;
+        else if (opt == "--metrics-out")
+            metrics_out = val();
+        else if (opt == "--metrics-interval-ms")
+            metrics_interval_ms = std::atoi(val().c_str());
+        else if (opt == "--slow-query-us")
+            slow_query_us = static_cast<std::uint64_t>(
+                std::atoll(val().c_str()));
+        else if (opt == "--trace-out")
+            trace_out = val();
         else
             usage();
     }
@@ -357,6 +510,8 @@ main(int argc, char **argv)
         usage();
     if (threads < 1)
         threads = 1;
+    if (metrics_interval_ms < 1)
+        metrics_interval_ms = 1;
 
     const serve::PlannerIndex index =
         serve::PlannerIndex::fromPackFiles(packs, config);
@@ -365,19 +520,83 @@ main(int argc, char **argv)
         std::fprintf(stderr, " %s", index.machineName(i).c_str());
     std::fprintf(stderr, "\n");
 
-    const int rc = binary ? runBinary(index, threads, batch)
-                          : runJson(index, threads, batch);
+    // The cache gauges register unconditionally — they power both the
+    // exit --stats report and any mid-run exposition, and cost nothing
+    // until a collector runs.  Per-query recording is opt-in.
+    metrics::Registry &reg = metrics::Registry::instance();
+    index.registerMetrics(reg);
+
+    Telemetry telem;
+    if (!metrics_out.empty() || !trace_out.empty() ||
+        slow_query_us > 0) {
+        telem.on = true;
+        telem.slowUs = slow_query_us;
+        metrics::setEnabled(true);
+        telem.requests =
+            &reg.counter("serve.requests", "plan queries answered");
+        telem.batches = &reg.counter("serve.batches",
+                                     "query batches dispatched");
+        telem.slow = &reg.counter(
+            "serve.slow_queries",
+            "queries at or over the --slow-query-us threshold");
+        telem.latencyUs = &reg.histogram(
+            "serve.latency_us",
+            "per-query service time (microseconds)");
+        telem.batchSize = &reg.histogram(
+            "serve.batch_size", "queries per dispatched batch");
+        telem.queueDepth = &reg.gauge(
+            "serve.queue_depth",
+            "queries parsed and waiting in the current batch");
+        for (int w = 0; w < threads; ++w)
+            telem.workers.push_back(&reg.counter(
+                "serve.worker" + std::to_string(w) + ".queries",
+                "queries planned by one worker"));
+    }
+    if (!trace_out.empty()) {
+        telem.tracer = &trace::Tracer::instance();
+        telem.tracer->setMask(
+            static_cast<std::uint32_t>(trace::Category::Sim));
+        telem.track = telem.tracer->track("serve.query");
+    }
+
+    int rc;
+    {
+        toolmetrics::MetricsFlusher flusher(reg, metrics_out,
+                                            metrics_interval_ms);
+        rc = binary ? runBinary(index, threads, batch, telem)
+                    : runJson(index, threads, batch, telem);
+        // flusher writes the final exposition on scope exit.
+    }
+
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::trunc);
+        if (!os)
+            GASNUB_FATAL("serve: cannot write trace file '",
+                         trace_out, "'");
+        trace::Tracer::instance().exportChromeJson(os);
+    }
+
     if (stats) {
-        const serve::DecisionCacheStats cs = index.cacheStats();
+        // Routed through the registry (satellite of the live
+        // telemetry work): collect() refreshes the cache gauges from
+        // the shard counters, so the same numbers are available to a
+        // mid-run scrape and to this exit report.
+        reg.collect();
+        const auto gval = [&reg](const char *name) {
+            const metrics::Metric *m = reg.find(name);
+            GASNUB_ASSERT(m, "unregistered gauge ", name);
+            return static_cast<unsigned long long>(
+                static_cast<const metrics::Gauge *>(m)->value());
+        };
         std::fprintf(
             stderr,
             "serve: cache hits=%llu misses=%llu evictions=%llu "
             "entries=%llu/%llu\n",
-            static_cast<unsigned long long>(cs.hits),
-            static_cast<unsigned long long>(cs.misses),
-            static_cast<unsigned long long>(cs.evictions),
-            static_cast<unsigned long long>(cs.entries),
-            static_cast<unsigned long long>(cs.capacity));
+            gval("serve.cache.hits"), gval("serve.cache.misses"),
+            gval("serve.cache.evictions"),
+            gval("serve.cache.entries"),
+            static_cast<unsigned long long>(
+                index.cacheStats().capacity));
     }
     return rc;
 }
